@@ -1,0 +1,45 @@
+//===- bench/table6_timing.cpp - Paper Table 6 -----------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Table 6: training time (grid search, step 3) and
+/// classification + duplication time (step 4) per workload. Absolute
+/// seconds depend on the machine and campaign scale; the paper's
+/// observation is that training time is roughly constant across codes
+/// (same sample count) and duplication time tracks code size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace ipas;
+using namespace ipas::bench;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts =
+      parseOptions(Argc, Argv, "Table 6: training and duplication time");
+  printHeader("Table 6: training and duplication time", Opts);
+
+  std::printf("%-26s", "");
+  auto Workloads = selectedWorkloads(Opts);
+  std::vector<WorkloadEvaluation> Evals;
+  for (const auto &W : Workloads) {
+    Evals.push_back(evaluateWorkloadCached(*W, Opts.Cfg));
+    std::printf("%10s", W->name().c_str());
+  }
+  std::printf("\n%-26s", "Training time (sec)");
+  for (const auto &WE : Evals)
+    std::printf("%10.2f", WE.Training.TrainSeconds);
+  std::printf("\n%-26s", "Duplication time (sec)");
+  for (const auto &WE : Evals)
+    std::printf("%10.2f", WE.DuplicateSeconds);
+  std::printf("\n%-26s", "Total time (sec)");
+  for (const auto &WE : Evals)
+    std::printf("%10.2f", WE.Training.TrainSeconds + WE.DuplicateSeconds);
+  std::printf("\n\n(Timings come from the cached evaluation when one "
+              "exists; delete .ipas-cache\n or set IPAS_NO_CACHE=1 to "
+              "re-measure on this machine.)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- examples/mpi_scaling.cpp - Protected workloads under SimMPI -------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Demonstrates the simulated MPI substrate: runs a workload across rank
+/// counts, unprotected and fully duplicated, and reports the per-rank
+/// critical path — the measurement behind the paper's Figure 8 claim that
+/// instruction duplication does not hurt scalability:
+///
+///   ./build/examples/mpi_scaling [--workload CoMD]
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParser.h"
+#include "transform/Duplication.h"
+#include "workloads/WorkloadHarness.h"
+
+#include <cstdio>
+
+using namespace ipas;
+
+int main(int Argc, char **Argv) {
+  std::string WorkloadName = "CoMD";
+  ArgParser P("Strong scaling of a protected workload under SimMPI");
+  P.addString("workload", &WorkloadName, "CoMD/HPCCG/AMG/FFT/IS");
+  if (!P.parse(Argc, Argv))
+    return 2;
+
+  std::unique_ptr<Workload> W = makeWorkload(WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<Module> Plain = compileWorkload(*W);
+  ModuleLayout PlainLayout(*Plain);
+  std::unique_ptr<Module> Prot = compileWorkload(*W);
+  DuplicationStats Stats = duplicateAllInstructions(*Prot);
+  Prot->renumber();
+  ModuleLayout ProtLayout(*Prot);
+
+  std::printf("%s, input 1 (%s); full duplication adds %zu shadows and "
+              "%zu checks\n\n",
+              W->name().c_str(), W->inputDescription(1).c_str(),
+              Stats.DuplicatedInstructions, Stats.ChecksInserted);
+  std::printf("%6s %20s %20s %10s\n", "ranks", "critical path (plain)",
+              "critical path (dup)", "slowdown");
+
+  for (int Ranks : {1, 2, 4, 8}) {
+    uint64_t PlainCycles = 0, ProtCycles = 0;
+    for (int Pass = 0; Pass != 2; ++Pass) {
+      const ModuleLayout &Layout = Pass ? ProtLayout : PlainLayout;
+      WorkloadHarness Harness(*W, 1, Ranks);
+      ExecutionRecord R = Harness.execute(Layout, nullptr, UINT64_MAX);
+      if (R.Status != RunStatus::Finished || !R.OutputValid) {
+        std::fprintf(stderr, "run failed: %s\n", runStatusName(R.Status));
+        return 1;
+      }
+      (Pass ? ProtCycles : PlainCycles) = R.CriticalPathCycles;
+    }
+    std::printf("%6d %20llu %20llu %9.3fx\n", Ranks,
+                static_cast<unsigned long long>(PlainCycles),
+                static_cast<unsigned long long>(ProtCycles),
+                static_cast<double>(ProtCycles) /
+                    static_cast<double>(PlainCycles));
+  }
+  std::printf("\nThe slowdown column stays flat: duplicated computation "
+              "scales with the ranks\nwhile communication (not "
+              "duplicated) is unchanged.\n");
+  return 0;
+}

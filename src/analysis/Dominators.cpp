@@ -1,0 +1,161 @@
+//===- analysis/Dominators.cpp ------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+
+using namespace ipas;
+
+const std::vector<BasicBlock *> DominatorTree::Empty;
+
+DominatorTree::DominatorTree(const Function &F) : F(F) {
+  assert(!F.empty() && "dominators of an empty function");
+
+  // Depth-first post-order from the entry block.
+  std::vector<BasicBlock *> PostOrder;
+  std::map<const BasicBlock *, bool> Visited;
+  // Iterative DFS carrying an explicit successor cursor.
+  struct Frame {
+    BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  Visited[F.entry()] = true;
+  Stack.push_back({F.entry(), F.entry()->successors()});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next < Top.Succs.size()) {
+      BasicBlock *S = Top.Succs[Top.Next++];
+      if (!Visited[S]) {
+        Visited[S] = true;
+        Stack.push_back({S, S->successors()});
+      }
+      continue;
+    }
+    PostOrder.push_back(Top.BB);
+    Stack.pop_back();
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (BasicBlock *BB : F)
+    Nodes[BB]; // default-construct (unreachable unless set below)
+  for (size_t I = 0; I != RPO.size(); ++I)
+    Nodes[RPO[I]].RpoIndex = static_cast<int>(I);
+
+  // Cooper–Harvey–Kennedy: iterate idom updates in RPO until fixpoint.
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (Nodes[A].RpoIndex > Nodes[B].RpoIndex)
+        A = Nodes[A].Idom;
+      while (Nodes[B].RpoIndex > Nodes[A].RpoIndex)
+        B = Nodes[B].Idom;
+    }
+    return A;
+  };
+
+  Nodes[F.entry()].Idom = F.entry();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == F.entry())
+        continue;
+      BasicBlock *NewIdom = nullptr;
+      for (BasicBlock *P : F.predecessors(BB)) {
+        if (Nodes[P].RpoIndex < 0 || !Nodes[P].Idom)
+          continue; // unreachable or not yet processed
+        NewIdom = NewIdom ? Intersect(NewIdom, P) : P;
+      }
+      if (NewIdom && Nodes[BB].Idom != NewIdom) {
+        Nodes[BB].Idom = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  // Normalize: the entry's idom is null externally.
+  Nodes[F.entry()].Idom = nullptr;
+
+  // Dominator-tree children.
+  for (BasicBlock *BB : RPO)
+    if (BasicBlock *ID = Nodes[BB].Idom)
+      Nodes[ID].Children.push_back(BB);
+
+  // Dominance frontiers (Cytron et al.): for each join point, walk up from
+  // each predecessor to the idom of the join.
+  for (BasicBlock *BB : RPO) {
+    std::vector<BasicBlock *> Preds;
+    for (BasicBlock *P : F.predecessors(BB))
+      if (Nodes[P].RpoIndex >= 0)
+        Preds.push_back(P);
+    if (Preds.size() < 2)
+      continue;
+    for (BasicBlock *P : Preds) {
+      BasicBlock *Runner = P;
+      while (Runner != Nodes[BB].Idom) {
+        std::vector<BasicBlock *> &DF = Nodes[Runner].Frontier;
+        if (std::find(DF.begin(), DF.end(), BB) == DF.end())
+          DF.push_back(BB);
+        Runner = Nodes[Runner].Idom;
+      }
+    }
+  }
+}
+
+const DominatorTree::Node &DominatorTree::node(const BasicBlock *BB) const {
+  auto It = Nodes.find(BB);
+  assert(It != Nodes.end() && "block not in this function");
+  return It->second;
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  return node(BB).Idom;
+}
+
+bool DominatorTree::isReachable(const BasicBlock *BB) const {
+  return node(BB).RpoIndex >= 0;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B's idom chain; A dominates B iff A appears on it.
+  const BasicBlock *Runner = node(B).Idom;
+  while (Runner) {
+    if (Runner == A)
+      return true;
+    Runner = node(Runner).Idom;
+  }
+  return false;
+}
+
+bool DominatorTree::dominatesUse(const Instruction *Def,
+                                 const Instruction *User,
+                                 unsigned OperandIndex) const {
+  const BasicBlock *DefBB = Def->parent();
+  if (const auto *Phi = dyn_cast<PhiInst>(User)) {
+    const BasicBlock *Incoming = Phi->incomingBlock(OperandIndex);
+    return DefBB == Incoming || dominates(DefBB, Incoming);
+  }
+  const BasicBlock *UseBB = User->parent();
+  if (DefBB == UseBB)
+    return DefBB->indexOf(Def) < UseBB->indexOf(User);
+  return dominates(DefBB, UseBB);
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::children(const BasicBlock *BB) const {
+  return node(BB).Children;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::frontier(const BasicBlock *BB) const {
+  return node(BB).Frontier;
+}

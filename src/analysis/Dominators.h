@@ -1,0 +1,70 @@
+//===- analysis/Dominators.h - Dominator tree & dominance frontiers ------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm, plus
+/// dominance frontiers (Cytron et al.) used by mem2reg's phi placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_DOMINATORS_H
+#define IPAS_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+namespace ipas {
+
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// True when \p A dominates \p B (reflexive). Unreachable blocks are
+  /// dominated by nothing and dominate nothing (except themselves).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True when instruction \p Def dominates the use site (\p User,
+  /// \p OperandIndex); phi uses are checked at the incoming block's exit.
+  bool dominatesUse(const Instruction *Def, const Instruction *User,
+                    unsigned OperandIndex) const;
+
+  /// Dominator-tree children of \p BB.
+  const std::vector<BasicBlock *> &children(const BasicBlock *BB) const;
+
+  /// Dominance frontier of \p BB.
+  const std::vector<BasicBlock *> &frontier(const BasicBlock *BB) const;
+
+  bool isReachable(const BasicBlock *BB) const;
+
+  /// Reverse post-order of the reachable blocks.
+  const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
+
+  const Function &function() const { return F; }
+
+private:
+  struct Node {
+    int RpoIndex = -1; ///< -1 = unreachable.
+    BasicBlock *Idom = nullptr;
+    std::vector<BasicBlock *> Children;
+    std::vector<BasicBlock *> Frontier;
+  };
+
+  const Node &node(const BasicBlock *BB) const;
+
+  const Function &F;
+  std::vector<BasicBlock *> RPO;
+  std::map<const BasicBlock *, Node> Nodes;
+  static const std::vector<BasicBlock *> Empty;
+};
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,273 @@
+//===- analysis/Features.cpp --------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Features.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+
+#include <limits>
+#include <map>
+
+using namespace ipas;
+
+const char *ipas::featureName(unsigned Index) {
+  static const char *Names[NumInstructionFeatures] = {
+      "is_binary_op",
+      "is_add_or_sub",
+      "is_mul_or_div",
+      "is_remainder",
+      "is_logical_op",
+      "is_call",
+      "is_comparison",
+      "is_atomic_rw",
+      "is_get_pointer",
+      "is_stack_allocation",
+      "is_cast",
+      "result_bytes",
+      "remaining_insts_in_bb",
+      "bb_size",
+      "num_successor_bbs",
+      "sum_successor_bb_sizes",
+      "bb_in_loop",
+      "bb_has_phi",
+      "bb_terminator_is_branch",
+      "remaining_insts_to_return",
+      "insts_in_function",
+      "bbs_in_function",
+      "future_function_calls",
+      "function_returns_value",
+      "slice_size",
+      "slice_loads",
+      "slice_stores",
+      "slice_calls",
+      "slice_binary_ops",
+      "slice_stack_allocations",
+      "slice_get_pointers",
+  };
+  assert(Index < NumInstructionFeatures && "feature index out of range");
+  return Names[Index];
+}
+
+namespace {
+
+/// Per-function context shared by all instructions of the function.
+struct FunctionContext {
+  const Function *F;
+  DominatorTree DT;
+  LoopInfo LI;
+  /// Minimum instruction count from the *start* of each block to a return
+  /// (inclusive of the block's own instructions along the path).
+  std::map<const BasicBlock *, double> MinInstsToReturn;
+  /// Calls in each block and total calls reachable from each block's
+  /// successors (each block counted once).
+  std::map<const BasicBlock *, double> CallsFromSuccessors;
+  std::map<const BasicBlock *, double> CallsInBlock;
+  size_t NumInsts;
+  size_t NumBlocks;
+
+  explicit FunctionContext(const Function &Fn)
+      : F(&Fn), DT(Fn), LI(Fn, DT), NumInsts(Fn.numInstructions()),
+        NumBlocks(Fn.numBlocks()) {
+    computeReturnDistances();
+    computeFutureCalls();
+  }
+
+  void computeReturnDistances() {
+    // Bellman-Ford style relaxation over the reversed CFG:
+    // dist(B) = size(B) if B ends in ret, else size(B) + min over succs.
+    const double Inf = std::numeric_limits<double>::infinity();
+    for (BasicBlock *BB : *F)
+      MinInstsToReturn[BB] = Inf;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BasicBlock *BB : *F) {
+        double Best = Inf;
+        Instruction *Term = BB->terminator();
+        if (Term && Term->opcode() == Opcode::Ret) {
+          Best = 0.0;
+        } else {
+          for (BasicBlock *S : BB->successors())
+            Best = std::min(Best, MinInstsToReturn[S]);
+        }
+        if (Best != Inf) {
+          double NewDist = static_cast<double>(BB->size()) + Best;
+          if (NewDist < MinInstsToReturn[BB]) {
+            MinInstsToReturn[BB] = NewDist;
+            Changed = true;
+          }
+        }
+      }
+    }
+    // Blocks that cannot reach a return (infinite loops): use the function
+    // size as a large sentinel.
+    for (BasicBlock *BB : *F)
+      if (MinInstsToReturn[BB] == Inf)
+        MinInstsToReturn[BB] = static_cast<double>(NumInsts);
+  }
+
+  void computeFutureCalls() {
+    for (BasicBlock *BB : *F) {
+      double Calls = 0;
+      for (Instruction *I : *BB)
+        if (I->opcode() == Opcode::Call)
+          ++Calls;
+      CallsInBlock[BB] = Calls;
+    }
+    // For each block, sum calls over all blocks reachable from its
+    // successors (set-based closure; each block counted once).
+    for (BasicBlock *BB : *F) {
+      std::set<const BasicBlock *> Seen;
+      std::vector<BasicBlock *> Work = BB->successors();
+      for (BasicBlock *S : Work)
+        Seen.insert(S);
+      double Total = 0;
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        Total += CallsInBlock[Cur];
+        for (BasicBlock *S : Cur->successors())
+          if (Seen.insert(S).second)
+            Work.push_back(S);
+      }
+      CallsFromSuccessors[BB] = Total;
+    }
+  }
+};
+
+double countInSlice(const std::set<const Instruction *> &Slice,
+                    bool (*Pred)(const Instruction *)) {
+  double N = 0;
+  for (const Instruction *I : Slice)
+    if (Pred(I))
+      ++N;
+  return N;
+}
+
+FeatureVector extractWithContext(const Instruction *I,
+                                 const FunctionContext &Ctx,
+                                 const SliceOptions &SliceOpts) {
+  FeatureVector FV{};
+  const BasicBlock *BB = I->parent();
+  Opcode Op = I->opcode();
+
+  // --- Instruction category (features 1-12).
+  FV[0] = isBinaryOpcode(Op) ? 1 : 0;
+  FV[1] = (Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::FAdd ||
+           Op == Opcode::FSub)
+              ? 1
+              : 0;
+  FV[2] = (Op == Opcode::Mul || Op == Opcode::SDiv || Op == Opcode::FMul ||
+           Op == Opcode::FDiv)
+              ? 1
+              : 0;
+  FV[3] = Op == Opcode::SRem ? 1 : 0;
+  FV[4] = (Op == Opcode::And || Op == Opcode::Or || Op == Opcode::Xor ||
+           Op == Opcode::Shl || Op == Opcode::AShr)
+              ? 1
+              : 0;
+  FV[5] = Op == Opcode::Call ? 1 : 0;
+  FV[6] = isCmpOpcode(Op) ? 1 : 0;
+  FV[7] = 0; // The IR has no atomic read/write instructions.
+  FV[8] = Op == Opcode::Gep ? 1 : 0;
+  FV[9] = Op == Opcode::Alloca ? 1 : 0;
+  FV[10] = isCastOpcode(Op) ? 1 : 0;
+  FV[11] = I->type().bytes();
+
+  // --- Basic-block category (features 13-19).
+  size_t Index = BB->indexOf(I);
+  FV[12] = static_cast<double>(BB->size() - 1 - Index);
+  FV[13] = static_cast<double>(BB->size());
+  std::vector<BasicBlock *> Succs = BB->successors();
+  FV[14] = static_cast<double>(Succs.size());
+  double SuccSizes = 0;
+  for (const BasicBlock *S : Succs)
+    SuccSizes += static_cast<double>(S->size());
+  FV[15] = SuccSizes;
+  FV[16] = Ctx.LI.isInLoop(BB) ? 1 : 0;
+  bool HasPhi = !BB->empty() && BB->front()->opcode() == Opcode::Phi;
+  FV[17] = HasPhi ? 1 : 0;
+  const Instruction *Term = BB->terminator();
+  FV[18] =
+      (Term && (Term->opcode() == Opcode::Br ||
+                Term->opcode() == Opcode::CondBr))
+          ? 1
+          : 0;
+
+  // --- Function category (features 20-24).
+  // Remaining instructions to reach a return: instructions after I in its
+  // block, plus the shortest successor path.
+  double Remaining = static_cast<double>(BB->size() - 1 - Index);
+  if (!Term || Term->opcode() != Opcode::Ret) {
+    double Best = std::numeric_limits<double>::infinity();
+    for (const BasicBlock *S : Succs) {
+      auto It = Ctx.MinInstsToReturn.find(S);
+      if (It != Ctx.MinInstsToReturn.end())
+        Best = std::min(Best, It->second);
+    }
+    if (Best != std::numeric_limits<double>::infinity())
+      Remaining += Best;
+    else
+      Remaining = static_cast<double>(Ctx.NumInsts);
+  }
+  FV[19] = Remaining;
+  FV[20] = static_cast<double>(Ctx.NumInsts);
+  FV[21] = static_cast<double>(Ctx.NumBlocks);
+  // Future function calls: calls after I in this block plus calls in blocks
+  // reachable from here.
+  double FutureCalls = 0;
+  for (size_t K = Index + 1, E = BB->size(); K != E; ++K)
+    if (BB->at(K)->opcode() == Opcode::Call)
+      ++FutureCalls;
+  FutureCalls += Ctx.CallsFromSuccessors.at(BB);
+  FV[22] = FutureCalls;
+  FV[23] = Ctx.F->returnType().isVoid() ? 0 : 1;
+
+  // --- Slice category (features 25-31).
+  std::set<const Instruction *> Slice = forwardSlice(I, SliceOpts);
+  FV[24] = static_cast<double>(Slice.size());
+  FV[25] = countInSlice(
+      Slice, [](const Instruction *X) { return X->opcode() == Opcode::Load; });
+  FV[26] = countInSlice(Slice, [](const Instruction *X) {
+    return X->opcode() == Opcode::Store;
+  });
+  FV[27] = countInSlice(
+      Slice, [](const Instruction *X) { return X->opcode() == Opcode::Call; });
+  FV[28] = countInSlice(
+      Slice, [](const Instruction *X) { return isBinaryOpcode(X->opcode()); });
+  FV[29] = countInSlice(Slice, [](const Instruction *X) {
+    return X->opcode() == Opcode::Alloca;
+  });
+  FV[30] = countInSlice(
+      Slice, [](const Instruction *X) { return X->opcode() == Opcode::Gep; });
+  return FV;
+}
+
+} // namespace
+
+FeatureVector FeatureExtractor::extract(const Instruction *I) const {
+  assert(I->parent() && I->parent()->parent() &&
+         "feature extraction requires an attached instruction");
+  FunctionContext Ctx(*I->parent()->parent());
+  return extractWithContext(I, Ctx, SliceOpts);
+}
+
+std::vector<FeatureVector>
+FeatureExtractor::extractModule(const Module &M) const {
+  std::vector<FeatureVector> Result(M.numInstructions());
+  for (Function *F : M) {
+    if (F->empty())
+      continue;
+    FunctionContext Ctx(*F);
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB) {
+        assert(I->id() < Result.size() && "module numbering is stale");
+        Result[I->id()] = extractWithContext(I, Ctx, SliceOpts);
+      }
+  }
+  return Result;
+}

@@ -1,0 +1,55 @@
+//===- analysis/Features.h - Table-1 instruction features ------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extracts the 31 per-instruction features of the paper's Table 1, in
+/// four categories: instruction properties, basic-block properties,
+/// function properties, and forward-slice properties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_FEATURES_H
+#define IPAS_ANALYSIS_FEATURES_H
+
+#include "analysis/Slicing.h"
+#include "ir/Module.h"
+
+#include <array>
+#include <vector>
+
+namespace ipas {
+
+/// Number of features (Table 1).
+inline constexpr unsigned NumInstructionFeatures = 31;
+
+using FeatureVector = std::array<double, NumInstructionFeatures>;
+
+/// Human-readable feature names, index-aligned with FeatureVector
+/// (index 0 = Table-1 feature 1).
+const char *featureName(unsigned Index);
+
+/// Extracts all feature vectors for a function in one pass, amortizing the
+/// CFG analyses. Results are index-aligned with the function's instruction
+/// layout order.
+class FeatureExtractor {
+public:
+  explicit FeatureExtractor(const SliceOptions &SliceOpts = {})
+      : SliceOpts(SliceOpts) {}
+
+  /// Features of a single instruction.
+  FeatureVector extract(const Instruction *I) const;
+
+  /// Features of every instruction in \p M, indexed by instruction id (the
+  /// module must be renumber()-ed).
+  std::vector<FeatureVector> extractModule(const Module &M) const;
+
+private:
+  SliceOptions SliceOpts;
+};
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_FEATURES_H

@@ -1,0 +1,48 @@
+//===- analysis/LoopInfo.cpp --------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+using namespace ipas;
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
+  // A back edge is T -> H with H dominating T; the loop body is everything
+  // that reaches T without passing through H.
+  for (BasicBlock *T : F) {
+    if (!DT.isReachable(T))
+      continue;
+    for (BasicBlock *H : T->successors()) {
+      if (!DT.dominates(H, T))
+        continue;
+      Loop L;
+      L.Header = H;
+      L.Blocks.insert(H);
+      std::vector<BasicBlock *> Work;
+      if (L.Blocks.insert(T).second)
+        Work.push_back(T);
+      while (!Work.empty()) {
+        BasicBlock *BB = Work.back();
+        Work.pop_back();
+        for (BasicBlock *P : F.predecessors(BB))
+          if (DT.isReachable(P) && L.Blocks.insert(P).second)
+            Work.push_back(P);
+      }
+      Loops.push_back(std::move(L));
+    }
+  }
+  for (const Loop &L : Loops)
+    for (const BasicBlock *BB : L.Blocks)
+      ++Depth[BB];
+}
+
+bool LoopInfo::isInLoop(const BasicBlock *BB) const {
+  return Depth.count(BB) != 0;
+}
+
+unsigned LoopInfo::loopDepth(const BasicBlock *BB) const {
+  auto It = Depth.find(BB);
+  return It == Depth.end() ? 0 : It->second;
+}

@@ -1,0 +1,49 @@
+//===- analysis/LoopInfo.h - Natural loop detection ------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops from back edges (edge T->H where H dominates T). Used for
+/// feature 17 of Table 1 ("basic block is within a loop") and loop depth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_LOOPINFO_H
+#define IPAS_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ipas {
+
+/// One natural loop: header plus body blocks.
+struct Loop {
+  BasicBlock *Header = nullptr;
+  std::set<BasicBlock *> Blocks;
+};
+
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const DominatorTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// True when \p BB belongs to at least one natural loop.
+  bool isInLoop(const BasicBlock *BB) const;
+
+  /// Number of distinct loops containing \p BB (0 = not in a loop).
+  unsigned loopDepth(const BasicBlock *BB) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::map<const BasicBlock *, unsigned> Depth;
+};
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_LOOPINFO_H

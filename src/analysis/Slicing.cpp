@@ -1,0 +1,75 @@
+//===- analysis/Slicing.cpp ---------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Slicing.h"
+
+#include <map>
+#include <vector>
+
+using namespace ipas;
+
+const Value *ipas::pointerRoot(const Value *Ptr) {
+  while (true) {
+    if (const auto *Gep = dyn_cast<GepInst>(Ptr)) {
+      Ptr = Gep->base();
+      continue;
+    }
+    if (isa<AllocaInst>(Ptr) || isa<Argument>(Ptr) || isa<CallInst>(Ptr) ||
+        isa<LoadInst>(Ptr) || isa<PhiInst>(Ptr) || isa<SelectInst>(Ptr))
+      return Ptr;
+    if (isa<ConstantInt>(Ptr))
+      return nullptr;
+    return Ptr;
+  }
+}
+
+std::set<const Instruction *>
+ipas::forwardSlice(const Instruction *Start, const SliceOptions &Opts) {
+  const Function *F = Start->parent()->parent();
+
+  // Pre-index loads by their pointer root for the memory extension.
+  std::map<const Value *, std::vector<const Instruction *>> LoadsByRoot;
+  if (Opts.ThroughMemory)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (auto *Load = dyn_cast<LoadInst>(I))
+          if (const Value *Root = pointerRoot(Load->pointer()))
+            LoadsByRoot[Root].push_back(Load);
+
+  std::set<const Instruction *> Slice;
+  std::vector<const Instruction *> Work;
+
+  auto Enqueue = [&](const Instruction *I) {
+    if (I != Start && Slice.insert(I).second)
+      Work.push_back(I);
+  };
+
+  // Seed with direct users.
+  for (const Instruction *User : Start->users())
+    Enqueue(User);
+
+  while (!Work.empty()) {
+    const Instruction *I = Work.back();
+    Work.pop_back();
+
+    for (const Instruction *User : I->users())
+      Enqueue(User);
+
+    if (!Opts.ThroughMemory)
+      continue;
+    if (const auto *Store = dyn_cast<StoreInst>(I)) {
+      // A tainted store may corrupt the pointed-to object; every load from
+      // the same base object can observe it.
+      if (const Value *Root = pointerRoot(Store->pointer())) {
+        auto It = LoadsByRoot.find(Root);
+        if (It != LoadsByRoot.end())
+          for (const Instruction *Load : It->second)
+            Enqueue(Load);
+      }
+    }
+  }
+  return Slice;
+}

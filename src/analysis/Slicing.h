@@ -1,0 +1,47 @@
+//===- analysis/Slicing.h - Forward program slicing ------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward program slices in the spirit of Weiser's algorithm: starting
+/// from an instruction, the slice is the set of instructions its value can
+/// influence. IPAS uses the forward slice to characterize how far an error
+/// in an instruction can propagate (Table 1, features 25-31).
+///
+/// Data flow is followed through def-use chains and, conservatively,
+/// through memory: when a store's value or address is in the slice, loads
+/// that may read from the same base object (shared pointer root) join the
+/// slice. The base-object approximation is documented in DESIGN.md as a
+/// substitution for full alias analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_SLICING_H
+#define IPAS_ANALYSIS_SLICING_H
+
+#include "ir/Function.h"
+
+#include <set>
+
+namespace ipas {
+
+struct SliceOptions {
+  /// Follow stores to loads via pointer-root matching. Disabling this
+  /// yields pure def-use slices (the ablation in DESIGN.md).
+  bool ThroughMemory = true;
+};
+
+/// Walks GEP chains back to the root object (alloca, argument, or call
+/// result). Returns null when the root is a constant.
+const Value *pointerRoot(const Value *Ptr);
+
+/// Forward slice of \p Start within its function. The slice excludes
+/// \p Start itself.
+std::set<const Instruction *> forwardSlice(const Instruction *Start,
+                                           const SliceOptions &Opts = {});
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_SLICING_H

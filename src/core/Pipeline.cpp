@@ -1,0 +1,277 @@
+//===- core/Pipeline.cpp -------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "frontend/Lexer.h"
+#include "support/Statistics.h"
+
+#include <chrono>
+
+using namespace ipas;
+
+const char *ipas::techniqueName(Technique T) {
+  switch (T) {
+  case Technique::Unprotected:
+    return "unprotected";
+  case Technique::FullDup:
+    return "full-duplication";
+  case Technique::Ipas:
+    return "ipas";
+  case Technique::Baseline:
+    return "baseline";
+  }
+  return "<bad technique>";
+}
+
+PipelineConfig PipelineConfig::defaults() {
+  PipelineConfig Cfg;
+  Cfg.TrainSamples = 400;
+  Cfg.EvalRuns = 200;
+  Cfg.Grid.CSteps = 8;
+  Cfg.Grid.GammaSteps = 8;
+  Cfg.Grid.Folds = 3;
+  Cfg.Grid.MaxIterations = 20000;
+  return Cfg;
+}
+
+PipelineConfig PipelineConfig::paperScale() {
+  PipelineConfig Cfg;
+  Cfg.TrainSamples = 2500;
+  Cfg.EvalRuns = 1024;
+  Cfg.Grid.CSteps = 25;
+  Cfg.Grid.GammaSteps = 20;
+  Cfg.Grid.Folds = 5;
+  Cfg.Grid.MaxIterations = 200000;
+  return Cfg;
+}
+
+const VariantEvaluation *
+WorkloadEvaluation::variant(const std::string &Label) const {
+  for (const VariantEvaluation &V : Variants)
+    if (V.Label == Label)
+      return &V;
+  return nullptr;
+}
+
+const VariantEvaluation *
+WorkloadEvaluation::bestVariant(Technique T) const {
+  const VariantEvaluation *Best = nullptr;
+  double BestDist = 0.0;
+  for (const VariantEvaluation &V : Variants) {
+    if (V.Tech != T)
+      continue;
+    // Ideal point: (slowdown, SOC reduction %) == (1, 100). Paper §6.3.
+    double Dist =
+        euclideanDistance(V.Slowdown, V.SocReductionPct, 1.0, 100.0);
+    if (!Best || Dist < BestDist) {
+      Best = &V;
+      BestDist = Dist;
+    }
+  }
+  return Best;
+}
+
+IpasPipeline::IpasPipeline(const Workload &W, const PipelineConfig &Cfg)
+    : W(W), Cfg(Cfg) {}
+
+IpasPipeline::ProtectedModule
+IpasPipeline::protect(const std::set<unsigned> &Ids) const {
+  ProtectedModule PM;
+  PM.M = compileWorkload(W);
+  PM.Stats = duplicateInstructions(
+      *PM.M, [&Ids](const Instruction &I) { return Ids.count(I.id()) != 0; });
+  PM.M->renumber();
+  PM.Layout = std::make_unique<ModuleLayout>(*PM.M);
+  return PM;
+}
+
+IpasPipeline::ProtectedModule IpasPipeline::protectAll() const {
+  ProtectedModule PM;
+  PM.M = compileWorkload(W);
+  PM.Stats = duplicateAllInstructions(*PM.M);
+  PM.M->renumber();
+  PM.Layout = std::make_unique<ModuleLayout>(*PM.M);
+  return PM;
+}
+
+IpasPipeline::ProtectedModule IpasPipeline::protectNone() const {
+  ProtectedModule PM;
+  PM.M = compileWorkload(W);
+  PM.M->renumber();
+  PM.Layout = std::make_unique<ModuleLayout>(*PM.M);
+  return PM;
+}
+
+CampaignResult IpasPipeline::evaluate(const ProtectedModule &PM,
+                                      uint64_t Seed, int InputLevel) const {
+  WorkloadHarness Harness(W, InputLevel ? InputLevel : Cfg.InputLevel);
+  CampaignConfig CC;
+  CC.NumRuns = Cfg.EvalRuns;
+  CC.HangFactor = Cfg.HangFactor;
+  CC.Seed = Seed;
+  return runCampaign(Harness, *PM.Layout, CC);
+}
+
+TrainingArtifacts IpasPipeline::collectAndTrain(bool RunGridSearch) {
+  auto T0 = std::chrono::steady_clock::now();
+  TrainingArtifacts A;
+
+  // Step 2: data collection on the unprotected code.
+  ProtectedModule Unprot = protectNone();
+  {
+    WorkloadHarness Harness(W, Cfg.InputLevel);
+    CampaignConfig CC;
+    CC.NumRuns = Cfg.TrainSamples;
+    CC.HangFactor = Cfg.HangFactor;
+    CC.Seed = Cfg.Seed ^ 0x7121117;
+    A.Campaign = runCampaign(Harness, *Unprot.Layout, CC);
+  }
+
+  // Instruction features (Table 1) over the unprotected module.
+  FeatureExtractor Extractor;
+  A.Features = Extractor.extractModule(*Unprot.M);
+  {
+    std::vector<std::vector<double>> Raw;
+    Raw.reserve(A.Features.size());
+    for (const FeatureVector &FV : A.Features)
+      Raw.emplace_back(FV.begin(), FV.end());
+    A.Scaler.fit(Raw);
+  }
+
+  // Labeling: IPAS (SOC vs non-SOC) and Baseline (symptom vs non-symptom).
+  for (const InjectionRecord &Rec : A.Campaign.Records) {
+    const FeatureVector &FV = A.Features.at(Rec.InstructionId);
+    std::vector<double> X =
+        A.Scaler.transform(std::vector<double>(FV.begin(), FV.end()));
+    A.IpasData.add(X, Rec.Result == Outcome::SOC ? 1 : -1);
+    A.BaselineData.add(std::move(X), isSymptom(Rec.Result) ? 1 : -1);
+  }
+
+  // Step 3: grid search ranked by F-score (Eq. 1).
+  if (RunGridSearch) {
+    GridSearchConfig GC = Cfg.Grid;
+    GC.Seed = Cfg.Seed ^ 0x62d5;
+    auto TruncateTopN = [&](std::vector<RankedConfig> All) {
+      if (All.size() > Cfg.TopN)
+        All.resize(Cfg.TopN);
+      return All;
+    };
+    A.IpasConfigs = TruncateTopN(gridSearch(A.IpasData, GC));
+    A.BaselineConfigs = TruncateTopN(gridSearch(A.BaselineData, GC));
+  }
+
+  A.TrainSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  return A;
+}
+
+std::set<unsigned>
+IpasPipeline::selectInstructions(Technique T, const SvmParams &P,
+                                 const TrainingArtifacts &A) const {
+  assert((T == Technique::Ipas || T == Technique::Baseline) &&
+         "only classifier techniques select instructions");
+  const Dataset &Data =
+      T == Technique::Ipas ? A.IpasData : A.BaselineData;
+  SvmModel Model = trainCSvc(Data, P);
+
+  std::set<unsigned> Ids;
+  for (unsigned Id = 0; Id != A.Features.size(); ++Id) {
+    const FeatureVector &FV = A.Features[Id];
+    int Pred = Model.predict(
+        A.Scaler.transform(std::vector<double>(FV.begin(), FV.end())));
+    // IPAS protects predicted SOC-generating instructions; the baseline
+    // (Shoestring policy) protects predicted NON-symptom-generating ones.
+    bool Protect = T == Technique::Ipas ? Pred > 0 : Pred < 0;
+    if (Protect)
+      Ids.insert(Id);
+  }
+  return Ids;
+}
+
+WorkloadEvaluation IpasPipeline::run() {
+  WorkloadEvaluation WE;
+  WE.WorkloadName = W.name();
+  WE.LinesOfCode = Lexer::countCodeLines(W.source());
+  {
+    ProtectedModule Unprot = protectNone();
+    WE.StaticInstructions = Unprot.M->numInstructions();
+  }
+
+  WE.Training = collectAndTrain();
+
+  // Reference variants.
+  ProtectedModule Unprot = protectNone();
+  CampaignResult UnprotCampaign = evaluate(Unprot, Cfg.Seed ^ 0xE0);
+  double UnprotSoc = UnprotCampaign.fraction(Outcome::SOC);
+  double UnprotCleanSteps =
+      static_cast<double>(UnprotCampaign.CleanSteps);
+
+  auto MakeVariant = [&](std::string Label, Technique T,
+                         const RankedConfig &RC, ProtectedModule PM,
+                         uint64_t Seed) {
+    VariantEvaluation V;
+    V.Label = std::move(Label);
+    V.Tech = T;
+    V.Config = RC;
+    V.Dup = PM.Stats;
+    V.Campaign = T == Technique::Unprotected
+                     ? UnprotCampaign
+                     : evaluate(PM, Seed);
+    V.Slowdown = static_cast<double>(V.Campaign.CleanSteps) /
+                 UnprotCleanSteps;
+    double Soc = V.Campaign.fraction(Outcome::SOC);
+    V.SocReductionPct =
+        UnprotSoc > 0.0 ? 100.0 * (UnprotSoc - Soc) / UnprotSoc : 0.0;
+    WE.Variants.push_back(std::move(V));
+  };
+
+  MakeVariant("unprotected", Technique::Unprotected, RankedConfig(),
+              std::move(Unprot), 0);
+  MakeVariant("full", Technique::FullDup, RankedConfig(), protectAll(),
+              Cfg.Seed ^ 0xE1);
+
+  // Classification + duplication time (Table 6) covers only the model
+  // application and the transform, not the evaluation campaigns (which in
+  // the paper run as separate parallel fault-injection jobs).
+  auto TimedProtect = [&](Technique T, const RankedConfig &RC) {
+    auto T0 = std::chrono::steady_clock::now();
+    std::set<unsigned> Ids = selectInstructions(T, RC.Params, WE.Training);
+    ProtectedModule PM = protect(Ids);
+    WE.DuplicateSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    return PM;
+  };
+  for (unsigned K = 0; K != WE.Training.IpasConfigs.size(); ++K) {
+    const RankedConfig &RC = WE.Training.IpasConfigs[K];
+    MakeVariant("ipas-" + std::to_string(K + 1), Technique::Ipas, RC,
+                TimedProtect(Technique::Ipas, RC), Cfg.Seed ^ (0x100 + K));
+  }
+  for (unsigned K = 0; K != WE.Training.BaselineConfigs.size(); ++K) {
+    const RankedConfig &RC = WE.Training.BaselineConfigs[K];
+    MakeVariant("baseline-" + std::to_string(K + 1), Technique::Baseline,
+                RC, TimedProtect(Technique::Baseline, RC),
+                Cfg.Seed ^ (0x200 + K));
+  }
+  return WE;
+}
+
+double IpasPipeline::scalabilitySlowdown(const ProtectedModule &PM,
+                                         int NumRanks,
+                                         int InputLevel) const {
+  int Level = InputLevel ? InputLevel : Cfg.InputLevel;
+  auto CleanCycles = [&](const ProtectedModule &Mod) {
+    WorkloadHarness Harness(W, Level, NumRanks);
+    ExecutionRecord R = Harness.execute(*Mod.Layout, nullptr, UINT64_MAX);
+    assert(R.Status == RunStatus::Finished && R.OutputValid &&
+           "clean parallel run failed");
+    return static_cast<double>(R.CriticalPathCycles);
+  };
+  ProtectedModule Unprot = protectNone();
+  return CleanCycles(PM) / CleanCycles(Unprot);
+}

@@ -1,0 +1,115 @@
+//===- fault/Campaign.cpp ------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Campaign.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace ipas;
+
+const char *ipas::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Crash:
+    return "crash";
+  case Outcome::Hang:
+    return "hang";
+  case Outcome::Detected:
+    return "detected";
+  case Outcome::Masked:
+    return "masked";
+  case Outcome::SOC:
+    return "soc";
+  }
+  return "<bad outcome>";
+}
+
+Outcome ipas::classifyOutcome(const ExecutionRecord &R) {
+  switch (R.Status) {
+  case RunStatus::Trapped:
+    return Outcome::Crash;
+  case RunStatus::OutOfSteps:
+    return Outcome::Hang;
+  case RunStatus::Detected:
+    return Outcome::Detected;
+  case RunStatus::Finished:
+    return R.OutputValid ? Outcome::Masked : Outcome::SOC;
+  case RunStatus::Running:
+  case RunStatus::Blocked:
+    break;
+  }
+  assert(false && "execution ended in a non-terminal state");
+  return Outcome::Crash;
+}
+
+CampaignResult ipas::runCampaign(ProgramHarness &Harness,
+                                 const ModuleLayout &Layout,
+                                 const CampaignConfig &Cfg) {
+  CampaignResult Result;
+
+  // Clean profiling run: establishes the golden step counts and checks the
+  // program is correct to begin with.
+  ExecutionRecord Clean = Harness.execute(Layout, nullptr, UINT64_MAX);
+  if (Clean.Status != RunStatus::Finished || !Clean.OutputValid) {
+    std::fprintf(stderr,
+                 "fatal: clean run failed (%s) — refusing to inject faults "
+                 "into a broken program\n",
+                 runStatusName(Clean.Status));
+    std::abort();
+  }
+  Result.CleanSteps = Clean.Steps;
+  Result.CleanValueSteps = Clean.ValueSteps;
+  Result.CleanCriticalPathCycles = Clean.CriticalPathCycles;
+
+  uint64_t Budget = static_cast<uint64_t>(
+      Cfg.HangFactor * static_cast<double>(Clean.Steps));
+  if (Budget < Clean.Steps + 1000)
+    Budget = Clean.Steps + 1000;
+
+  // Draw every plan up front so results do not depend on the thread
+  // count or scheduling.
+  Rng CampaignRng(Cfg.Seed);
+  std::vector<FaultPlan> Plans(Cfg.NumRuns);
+  for (FaultPlan &Plan : Plans) {
+    Plan.TargetValueStep = CampaignRng.nextBelow(Clean.ValueSteps);
+    Plan.BitDraw = CampaignRng.next();
+  }
+
+  Result.Records.assign(Cfg.NumRuns, InjectionRecord());
+  auto RunOne = [&](size_t Run) {
+    const FaultPlan &Plan = Plans[Run];
+    ExecutionRecord R = Harness.execute(Layout, &Plan, Budget);
+    assert((R.Status != RunStatus::Finished || R.FaultInjected) &&
+           "the clean prefix must always reach the target step");
+    InjectionRecord &Rec = Result.Records[Run];
+    Rec.InstructionId = R.FaultedInstructionId;
+    Rec.BitIndex = static_cast<unsigned>(Plan.BitDraw % 64);
+    Rec.TargetValueStep = Plan.TargetValueStep;
+    Rec.Result = classifyOutcome(R);
+  };
+
+  unsigned Threads = Cfg.NumThreads;
+  if (Threads <= 1 || Cfg.NumRuns < 2 * Threads) {
+    for (size_t Run = 0; Run != Cfg.NumRuns; ++Run)
+      RunOne(Run);
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([&, T] {
+        for (size_t Run = T; Run < Cfg.NumRuns; Run += Threads)
+          RunOne(Run);
+      });
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+
+  for (const InjectionRecord &Rec : Result.Records)
+    ++Result.Counts[static_cast<size_t>(Rec.Result)];
+  return Result;
+}

@@ -1,0 +1,89 @@
+//===- fault/Campaign.h - Statistical fault injection (paper §4.1, §5.4) --===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistical fault injection in the FlipIt model: each run targets a
+/// uniformly random dynamic instance of a value-producing instruction and
+/// flips a uniformly random bit of its result value. Sampling dynamic
+/// instances weights static instructions by execution frequency, exactly
+/// like injecting at a random cycle of a real execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FAULT_CAMPAIGN_H
+#define IPAS_FAULT_CAMPAIGN_H
+
+#include "fault/Outcome.h"
+#include "fault/ProgramHarness.h"
+#include "support/Random.h"
+
+#include <array>
+#include <vector>
+
+namespace ipas {
+
+struct CampaignConfig {
+  size_t NumRuns = 1024;
+  /// A run exceeding HangFactor x clean-run steps is classified as a hang
+  /// ("substantially longer execution time", §5.5).
+  double HangFactor = 10.0;
+  uint64_t Seed = 0xf417;
+  /// Injection runs are independent, so campaigns parallelize trivially —
+  /// the paper (§7) suggests exactly this for large codes. Plans are
+  /// drawn up front, so results are deterministic regardless of the
+  /// thread count. Harnesses must be thread-safe for concurrent
+  /// execute() calls once their golden output is captured (the bundled
+  /// WorkloadHarness is).
+  unsigned NumThreads = 1;
+};
+
+/// One injection and its classified outcome.
+struct InjectionRecord {
+  unsigned InstructionId = 0; ///< Static instruction whose result was hit.
+  unsigned BitIndex = 0;      ///< Bit flipped (modulo the result width).
+  uint64_t TargetValueStep = 0;
+  Outcome Result = Outcome::Masked;
+};
+
+struct CampaignResult {
+  uint64_t CleanSteps = 0;
+  uint64_t CleanValueSteps = 0;
+  uint64_t CleanCriticalPathCycles = 0;
+  std::vector<InjectionRecord> Records;
+  std::array<size_t, NumOutcomes> Counts{};
+
+  size_t count(Outcome O) const {
+    return Counts[static_cast<size_t>(O)];
+  }
+  /// Total classified runs (equals Records.size() unless the result was
+  /// restored from a cache, which keeps only the counts).
+  size_t totalRuns() const {
+    size_t Total = 0;
+    for (size_t C : Counts)
+      Total += C;
+    return Total;
+  }
+  double fraction(Outcome O) const {
+    size_t Total = totalRuns();
+    return Total ? static_cast<double>(count(O)) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Classifies a finished/failed execution into the paper's taxonomy.
+Outcome classifyOutcome(const ExecutionRecord &R);
+
+/// Runs a clean profiling run followed by \p Cfg.NumRuns injections.
+/// Aborts (assert) if the clean run itself fails verification — the
+/// program under test must be correct before injecting faults.
+CampaignResult runCampaign(ProgramHarness &Harness,
+                           const ModuleLayout &Layout,
+                           const CampaignConfig &Cfg);
+
+} // namespace ipas
+
+#endif // IPAS_FAULT_CAMPAIGN_H

@@ -1,0 +1,40 @@
+//===- fault/Outcome.h - Fault-injection outcome taxonomy -----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's outcome categories (§5.5): observable symptoms (crash,
+/// hang), faults detected by duplication checks, masked faults, and silent
+/// output corruption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FAULT_OUTCOME_H
+#define IPAS_FAULT_OUTCOME_H
+
+#include <cstdint>
+
+namespace ipas {
+
+enum class Outcome : uint8_t {
+  Crash,    ///< Trap (hardware-exception symptom).
+  Hang,     ///< Step budget exceeded (or MPI deadlock).
+  Detected, ///< Caught by a duplication check.
+  Masked,   ///< Run completed and the verification routine accepted it.
+  SOC,      ///< Run completed but the output was silently corrupted.
+};
+
+inline constexpr unsigned NumOutcomes = 5;
+
+const char *outcomeName(Outcome O);
+
+/// Crash and Hang are the paper's "observable symptom" bucket.
+inline bool isSymptom(Outcome O) {
+  return O == Outcome::Crash || O == Outcome::Hang;
+}
+
+} // namespace ipas
+
+#endif // IPAS_FAULT_OUTCOME_H

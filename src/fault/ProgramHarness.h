@@ -1,0 +1,50 @@
+//===- fault/ProgramHarness.h - Abstract injectable program ---------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign driver is generic over the program under test. A harness
+/// knows how to set a program up (allocate buffers, pass arguments), run
+/// it under a given fault plan, and verify its output — the
+/// application-specific verification routine of the paper's Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FAULT_PROGRAMHARNESS_H
+#define IPAS_FAULT_PROGRAMHARNESS_H
+
+#include "interp/Interpreter.h"
+
+namespace ipas {
+
+/// Result of one (possibly fault-injected) execution.
+struct ExecutionRecord {
+  RunStatus Status = RunStatus::Finished;
+  TrapKind Trap = TrapKind::None;
+  uint64_t Steps = 0;
+  uint64_t ValueSteps = 0;
+  uint64_t CriticalPathCycles = 0; ///< steps + comm cost (parallel runs).
+  bool FaultInjected = false;
+  unsigned FaultedInstructionId = 0;
+  /// Verification verdict; meaningful only when Status == Finished.
+  bool OutputValid = false;
+};
+
+/// One program + input + verification routine, executable under fault
+/// injection. Implementations live in src/workloads.
+class ProgramHarness {
+public:
+  virtual ~ProgramHarness() = default;
+
+  /// Executes once. \p Plan may be null (clean run). \p StepBudget bounds
+  /// execution (hang detection); pass UINT64_MAX for unbounded.
+  virtual ExecutionRecord execute(const ModuleLayout &Layout,
+                                  const FaultPlan *Plan,
+                                  uint64_t StepBudget) = 0;
+};
+
+} // namespace ipas
+
+#endif // IPAS_FAULT_PROGRAMHARNESS_H

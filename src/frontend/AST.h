@@ -1,0 +1,256 @@
+//===- frontend/AST.h - MiniC abstract syntax tree ------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FRONTEND_AST_H
+#define IPAS_FRONTEND_AST_H
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+/// A MiniC type: int / double / void with a pointer depth of 0..2.
+/// `void*` is the type of malloc() and converts implicitly to any pointer.
+struct MCType {
+  enum class Base : uint8_t { Void, Int, Double };
+
+  Base B = Base::Void;
+  unsigned PtrDepth = 0;
+
+  MCType() = default;
+  MCType(Base B, unsigned Depth = 0) : B(B), PtrDepth(Depth) {}
+
+  static MCType intTy() { return MCType(Base::Int); }
+  static MCType doubleTy() { return MCType(Base::Double); }
+  static MCType voidTy() { return MCType(Base::Void); }
+
+  bool isVoid() const { return B == Base::Void && PtrDepth == 0; }
+  bool isInt() const { return B == Base::Int && PtrDepth == 0; }
+  bool isDouble() const { return B == Base::Double && PtrDepth == 0; }
+  bool isArithmetic() const { return isInt() || isDouble(); }
+  bool isPointer() const { return PtrDepth > 0; }
+  bool isVoidPointer() const { return B == Base::Void && PtrDepth == 1; }
+
+  MCType pointee() const {
+    assert(PtrDepth > 0 && "pointee() of non-pointer");
+    return MCType(B, PtrDepth - 1);
+  }
+  MCType pointerTo() const { return MCType(B, PtrDepth + 1); }
+
+  bool operator==(const MCType &O) const {
+    return B == O.B && PtrDepth == O.PtrDepth;
+  }
+  bool operator!=(const MCType &O) const { return !(*this == O); }
+
+  std::string str() const {
+    std::string S = B == Base::Void    ? "void"
+                    : B == Base::Int   ? "int"
+                                       : "double";
+    S.append(PtrDepth, '*');
+    return S;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  VarRef,
+  Binary,
+  Unary,
+  Call,
+  Index,
+  Assign,
+  Cast,
+};
+
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  Expr(ExprKind K, SourceLoc L) : Kind(K), Loc(L) {}
+  virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  int64_t Value;
+  IntLitExpr(int64_t V, SourceLoc L) : Expr(ExprKind::IntLit, L), Value(V) {}
+};
+
+struct FloatLitExpr : Expr {
+  double Value;
+  FloatLitExpr(double V, SourceLoc L)
+      : Expr(ExprKind::FloatLit, L), Value(V) {}
+};
+
+struct VarRefExpr : Expr {
+  std::string Name;
+  VarRefExpr(std::string N, SourceLoc L)
+      : Expr(ExprKind::VarRef, L), Name(std::move(N)) {}
+};
+
+/// Arithmetic, comparison, and logical (&&, ||) binary operators, keyed by
+/// the operator token kind.
+struct BinaryExpr : Expr {
+  TokenKind Op;
+  ExprPtr LHS, RHS;
+  BinaryExpr(TokenKind Op, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(L)),
+        RHS(std::move(R)) {}
+};
+
+/// Unary minus, logical not, and pointer dereference.
+struct UnaryExpr : Expr {
+  TokenKind Op;
+  ExprPtr Sub;
+  UnaryExpr(TokenKind Op, ExprPtr S, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Sub(std::move(S)) {}
+};
+
+struct CallExpr : Expr {
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  CallExpr(std::string C, std::vector<ExprPtr> A, SourceLoc Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(C)), Args(std::move(A)) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr Base, Index;
+  IndexExpr(ExprPtr B, ExprPtr I, SourceLoc Loc)
+      : Expr(ExprKind::Index, Loc), Base(std::move(B)), Index(std::move(I)) {}
+};
+
+/// `target = value` and the compound forms (+=, -=, *=, /=). The target
+/// must be an lvalue: a variable, an index expression, or a dereference.
+struct AssignExpr : Expr {
+  TokenKind Op; ///< Assign or one of the compound-assign kinds.
+  ExprPtr Target, Value;
+  AssignExpr(TokenKind Op, ExprPtr T, ExprPtr V, SourceLoc Loc)
+      : Expr(ExprKind::Assign, Loc), Op(Op), Target(std::move(T)),
+        Value(std::move(V)) {}
+};
+
+/// Explicit `(int)x` / `(double)x` conversion.
+struct CastExpr : Expr {
+  MCType To;
+  ExprPtr Sub;
+  CastExpr(MCType To, ExprPtr S, SourceLoc Loc)
+      : Expr(ExprKind::Cast, Loc), To(To), Sub(std::move(S)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,
+  Expr,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+  Stmt(StmtKind K, SourceLoc L) : Kind(K), Loc(L) {}
+  virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Stmts;
+  explicit BlockStmt(SourceLoc L) : Stmt(StmtKind::Block, L) {}
+};
+
+/// `int x;`, `double v[64];`, `double y = e;`. ArraySlots < 0 means a
+/// scalar; otherwise a fixed-size local array of that many elements.
+struct DeclStmt : Stmt {
+  MCType Ty;
+  std::string Name;
+  int64_t ArraySlots = -1;
+  ExprPtr Init;
+  DeclStmt(MCType Ty, std::string N, SourceLoc L)
+      : Stmt(StmtKind::Decl, L), Ty(Ty), Name(std::move(N)) {}
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  ExprStmt(ExprPtr E, SourceLoc L) : Stmt(StmtKind::Expr, L), E(std::move(E)) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Else may be null.
+  IfStmt(SourceLoc L) : Stmt(StmtKind::If, L) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  WhileStmt(SourceLoc L) : Stmt(StmtKind::While, L) {}
+};
+
+struct ForStmt : Stmt {
+  StmtPtr Init;  ///< Declaration or expression statement; may be null.
+  ExprPtr Cond;  ///< May be null (infinite loop).
+  ExprPtr Inc;   ///< May be null.
+  StmtPtr Body;
+  ForStmt(SourceLoc L) : Stmt(StmtKind::For, L) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< Null for `return;`.
+  ReturnStmt(SourceLoc L) : Stmt(StmtKind::Return, L) {}
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc L) : Stmt(StmtKind::Break, L) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc L) : Stmt(StmtKind::Continue, L) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  MCType Ty;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct FunctionDecl {
+  MCType RetTy;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+};
+
+struct TranslationUnit {
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+} // namespace ipas
+
+#endif // IPAS_FRONTEND_AST_H

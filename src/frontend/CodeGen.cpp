@@ -1,0 +1,769 @@
+//===- frontend/CodeGen.cpp ----------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CodeGen.h"
+
+#include "frontend/Parser.h"
+
+#include <sstream>
+
+using namespace ipas;
+
+Type CodeGen::irType(MCType T) {
+  if (T.isPointer())
+    return types::Ptr;
+  if (T.isInt())
+    return types::I64;
+  if (T.isDouble())
+    return types::F64;
+  return types::Void;
+}
+
+/// MiniC-level view of an intrinsic's IR type.
+static MCType mcTypeForIR(Type T) {
+  if (T.isPtr())
+    return MCType(MCType::Base::Void, 1); // void*, converts to any pointer
+  if (T.isI64())
+    return MCType::intTy();
+  if (T.isF64())
+    return MCType::doubleTy();
+  return MCType::voidTy();
+}
+
+std::unique_ptr<Module> CodeGen::run(const TranslationUnit &TU,
+                                     std::string ModuleName) {
+  M = std::make_unique<Module>(std::move(ModuleName));
+  B = std::make_unique<IRBuilder>(*M);
+  if (!declareFunctions(TU))
+    return nullptr;
+  for (const auto &FD : TU.Functions)
+    genFunction(*FD);
+  if (Diags.hasErrors())
+    return nullptr;
+  return std::move(M);
+}
+
+bool CodeGen::declareFunctions(const TranslationUnit &TU) {
+  for (const auto &FD : TU.Functions) {
+    if (FunctionDecls.count(FD->Name)) {
+      Diags.error(FD->Loc, "redefinition of function '" + FD->Name + "'");
+      return false;
+    }
+    if (intrinsicByName(FD->Name.c_str()) != Intrinsic::None) {
+      Diags.error(FD->Loc,
+                  "function '" + FD->Name + "' shadows a runtime intrinsic");
+      return false;
+    }
+    std::vector<Type> Params;
+    Params.reserve(FD->Params.size());
+    for (const ParamDecl &P : FD->Params)
+      Params.push_back(irType(P.Ty));
+    Function *F =
+        M->createFunction(FD->Name, irType(FD->RetTy), std::move(Params));
+    for (unsigned I = 0; I != F->numArgs(); ++I)
+      F->arg(I)->setName(FD->Params[I].Name);
+    FunctionDecls[FD->Name] = FD.get();
+  }
+  return true;
+}
+
+void CodeGen::startBlock(BasicBlock *BB) { B->setInsertPoint(BB); }
+
+bool CodeGen::blockTerminated() const {
+  BasicBlock *BB = B->insertBlock();
+  return !BB->empty() && BB->back()->isTerminator();
+}
+
+Value *CodeGen::createLocalAlloca(uint64_t Slots, const std::string &Name) {
+  // Allocas are hoisted to the top of the entry block so that a declaration
+  // inside a loop does not grow the frame every iteration.
+  auto *A = new AllocaInst(Slots);
+  A->setName(Name);
+  if (NumEntryAllocas < EntryBlock->size())
+    EntryBlock->insertBefore(EntryBlock->at(NumEntryAllocas),
+                             std::unique_ptr<Instruction>(A));
+  else
+    EntryBlock->append(std::unique_ptr<Instruction>(A));
+  ++NumEntryAllocas;
+  return A;
+}
+
+CodeGen::LocalVar *CodeGen::lookup(const std::string &Name) {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+void CodeGen::genFunction(const FunctionDecl &FD) {
+  CurFn = M->getFunction(FD.Name);
+  CurDecl = &FD;
+  NextBlockId = 0;
+  NumEntryAllocas = 0;
+  Scopes.clear();
+  LoopStack.clear();
+
+  EntryBlock = CurFn->addBlock("entry");
+  startBlock(EntryBlock);
+
+  // Spill parameters into allocas so they are ordinary mutable locals.
+  Scopes.emplace_back();
+  for (unsigned I = 0; I != CurFn->numArgs(); ++I) {
+    const ParamDecl &P = FD.Params[I];
+    Value *Slot = createLocalAlloca(1, P.Name + ".addr");
+    B->createStore(CurFn->arg(I), Slot);
+    if (Scopes.back().count(P.Name))
+      Diags.error(P.Loc, "duplicate parameter name '" + P.Name + "'");
+    Scopes.back()[P.Name] = LocalVar{Slot, P.Ty, /*IsArray=*/false};
+  }
+
+  genBlock(*FD.Body);
+
+  // Close every unterminated block with an implicit return.
+  for (BasicBlock *BB : *CurFn) {
+    if (BB->terminator())
+      continue;
+    startBlock(BB);
+    if (FD.RetTy.isVoid())
+      B->createRet();
+    else if (FD.RetTy.isDouble())
+      B->createRet(B->getFloat(0.0));
+    else if (FD.RetTy.isPointer())
+      B->createRet(B->getNullPtr());
+    else
+      B->createRet(B->getInt64(0));
+  }
+  Scopes.clear();
+}
+
+void CodeGen::genBlock(const BlockStmt &Block) {
+  Scopes.emplace_back();
+  for (const StmtPtr &S : Block.Stmts)
+    genStatement(*S);
+  Scopes.pop_back();
+}
+
+void CodeGen::genStatement(const Stmt &S) {
+  // Statements after a terminator (e.g. code after `return`) land in a
+  // fresh unreachable block, which a later CFG cleanup removes.
+  if (blockTerminated()) {
+    BasicBlock *Dead =
+        CurFn->addBlock("dead." + std::to_string(NextBlockId++));
+    startBlock(Dead);
+  }
+  switch (S.Kind) {
+  case StmtKind::Block:
+    genBlock(static_cast<const BlockStmt &>(S));
+    return;
+  case StmtKind::Decl:
+    genDecl(static_cast<const DeclStmt &>(S));
+    return;
+  case StmtKind::Expr:
+    genExpr(*static_cast<const ExprStmt &>(S).E);
+    return;
+  case StmtKind::If:
+    genIf(static_cast<const IfStmt &>(S));
+    return;
+  case StmtKind::While:
+    genWhile(static_cast<const WhileStmt &>(S));
+    return;
+  case StmtKind::For:
+    genFor(static_cast<const ForStmt &>(S));
+    return;
+  case StmtKind::Return:
+    genReturn(static_cast<const ReturnStmt &>(S));
+    return;
+  case StmtKind::Break:
+    if (LoopStack.empty()) {
+      Diags.error(S.Loc, "'break' outside of a loop");
+      return;
+    }
+    B->createBr(LoopStack.back().BreakTarget);
+    return;
+  case StmtKind::Continue:
+    if (LoopStack.empty()) {
+      Diags.error(S.Loc, "'continue' outside of a loop");
+      return;
+    }
+    B->createBr(LoopStack.back().ContinueTarget);
+    return;
+  }
+}
+
+void CodeGen::genDecl(const DeclStmt &D) {
+  if (Scopes.back().count(D.Name)) {
+    Diags.error(D.Loc, "redeclaration of '" + D.Name + "' in this scope");
+    return;
+  }
+  LocalVar Var;
+  if (D.ArraySlots >= 0) {
+    Var.Slot = createLocalAlloca(static_cast<uint64_t>(D.ArraySlots), D.Name);
+    Var.Ty = D.Ty.pointerTo(); // arrays decay to element pointers
+    Var.IsArray = true;
+  } else {
+    Var.Slot = createLocalAlloca(1, D.Name);
+    Var.Ty = D.Ty;
+    Var.IsArray = false;
+    if (D.Init) {
+      RValue Init = genExpr(*D.Init);
+      if (!Init.valid())
+        return;
+      Init = convert(Init, D.Ty, D.Loc);
+      if (!Init.valid())
+        return;
+      B->createStore(Init.V, Var.Slot);
+    }
+  }
+  Scopes.back()[D.Name] = Var;
+}
+
+void CodeGen::genIf(const IfStmt &S) {
+  Value *Cond = genCondition(*S.Cond);
+  if (!Cond)
+    return;
+  unsigned Id = NextBlockId++;
+  BasicBlock *ThenBB = CurFn->addBlock("if.then." + std::to_string(Id));
+  BasicBlock *MergeBB = CurFn->addBlock("if.end." + std::to_string(Id));
+  BasicBlock *ElseBB =
+      S.Else ? CurFn->addBlock("if.else." + std::to_string(Id)) : MergeBB;
+
+  B->createCondBr(Cond, ThenBB, ElseBB);
+  startBlock(ThenBB);
+  genStatement(*S.Then);
+  if (!blockTerminated())
+    B->createBr(MergeBB);
+  if (S.Else) {
+    startBlock(ElseBB);
+    genStatement(*S.Else);
+    if (!blockTerminated())
+      B->createBr(MergeBB);
+  }
+  startBlock(MergeBB);
+}
+
+void CodeGen::genWhile(const WhileStmt &S) {
+  unsigned Id = NextBlockId++;
+  BasicBlock *CondBB = CurFn->addBlock("while.cond." + std::to_string(Id));
+  BasicBlock *BodyBB = CurFn->addBlock("while.body." + std::to_string(Id));
+  BasicBlock *EndBB = CurFn->addBlock("while.end." + std::to_string(Id));
+
+  B->createBr(CondBB);
+  startBlock(CondBB);
+  Value *Cond = genCondition(*S.Cond);
+  if (!Cond)
+    return;
+  B->createCondBr(Cond, BodyBB, EndBB);
+
+  LoopStack.push_back({EndBB, CondBB});
+  startBlock(BodyBB);
+  genStatement(*S.Body);
+  if (!blockTerminated())
+    B->createBr(CondBB);
+  LoopStack.pop_back();
+
+  startBlock(EndBB);
+}
+
+void CodeGen::genFor(const ForStmt &S) {
+  Scopes.emplace_back(); // for-init declarations scope to the loop
+  if (S.Init)
+    genStatement(*S.Init);
+
+  unsigned Id = NextBlockId++;
+  BasicBlock *CondBB = CurFn->addBlock("for.cond." + std::to_string(Id));
+  BasicBlock *BodyBB = CurFn->addBlock("for.body." + std::to_string(Id));
+  BasicBlock *IncBB = CurFn->addBlock("for.inc." + std::to_string(Id));
+  BasicBlock *EndBB = CurFn->addBlock("for.end." + std::to_string(Id));
+
+  B->createBr(CondBB);
+  startBlock(CondBB);
+  if (S.Cond) {
+    Value *Cond = genCondition(*S.Cond);
+    if (!Cond) {
+      Scopes.pop_back();
+      return;
+    }
+    B->createCondBr(Cond, BodyBB, EndBB);
+  } else {
+    B->createBr(BodyBB);
+  }
+
+  LoopStack.push_back({EndBB, IncBB});
+  startBlock(BodyBB);
+  genStatement(*S.Body);
+  if (!blockTerminated())
+    B->createBr(IncBB);
+  LoopStack.pop_back();
+
+  startBlock(IncBB);
+  if (S.Inc)
+    genExpr(*S.Inc);
+  B->createBr(CondBB);
+
+  startBlock(EndBB);
+  Scopes.pop_back();
+}
+
+void CodeGen::genReturn(const ReturnStmt &S) {
+  if (CurDecl->RetTy.isVoid()) {
+    if (S.Value) {
+      Diags.error(S.Loc, "void function cannot return a value");
+      return;
+    }
+    B->createRet();
+    return;
+  }
+  if (!S.Value) {
+    Diags.error(S.Loc, "non-void function must return a value");
+    return;
+  }
+  RValue V = genExpr(*S.Value);
+  if (!V.valid())
+    return;
+  V = convert(V, CurDecl->RetTy, S.Loc);
+  if (!V.valid())
+    return;
+  B->createRet(V.V);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+CodeGen::RValue CodeGen::convert(RValue V, MCType To, SourceLoc Loc) {
+  if (!V.valid())
+    return {};
+  if (V.Ty == To)
+    return V;
+  if (V.Ty.isInt() && To.isDouble())
+    return {B->createSIToFP(V.V), To};
+  if (V.Ty.isDouble() && To.isInt())
+    return {B->createFPToSI(V.V), To};
+  // void* converts to and from any pointer (both are IR ptr).
+  if (V.Ty.isPointer() && To.isPointer() &&
+      (V.Ty.isVoidPointer() || To.isVoidPointer()))
+    return {V.V, To};
+  Diags.error(Loc, "cannot convert '" + V.Ty.str() + "' to '" + To.str() +
+                       "'");
+  return {};
+}
+
+bool CodeGen::usualArithmetic(RValue &L, RValue &R, SourceLoc Loc) {
+  if (!L.Ty.isArithmetic() || !R.Ty.isArithmetic()) {
+    Diags.error(Loc, "operands must be arithmetic (got '" + L.Ty.str() +
+                         "' and '" + R.Ty.str() + "')");
+    return false;
+  }
+  if (L.Ty.isDouble() && R.Ty.isInt())
+    R = convert(R, MCType::doubleTy(), Loc);
+  else if (L.Ty.isInt() && R.Ty.isDouble())
+    L = convert(L, MCType::doubleTy(), Loc);
+  return L.valid() && R.valid();
+}
+
+Value *CodeGen::toBool(RValue V, SourceLoc Loc) {
+  if (!V.valid())
+    return nullptr;
+  if (V.Ty.isInt())
+    return B->createICmp(CmpPredicate::NE, V.V, B->getInt64(0));
+  if (V.Ty.isDouble())
+    return B->createFCmp(CmpPredicate::NE, V.V, B->getFloat(0.0));
+  if (V.Ty.isPointer())
+    return B->createICmp(CmpPredicate::NE, V.V, B->getNullPtr());
+  Diags.error(Loc, "value of type '" + V.Ty.str() + "' is not a condition");
+  return nullptr;
+}
+
+static bool isComparisonTok(TokenKind K) {
+  return K == TokenKind::Less || K == TokenKind::LessEqual ||
+         K == TokenKind::Greater || K == TokenKind::GreaterEqual ||
+         K == TokenKind::EqualEqual || K == TokenKind::NotEqual;
+}
+
+static CmpPredicate predicateFor(TokenKind K) {
+  switch (K) {
+  case TokenKind::Less:
+    return CmpPredicate::LT;
+  case TokenKind::LessEqual:
+    return CmpPredicate::LE;
+  case TokenKind::Greater:
+    return CmpPredicate::GT;
+  case TokenKind::GreaterEqual:
+    return CmpPredicate::GE;
+  case TokenKind::EqualEqual:
+    return CmpPredicate::EQ;
+  default:
+    return CmpPredicate::NE;
+  }
+}
+
+Value *CodeGen::genCondition(const Expr &E) {
+  // Fold `a < b` style conditions straight to an i1 without the
+  // int-materialization round trip.
+  if (E.Kind == ExprKind::Binary) {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    if (isComparisonTok(Bin.Op)) {
+      RValue L = genExpr(*Bin.LHS);
+      RValue R = genExpr(*Bin.RHS);
+      if (!L.valid() || !R.valid())
+        return nullptr;
+      if (L.Ty.isPointer() && R.Ty.isPointer())
+        return B->createICmp(predicateFor(Bin.Op), L.V, R.V);
+      if (!usualArithmetic(L, R, Bin.Loc))
+        return nullptr;
+      if (L.Ty.isDouble())
+        return B->createFCmp(predicateFor(Bin.Op), L.V, R.V);
+      return B->createICmp(predicateFor(Bin.Op), L.V, R.V);
+    }
+  }
+  RValue V = genExpr(E);
+  if (!V.valid())
+    return nullptr;
+  return toBool(V, E.Loc);
+}
+
+CodeGen::RValue CodeGen::genExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return {B->getInt64(static_cast<const IntLitExpr &>(E).Value),
+            MCType::intTy()};
+  case ExprKind::FloatLit:
+    return {B->getFloat(static_cast<const FloatLitExpr &>(E).Value),
+            MCType::doubleTy()};
+  case ExprKind::VarRef: {
+    const auto &Ref = static_cast<const VarRefExpr &>(E);
+    LocalVar *Var = lookup(Ref.Name);
+    if (!Var) {
+      Diags.error(E.Loc, "use of undeclared identifier '" + Ref.Name + "'");
+      return {};
+    }
+    if (Var->IsArray)
+      return {Var->Slot, Var->Ty}; // array decays to pointer
+    return {B->createLoad(irType(Var->Ty), Var->Slot, Ref.Name), Var->Ty};
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    if (Bin.Op == TokenKind::AmpAmp || Bin.Op == TokenKind::PipePipe)
+      return genShortCircuit(Bin);
+    return genBinary(Bin);
+  }
+  case ExprKind::Unary:
+    return genUnary(static_cast<const UnaryExpr &>(E));
+  case ExprKind::Call:
+    return genCall(static_cast<const CallExpr &>(E));
+  case ExprKind::Index: {
+    LValue LV = genLValue(E);
+    if (!LV.valid())
+      return {};
+    return {B->createLoad(irType(LV.Ty), LV.Addr), LV.Ty};
+  }
+  case ExprKind::Assign:
+    return genAssign(static_cast<const AssignExpr &>(E));
+  case ExprKind::Cast: {
+    const auto &Cast = static_cast<const CastExpr &>(E);
+    RValue V = genExpr(*Cast.Sub);
+    return convert(V, Cast.To, Cast.Loc);
+  }
+  }
+  return {};
+}
+
+CodeGen::RValue CodeGen::genBinary(const BinaryExpr &E) {
+  RValue L = genExpr(*E.LHS);
+  RValue R = genExpr(*E.RHS);
+  if (!L.valid() || !R.valid())
+    return {};
+
+  // Pointer arithmetic: ptr + int, ptr - int (element-granular like C).
+  if (L.Ty.isPointer() &&
+      (E.Op == TokenKind::Plus || E.Op == TokenKind::Minus)) {
+    R = convert(R, MCType::intTy(), E.Loc);
+    if (!R.valid())
+      return {};
+    Value *Index = R.V;
+    if (E.Op == TokenKind::Minus)
+      Index = B->createSub(B->getInt64(0), Index);
+    return {B->createGep(L.V, Index), L.Ty};
+  }
+
+  if (isComparisonTok(E.Op)) {
+    Value *Cond = nullptr;
+    if (L.Ty.isPointer() && R.Ty.isPointer()) {
+      Cond = B->createICmp(predicateFor(E.Op), L.V, R.V);
+    } else {
+      if (!usualArithmetic(L, R, E.Loc))
+        return {};
+      Cond = L.Ty.isDouble() ? B->createFCmp(predicateFor(E.Op), L.V, R.V)
+                             : B->createICmp(predicateFor(E.Op), L.V, R.V);
+    }
+    return {B->createZExt(Cond), MCType::intTy()};
+  }
+
+  if (!usualArithmetic(L, R, E.Loc))
+    return {};
+  bool IsFP = L.Ty.isDouble();
+  Opcode Op;
+  switch (E.Op) {
+  case TokenKind::Plus:
+    Op = IsFP ? Opcode::FAdd : Opcode::Add;
+    break;
+  case TokenKind::Minus:
+    Op = IsFP ? Opcode::FSub : Opcode::Sub;
+    break;
+  case TokenKind::Star:
+    Op = IsFP ? Opcode::FMul : Opcode::Mul;
+    break;
+  case TokenKind::Slash:
+    Op = IsFP ? Opcode::FDiv : Opcode::SDiv;
+    break;
+  case TokenKind::Percent:
+    if (IsFP) {
+      Diags.error(E.Loc, "'%' requires integer operands");
+      return {};
+    }
+    Op = Opcode::SRem;
+    break;
+  default:
+    Diags.error(E.Loc, "unsupported binary operator");
+    return {};
+  }
+  return {B->createBinary(Op, L.V, R.V), L.Ty};
+}
+
+CodeGen::RValue CodeGen::genShortCircuit(const BinaryExpr &E) {
+  bool IsAnd = E.Op == TokenKind::AmpAmp;
+  unsigned Id = NextBlockId++;
+  const char *Tag = IsAnd ? "and" : "or";
+  BasicBlock *RhsBB =
+      CurFn->addBlock(std::string(Tag) + ".rhs." + std::to_string(Id));
+  BasicBlock *MergeBB =
+      CurFn->addBlock(std::string(Tag) + ".end." + std::to_string(Id));
+
+  Value *Tmp = createLocalAlloca(1, std::string(Tag) + ".tmp");
+  B->createStore(B->getInt64(IsAnd ? 0 : 1), Tmp);
+
+  Value *LCond = genCondition(*E.LHS);
+  if (!LCond)
+    return {};
+  if (IsAnd)
+    B->createCondBr(LCond, RhsBB, MergeBB);
+  else
+    B->createCondBr(LCond, MergeBB, RhsBB);
+
+  startBlock(RhsBB);
+  Value *RCond = genCondition(*E.RHS);
+  if (!RCond)
+    return {};
+  B->createStore(B->createZExt(RCond), Tmp);
+  B->createBr(MergeBB);
+
+  startBlock(MergeBB);
+  return {B->createLoad(types::I64, Tmp), MCType::intTy()};
+}
+
+CodeGen::RValue CodeGen::genUnary(const UnaryExpr &E) {
+  switch (E.Op) {
+  case TokenKind::Minus: {
+    RValue V = genExpr(*E.Sub);
+    if (!V.valid())
+      return {};
+    if (V.Ty.isDouble())
+      return {B->createFSub(B->getFloat(0.0), V.V), V.Ty};
+    if (V.Ty.isInt())
+      return {B->createSub(B->getInt64(0), V.V), V.Ty};
+    Diags.error(E.Loc, "cannot negate a value of type '" + V.Ty.str() + "'");
+    return {};
+  }
+  case TokenKind::Bang: {
+    Value *Cond = genCondition(*E.Sub);
+    if (!Cond)
+      return {};
+    Value *Flipped = B->createBinary(Opcode::Xor, Cond, B->getBool(true));
+    return {B->createZExt(Flipped), MCType::intTy()};
+  }
+  case TokenKind::Star: {
+    LValue LV = genLValue(E);
+    if (!LV.valid())
+      return {};
+    return {B->createLoad(irType(LV.Ty), LV.Addr), LV.Ty};
+  }
+  default:
+    Diags.error(E.Loc, "unsupported unary operator");
+    return {};
+  }
+}
+
+CodeGen::LValue CodeGen::genLValue(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::VarRef: {
+    const auto &Ref = static_cast<const VarRefExpr &>(E);
+    LocalVar *Var = lookup(Ref.Name);
+    if (!Var) {
+      Diags.error(E.Loc, "use of undeclared identifier '" + Ref.Name + "'");
+      return {};
+    }
+    if (Var->IsArray) {
+      Diags.error(E.Loc, "cannot assign to array '" + Ref.Name + "'");
+      return {};
+    }
+    return {Var->Slot, Var->Ty};
+  }
+  case ExprKind::Index: {
+    const auto &Idx = static_cast<const IndexExpr &>(E);
+    RValue Base = genExpr(*Idx.Base);
+    if (!Base.valid())
+      return {};
+    if (!Base.Ty.isPointer()) {
+      Diags.error(E.Loc, "subscripted value is not a pointer (type '" +
+                             Base.Ty.str() + "')");
+      return {};
+    }
+    if (Base.Ty.isVoidPointer()) {
+      Diags.error(E.Loc, "cannot index a void pointer");
+      return {};
+    }
+    RValue Index = genExpr(*Idx.Index);
+    if (!Index.valid())
+      return {};
+    Index = convert(Index, MCType::intTy(), E.Loc);
+    if (!Index.valid())
+      return {};
+    return {B->createGep(Base.V, Index.V), Base.Ty.pointee()};
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    if (U.Op != TokenKind::Star)
+      break;
+    RValue Ptr = genExpr(*U.Sub);
+    if (!Ptr.valid())
+      return {};
+    if (!Ptr.Ty.isPointer() || Ptr.Ty.isVoidPointer()) {
+      Diags.error(E.Loc, "cannot dereference a value of type '" +
+                             Ptr.Ty.str() + "'");
+      return {};
+    }
+    return {Ptr.V, Ptr.Ty.pointee()};
+  }
+  default:
+    break;
+  }
+  Diags.error(E.Loc, "expression is not assignable");
+  return {};
+}
+
+CodeGen::RValue CodeGen::genAssign(const AssignExpr &E) {
+  LValue Target = genLValue(*E.Target);
+  if (!Target.valid())
+    return {};
+  RValue Val = genExpr(*E.Value);
+  if (!Val.valid())
+    return {};
+
+  if (E.Op != TokenKind::Assign) {
+    // Compound assignment: load, combine, store.
+    RValue Cur{B->createLoad(irType(Target.Ty), Target.Addr), Target.Ty};
+    if (!usualArithmetic(Cur, Val, E.Loc))
+      return {};
+    bool IsFP = Cur.Ty.isDouble();
+    Opcode Op;
+    switch (E.Op) {
+    case TokenKind::PlusAssign:
+      Op = IsFP ? Opcode::FAdd : Opcode::Add;
+      break;
+    case TokenKind::MinusAssign:
+      Op = IsFP ? Opcode::FSub : Opcode::Sub;
+      break;
+    case TokenKind::StarAssign:
+      Op = IsFP ? Opcode::FMul : Opcode::Mul;
+      break;
+    default:
+      Op = IsFP ? Opcode::FDiv : Opcode::SDiv;
+      break;
+    }
+    Val = RValue{B->createBinary(Op, Cur.V, Val.V), Cur.Ty};
+  }
+
+  Val = convert(Val, Target.Ty, E.Loc);
+  if (!Val.valid())
+    return {};
+  B->createStore(Val.V, Target.Addr);
+  return Val;
+}
+
+CodeGen::RValue CodeGen::genCall(const CallExpr &E) {
+  // Collect argument rvalues first.
+  std::vector<RValue> Args;
+  Args.reserve(E.Args.size());
+  for (const ExprPtr &A : E.Args) {
+    RValue V = genExpr(*A);
+    if (!V.valid())
+      return {};
+    Args.push_back(V);
+  }
+
+  // Runtime intrinsic?
+  Intrinsic I = intrinsicByName(E.Callee.c_str());
+  if (I != Intrinsic::None) {
+    IntrinsicSignature Sig = intrinsicSignature(I);
+    if (Sig.Params.size() != Args.size()) {
+      std::ostringstream OS;
+      OS << "intrinsic '" << E.Callee << "' expects " << Sig.Params.size()
+         << " argument(s), got " << Args.size();
+      Diags.error(E.Loc, OS.str());
+      return {};
+    }
+    std::vector<Value *> IrArgs;
+    for (size_t K = 0; K != Args.size(); ++K) {
+      RValue Conv = convert(Args[K], mcTypeForIR(Sig.Params[K]), E.Loc);
+      if (!Conv.valid())
+        return {};
+      IrArgs.push_back(Conv.V);
+    }
+    Value *Result = B->createIntrinsicCall(I, std::move(IrArgs), E.Callee);
+    return {Result, mcTypeForIR(Sig.Result)};
+  }
+
+  // User function.
+  auto FnIt = FunctionDecls.find(E.Callee);
+  if (FnIt == FunctionDecls.end()) {
+    Diags.error(E.Loc, "call to undeclared function '" + E.Callee + "'");
+    return {};
+  }
+  const FunctionDecl *FD = FnIt->second;
+  if (FD->Params.size() != Args.size()) {
+    std::ostringstream OS;
+    OS << "function '" << E.Callee << "' expects " << FD->Params.size()
+       << " argument(s), got " << Args.size();
+    Diags.error(E.Loc, OS.str());
+    return {};
+  }
+  std::vector<Value *> IrArgs;
+  for (size_t K = 0; K != Args.size(); ++K) {
+    RValue Conv = convert(Args[K], FD->Params[K].Ty, E.Loc);
+    if (!Conv.valid())
+      return {};
+    IrArgs.push_back(Conv.V);
+  }
+  Function *Callee = M->getFunction(E.Callee);
+  Value *Result = B->createCall(Callee, std::move(IrArgs), E.Callee);
+  return {Result, FD->RetTy};
+}
+
+std::unique_ptr<Module> ipas::compileMiniC(const std::string &Source,
+                                           const std::string &ModuleName,
+                                           Diagnostics &Diags) {
+  Lexer Lex(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(Lex.tokens(), Diags);
+  std::unique_ptr<TranslationUnit> TU = P.parseTranslationUnit();
+  if (Diags.hasErrors() || !TU)
+    return nullptr;
+  CodeGen CG(Diags);
+  return CG.run(*TU, ModuleName);
+}

@@ -1,0 +1,119 @@
+//===- frontend/CodeGen.h - MiniC AST -> IPAS IR ---------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FRONTEND_CODEGEN_H
+#define IPAS_FRONTEND_CODEGEN_H
+
+#include "frontend/AST.h"
+#include "ir/IRBuilder.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace ipas {
+
+/// Lowers a type-checked MiniC translation unit to IR. Locals are lowered
+/// to entry-block allocas (classic C-frontend style); the mem2reg pass
+/// subsequently promotes them to SSA registers with phis.
+class CodeGen {
+public:
+  explicit CodeGen(Diagnostics &Diags) : Diags(Diags) {}
+
+  /// Returns the module, or null if any diagnostics were produced.
+  std::unique_ptr<Module> run(const TranslationUnit &TU,
+                              std::string ModuleName);
+
+private:
+  /// A typed rvalue: the IR value plus its MiniC type.
+  struct RValue {
+    Value *V = nullptr;
+    MCType Ty;
+    bool valid() const { return V != nullptr; }
+  };
+
+  /// A typed lvalue: the address plus the pointee's MiniC type.
+  struct LValue {
+    Value *Addr = nullptr;
+    MCType Ty;
+    bool valid() const { return Addr != nullptr; }
+  };
+
+  struct LocalVar {
+    Value *Slot = nullptr; ///< Alloca holding the variable (arrays: base).
+    MCType Ty;             ///< Variable type (arrays: pointer-to-element).
+    bool IsArray = false;
+  };
+
+  struct LoopContext {
+    BasicBlock *BreakTarget;
+    BasicBlock *ContinueTarget;
+  };
+
+  // Declaration pass.
+  bool declareFunctions(const TranslationUnit &TU);
+  static Type irType(MCType T);
+
+  // Function body generation.
+  void genFunction(const FunctionDecl &FD);
+  void genStatement(const Stmt &S);
+  void genBlock(const BlockStmt &B);
+  void genDecl(const DeclStmt &D);
+  void genIf(const IfStmt &S);
+  void genWhile(const WhileStmt &S);
+  void genFor(const ForStmt &S);
+  void genReturn(const ReturnStmt &S);
+
+  // Expression generation.
+  RValue genExpr(const Expr &E);
+  RValue genBinary(const BinaryExpr &E);
+  RValue genUnary(const UnaryExpr &E);
+  RValue genCall(const CallExpr &E);
+  RValue genAssign(const AssignExpr &E);
+  RValue genShortCircuit(const BinaryExpr &E);
+  LValue genLValue(const Expr &E);
+
+  // Helpers.
+  Value *createLocalAlloca(uint64_t Slots, const std::string &Name);
+  /// Converts \p V to \p To, inserting casts; reports and returns invalid
+  /// on an impossible conversion.
+  RValue convert(RValue V, MCType To, SourceLoc Loc);
+  /// Usual arithmetic conversions for a binary operator.
+  bool usualArithmetic(RValue &L, RValue &R, SourceLoc Loc);
+  /// Truthiness of a value as an i1 (for branches).
+  Value *toBool(RValue V, SourceLoc Loc);
+  /// Generates an i1 condition for \p E, folding comparisons directly.
+  Value *genCondition(const Expr &E);
+  LocalVar *lookup(const std::string &Name);
+  bool blockTerminated() const;
+  void startBlock(BasicBlock *BB);
+
+  Diagnostics &Diags;
+  std::unique_ptr<Module> M;
+  std::unique_ptr<IRBuilder> B;
+
+  // Per-function state.
+  Function *CurFn = nullptr;
+  const FunctionDecl *CurDecl = nullptr;
+  BasicBlock *EntryBlock = nullptr;
+  size_t NumEntryAllocas = 0;
+  std::vector<std::map<std::string, LocalVar>> Scopes;
+  std::vector<LoopContext> LoopStack;
+  unsigned NextBlockId = 0;
+
+  // Module-level state.
+  std::map<std::string, const FunctionDecl *> FunctionDecls;
+};
+
+/// Convenience driver: lex + parse + codegen. Returns null on error (see
+/// \p Diags for messages).
+std::unique_ptr<Module> compileMiniC(const std::string &Source,
+                                     const std::string &ModuleName,
+                                     Diagnostics &Diags);
+
+} // namespace ipas
+
+#endif // IPAS_FRONTEND_CODEGEN_H

@@ -1,0 +1,27 @@
+//===- frontend/Diagnostics.cpp ----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Diagnostics.h"
+
+#include <sstream>
+
+using namespace ipas;
+
+void Diagnostics::error(SourceLoc Loc, const std::string &Message) {
+  std::ostringstream OS;
+  OS << "line " << Loc.Line << ":" << Loc.Column << ": error: " << Message;
+  Errors.push_back(OS.str());
+}
+
+std::string Diagnostics::summary() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I != Errors.size(); ++I) {
+    if (I)
+      OS << "\n";
+    OS << Errors[I];
+  }
+  return OS.str();
+}

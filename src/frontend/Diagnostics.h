@@ -1,0 +1,38 @@
+//===- frontend/Diagnostics.h - Error reporting for MiniC -----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FRONTEND_DIAGNOSTICS_H
+#define IPAS_FRONTEND_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+/// A position in a MiniC source buffer (1-based).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Collects compile errors; the driver decides how to surface them.
+class Diagnostics {
+public:
+  void error(SourceLoc Loc, const std::string &Message);
+
+  bool hasErrors() const { return !Errors.empty(); }
+  const std::vector<std::string> &errors() const { return Errors; }
+
+  /// All errors joined with newlines (empty when none).
+  std::string summary() const;
+
+private:
+  std::vector<std::string> Errors;
+};
+
+} // namespace ipas
+
+#endif // IPAS_FRONTEND_DIAGNOSTICS_H

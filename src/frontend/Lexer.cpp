@@ -1,0 +1,404 @@
+//===- frontend/Lexer.cpp ------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace ipas;
+
+const char *ipas::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::End:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::SlashAssign:
+    return "'/='";
+  }
+  return "<bad token>";
+}
+
+Lexer::Lexer(const std::string &Source, Diagnostics &Diags) {
+  lex(Source, Diags);
+}
+
+void Lexer::lex(const std::string &Source, Diagnostics &Diags) {
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},       {"double", TokenKind::KwDouble},
+      {"void", TokenKind::KwVoid},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},       {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},   {"continue", TokenKind::KwContinue},
+  };
+
+  size_t I = 0;
+  size_t N = Source.size();
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  auto Advance = [&]() {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return I + Ahead < N ? Source[I + Ahead] : '\0';
+  };
+  auto Push = [&](TokenKind K, SourceLoc Loc) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    SourceLoc Loc{Line, Col};
+
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Peek(1) == '/') {
+      while (I < N && Source[I] != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (I < N && !(Source[I] == '*' && Peek(1) == '/'))
+        Advance();
+      if (I < N) {
+        Advance();
+        Advance();
+      } else {
+        Diags.error(Loc, "unterminated block comment");
+      }
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_')) {
+        Text.push_back(Source[I]);
+        Advance();
+      }
+      auto KwIt = Keywords.find(Text);
+      Token T;
+      T.Loc = Loc;
+      if (KwIt != Keywords.end()) {
+        T.Kind = KwIt->second;
+      } else {
+        T.Kind = TokenKind::Identifier;
+        T.Text = std::move(Text);
+      }
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Numbers. A literal is floating point when it has a '.' or exponent.
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      std::string Text;
+      bool IsFloat = false;
+      while (I < N) {
+        char D = Source[I];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          Text.push_back(D);
+          Advance();
+        } else if (D == '.') {
+          IsFloat = true;
+          Text.push_back(D);
+          Advance();
+        } else if (D == 'e' || D == 'E') {
+          IsFloat = true;
+          Text.push_back(D);
+          Advance();
+          if (I < N && (Source[I] == '+' || Source[I] == '-')) {
+            Text.push_back(Source[I]);
+            Advance();
+          }
+        } else {
+          break;
+        }
+      }
+      Token T;
+      T.Loc = Loc;
+      if (IsFloat) {
+        T.Kind = TokenKind::FloatLiteral;
+        T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      } else {
+        T.Kind = TokenKind::IntLiteral;
+        T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+      }
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Operators and punctuation.
+    switch (C) {
+    case '(':
+      Push(TokenKind::LParen, Loc);
+      Advance();
+      break;
+    case ')':
+      Push(TokenKind::RParen, Loc);
+      Advance();
+      break;
+    case '{':
+      Push(TokenKind::LBrace, Loc);
+      Advance();
+      break;
+    case '}':
+      Push(TokenKind::RBrace, Loc);
+      Advance();
+      break;
+    case '[':
+      Push(TokenKind::LBracket, Loc);
+      Advance();
+      break;
+    case ']':
+      Push(TokenKind::RBracket, Loc);
+      Advance();
+      break;
+    case ',':
+      Push(TokenKind::Comma, Loc);
+      Advance();
+      break;
+    case ';':
+      Push(TokenKind::Semicolon, Loc);
+      Advance();
+      break;
+    case '+':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::PlusAssign, Loc);
+      } else {
+        Push(TokenKind::Plus, Loc);
+      }
+      break;
+    case '-':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::MinusAssign, Loc);
+      } else {
+        Push(TokenKind::Minus, Loc);
+      }
+      break;
+    case '*':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::StarAssign, Loc);
+      } else {
+        Push(TokenKind::Star, Loc);
+      }
+      break;
+    case '/':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::SlashAssign, Loc);
+      } else {
+        Push(TokenKind::Slash, Loc);
+      }
+      break;
+    case '%':
+      Push(TokenKind::Percent, Loc);
+      Advance();
+      break;
+    case '<':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::LessEqual, Loc);
+      } else {
+        Push(TokenKind::Less, Loc);
+      }
+      break;
+    case '>':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::GreaterEqual, Loc);
+      } else {
+        Push(TokenKind::Greater, Loc);
+      }
+      break;
+    case '=':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::EqualEqual, Loc);
+      } else {
+        Push(TokenKind::Assign, Loc);
+      }
+      break;
+    case '!':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        Push(TokenKind::NotEqual, Loc);
+      } else {
+        Push(TokenKind::Bang, Loc);
+      }
+      break;
+    case '&':
+      Advance();
+      if (Peek() == '&') {
+        Advance();
+        Push(TokenKind::AmpAmp, Loc);
+      } else {
+        Diags.error(Loc, "stray '&' (MiniC has no address-of or bitwise &)");
+      }
+      break;
+    case '|':
+      Advance();
+      if (Peek() == '|') {
+        Advance();
+        Push(TokenKind::PipePipe, Loc);
+      } else {
+        Diags.error(Loc, "stray '|' (MiniC has no bitwise |)");
+      }
+      break;
+    default: {
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      Advance();
+      break;
+    }
+    }
+  }
+
+  Token End;
+  End.Kind = TokenKind::End;
+  End.Loc = SourceLoc{Line, Col};
+  Tokens.push_back(std::move(End));
+}
+
+size_t Lexer::countCodeLines(const std::string &Source) {
+  size_t Count = 0;
+  bool InBlockComment = false;
+  size_t I = 0;
+  size_t N = Source.size();
+  while (I < N) {
+    bool LineHasCode = false;
+    while (I < N && Source[I] != '\n') {
+      char C = Source[I];
+      if (InBlockComment) {
+        if (C == '*' && I + 1 < N && Source[I + 1] == '/') {
+          InBlockComment = false;
+          ++I;
+        }
+        ++I;
+        continue;
+      }
+      if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+        while (I < N && Source[I] != '\n')
+          ++I;
+        break;
+      }
+      if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+        InBlockComment = true;
+        I += 2;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(C)))
+        LineHasCode = true;
+      ++I;
+    }
+    if (LineHasCode)
+      ++Count;
+    if (I < N)
+      ++I; // skip '\n'
+  }
+  return Count;
+}

@@ -1,0 +1,102 @@
+//===- frontend/Lexer.h - MiniC tokenizer ----------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC is the small C subset the five paper workloads are written in:
+/// int/double scalars, one- and two-level pointers, fixed-size local
+/// arrays, the usual control flow, and calls into the runtime intrinsics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FRONTEND_LEXER_H
+#define IPAS_FRONTEND_LEXER_H
+
+#include "frontend/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+enum class TokenKind : uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  NotEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+};
+
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  SourceLoc Loc;
+  std::string Text;   ///< Identifier spelling.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+};
+
+/// Tokenizes a whole buffer up front. Unknown characters produce
+/// diagnostics and are skipped.
+class Lexer {
+public:
+  Lexer(const std::string &Source, Diagnostics &Diags);
+
+  /// Token stream ending in a single End token.
+  const std::vector<Token> &tokens() const { return Tokens; }
+
+  /// Counts non-blank, non-comment source lines — the "lines of code"
+  /// metric reported in the paper's Table 3.
+  static size_t countCodeLines(const std::string &Source);
+
+private:
+  void lex(const std::string &Source, Diagnostics &Diags);
+
+  std::vector<Token> Tokens;
+};
+
+} // namespace ipas
+
+#endif // IPAS_FRONTEND_LEXER_H

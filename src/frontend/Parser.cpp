@@ -1,0 +1,543 @@
+//===- frontend/Parser.cpp -----------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+using namespace ipas;
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // The End token.
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind K) {
+  if (current().Kind != K)
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (match(K))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(K) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::synchronizeToStatement() {
+  // Error recovery: skip until a statement boundary.
+  while (current().Kind != TokenKind::End) {
+    if (match(TokenKind::Semicolon))
+      return;
+    if (current().Kind == TokenKind::RBrace)
+      return;
+    consume();
+  }
+}
+
+bool Parser::atTypeStart() const {
+  TokenKind K = current().Kind;
+  return K == TokenKind::KwInt || K == TokenKind::KwDouble ||
+         K == TokenKind::KwVoid;
+}
+
+bool Parser::parseType(MCType &Out) {
+  MCType::Base B;
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+    B = MCType::Base::Int;
+    break;
+  case TokenKind::KwDouble:
+    B = MCType::Base::Double;
+    break;
+  case TokenKind::KwVoid:
+    B = MCType::Base::Void;
+    break;
+  default:
+    Diags.error(current().Loc, "expected a type");
+    return false;
+  }
+  consume();
+  unsigned Depth = 0;
+  while (match(TokenKind::Star))
+    ++Depth;
+  if (Depth > 2) {
+    Diags.error(current().Loc, "MiniC supports at most two pointer levels");
+    return false;
+  }
+  Out = MCType(B, Depth);
+  return true;
+}
+
+std::unique_ptr<TranslationUnit> Parser::parseTranslationUnit() {
+  auto TU = std::make_unique<TranslationUnit>();
+  while (current().Kind != TokenKind::End) {
+    auto Fn = parseFunction();
+    if (!Fn) {
+      // Unrecoverable at top level: skip one token and try again.
+      if (current().Kind != TokenKind::End)
+        consume();
+      continue;
+    }
+    TU->Functions.push_back(std::move(Fn));
+  }
+  return TU;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction() {
+  auto Fn = std::make_unique<FunctionDecl>();
+  Fn->Loc = current().Loc;
+  if (!parseType(Fn->RetTy))
+    return nullptr;
+  if (current().Kind != TokenKind::Identifier) {
+    Diags.error(current().Loc, "expected function name");
+    return nullptr;
+  }
+  Fn->Name = consume().Text;
+  if (!expect(TokenKind::LParen, "after function name"))
+    return nullptr;
+  if (!match(TokenKind::RParen)) {
+    do {
+      ParamDecl P;
+      P.Loc = current().Loc;
+      if (!parseType(P.Ty))
+        return nullptr;
+      if (current().Kind != TokenKind::Identifier) {
+        Diags.error(current().Loc, "expected parameter name");
+        return nullptr;
+      }
+      P.Name = consume().Text;
+      if (P.Ty.isVoid()) {
+        Diags.error(P.Loc, "parameter cannot have type void");
+        return nullptr;
+      }
+      Fn->Params.push_back(std::move(P));
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "after parameter list"))
+      return nullptr;
+  }
+  if (current().Kind != TokenKind::LBrace) {
+    Diags.error(current().Loc, "expected function body");
+    return nullptr;
+  }
+  Fn->Body = parseBlock();
+  return Fn->Body ? std::move(Fn) : nullptr;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  auto Block = std::make_unique<BlockStmt>(current().Loc);
+  if (!expect(TokenKind::LBrace, "to open a block"))
+    return nullptr;
+  while (current().Kind != TokenKind::RBrace &&
+         current().Kind != TokenKind::End) {
+    StmtPtr S = parseStatement();
+    if (S)
+      Block->Stmts.push_back(std::move(S));
+    else
+      synchronizeToStatement();
+  }
+  expect(TokenKind::RBrace, "to close a block");
+  return Block;
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwInt:
+  case TokenKind::KwDouble:
+  case TokenKind::KwVoid:
+    return parseDeclStatement();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = consume().Loc;
+    if (!expect(TokenKind::Semicolon, "after 'break'"))
+      return nullptr;
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = consume().Loc;
+    if (!expect(TokenKind::Semicolon, "after 'continue'"))
+      return nullptr;
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokenKind::Semicolon:
+    consume(); // Empty statement.
+    return std::make_unique<BlockStmt>(current().Loc);
+  default: {
+    SourceLoc Loc = current().Loc;
+    ExprPtr E = parseExpression();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::Semicolon, "after expression"))
+      return nullptr;
+    return std::make_unique<ExprStmt>(std::move(E), Loc);
+  }
+  }
+}
+
+StmtPtr Parser::parseDeclStatement() {
+  SourceLoc Loc = current().Loc;
+  MCType Ty;
+  if (!parseType(Ty))
+    return nullptr;
+  if (Ty.isVoid()) {
+    Diags.error(Loc, "cannot declare a variable of type void");
+    return nullptr;
+  }
+  if (current().Kind != TokenKind::Identifier) {
+    Diags.error(current().Loc, "expected variable name");
+    return nullptr;
+  }
+  auto Decl = std::make_unique<DeclStmt>(Ty, consume().Text, Loc);
+  if (match(TokenKind::LBracket)) {
+    if (current().Kind != TokenKind::IntLiteral) {
+      Diags.error(current().Loc, "array size must be an integer literal");
+      return nullptr;
+    }
+    Decl->ArraySlots = consume().IntValue;
+    if (Decl->ArraySlots <= 0) {
+      Diags.error(Loc, "array size must be positive");
+      return nullptr;
+    }
+    if (!expect(TokenKind::RBracket, "after array size"))
+      return nullptr;
+  }
+  if (match(TokenKind::Assign)) {
+    if (Decl->ArraySlots >= 0) {
+      Diags.error(Loc, "array declarations cannot have initializers");
+      return nullptr;
+    }
+    Decl->Init = parseExpression();
+    if (!Decl->Init)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semicolon, "after declaration"))
+    return nullptr;
+  return Decl;
+}
+
+StmtPtr Parser::parseIf() {
+  auto S = std::make_unique<IfStmt>(consume().Loc);
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  S->Cond = parseExpression();
+  if (!S->Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "after if condition"))
+    return nullptr;
+  S->Then = parseStatement();
+  if (!S->Then)
+    return nullptr;
+  if (match(TokenKind::KwElse)) {
+    S->Else = parseStatement();
+    if (!S->Else)
+      return nullptr;
+  }
+  return S;
+}
+
+StmtPtr Parser::parseWhile() {
+  auto S = std::make_unique<WhileStmt>(consume().Loc);
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  S->Cond = parseExpression();
+  if (!S->Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "after while condition"))
+    return nullptr;
+  S->Body = parseStatement();
+  return S->Body ? std::move(S) : nullptr;
+}
+
+StmtPtr Parser::parseFor() {
+  auto S = std::make_unique<ForStmt>(consume().Loc);
+  if (!expect(TokenKind::LParen, "after 'for'"))
+    return nullptr;
+  // Init clause: declaration, expression, or empty.
+  if (!match(TokenKind::Semicolon)) {
+    if (atTypeStart()) {
+      S->Init = parseDeclStatement(); // consumes the ';'
+      if (!S->Init)
+        return nullptr;
+    } else {
+      SourceLoc Loc = current().Loc;
+      ExprPtr E = parseExpression();
+      if (!E)
+        return nullptr;
+      S->Init = std::make_unique<ExprStmt>(std::move(E), Loc);
+      if (!expect(TokenKind::Semicolon, "after for-init"))
+        return nullptr;
+    }
+  }
+  // Condition clause.
+  if (!match(TokenKind::Semicolon)) {
+    S->Cond = parseExpression();
+    if (!S->Cond)
+      return nullptr;
+    if (!expect(TokenKind::Semicolon, "after for-condition"))
+      return nullptr;
+  }
+  // Increment clause.
+  if (current().Kind != TokenKind::RParen) {
+    S->Inc = parseExpression();
+    if (!S->Inc)
+      return nullptr;
+  }
+  if (!expect(TokenKind::RParen, "after for clauses"))
+    return nullptr;
+  S->Body = parseStatement();
+  return S->Body ? std::move(S) : nullptr;
+}
+
+StmtPtr Parser::parseReturn() {
+  auto S = std::make_unique<ReturnStmt>(consume().Loc);
+  if (!match(TokenKind::Semicolon)) {
+    S->Value = parseExpression();
+    if (!S->Value)
+      return nullptr;
+    if (!expect(TokenKind::Semicolon, "after return value"))
+      return nullptr;
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpression() { return parseAssignment(); }
+
+static bool isAssignOp(TokenKind K) {
+  return K == TokenKind::Assign || K == TokenKind::PlusAssign ||
+         K == TokenKind::MinusAssign || K == TokenKind::StarAssign ||
+         K == TokenKind::SlashAssign;
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr LHS = parseLogicalOr();
+  if (!LHS)
+    return nullptr;
+  if (!isAssignOp(current().Kind))
+    return LHS;
+  Token OpTok = consume();
+  // Assignment targets are validated during codegen (lvalue check); the
+  // grammar accepts any expression on the left.
+  ExprPtr RHS = parseAssignment(); // right associative
+  if (!RHS)
+    return nullptr;
+  return std::make_unique<AssignExpr>(OpTok.Kind, std::move(LHS),
+                                      std::move(RHS), OpTok.Loc);
+}
+
+ExprPtr Parser::parseLogicalOr() {
+  ExprPtr LHS = parseLogicalAnd();
+  if (!LHS)
+    return nullptr;
+  while (current().Kind == TokenKind::PipePipe) {
+    Token OpTok = consume();
+    ExprPtr RHS = parseLogicalAnd();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(OpTok.Kind, std::move(LHS),
+                                       std::move(RHS), OpTok.Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseLogicalAnd() {
+  ExprPtr LHS = parseEquality();
+  if (!LHS)
+    return nullptr;
+  while (current().Kind == TokenKind::AmpAmp) {
+    Token OpTok = consume();
+    ExprPtr RHS = parseEquality();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(OpTok.Kind, std::move(LHS),
+                                       std::move(RHS), OpTok.Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr LHS = parseRelational();
+  if (!LHS)
+    return nullptr;
+  while (current().Kind == TokenKind::EqualEqual ||
+         current().Kind == TokenKind::NotEqual) {
+    Token OpTok = consume();
+    ExprPtr RHS = parseRelational();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(OpTok.Kind, std::move(LHS),
+                                       std::move(RHS), OpTok.Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr LHS = parseAdditive();
+  if (!LHS)
+    return nullptr;
+  while (current().Kind == TokenKind::Less ||
+         current().Kind == TokenKind::LessEqual ||
+         current().Kind == TokenKind::Greater ||
+         current().Kind == TokenKind::GreaterEqual) {
+    Token OpTok = consume();
+    ExprPtr RHS = parseAdditive();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(OpTok.Kind, std::move(LHS),
+                                       std::move(RHS), OpTok.Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr LHS = parseMultiplicative();
+  if (!LHS)
+    return nullptr;
+  while (current().Kind == TokenKind::Plus ||
+         current().Kind == TokenKind::Minus) {
+    Token OpTok = consume();
+    ExprPtr RHS = parseMultiplicative();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(OpTok.Kind, std::move(LHS),
+                                       std::move(RHS), OpTok.Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  while (current().Kind == TokenKind::Star ||
+         current().Kind == TokenKind::Slash ||
+         current().Kind == TokenKind::Percent) {
+    Token OpTok = consume();
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(OpTok.Kind, std::move(LHS),
+                                       std::move(RHS), OpTok.Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseUnary() {
+  // Explicit cast: '(' type ')' unary
+  if (current().Kind == TokenKind::LParen &&
+      (peek(1).Kind == TokenKind::KwInt ||
+       peek(1).Kind == TokenKind::KwDouble ||
+       peek(1).Kind == TokenKind::KwVoid)) {
+    SourceLoc Loc = consume().Loc; // '('
+    MCType Ty;
+    if (!parseType(Ty))
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after cast type"))
+      return nullptr;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<CastExpr>(Ty, std::move(Sub), Loc);
+  }
+  if (current().Kind == TokenKind::Minus ||
+      current().Kind == TokenKind::Bang ||
+      current().Kind == TokenKind::Star) {
+    Token OpTok = consume();
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(OpTok.Kind, std::move(Sub),
+                                       OpTok.Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (true) {
+    if (current().Kind == TokenKind::LBracket) {
+      SourceLoc Loc = consume().Loc;
+      ExprPtr Index = parseExpression();
+      if (!Index)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "after index"))
+        return nullptr;
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Loc);
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return std::make_unique<IntLitExpr>(T.IntValue, T.Loc);
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    return std::make_unique<FloatLitExpr>(T.FloatValue, T.Loc);
+  }
+  case TokenKind::Identifier: {
+    Token T = consume();
+    if (current().Kind != TokenKind::LParen)
+      return std::make_unique<VarRefExpr>(T.Text, T.Loc);
+    consume(); // '('
+    std::vector<ExprPtr> Args;
+    if (current().Kind != TokenKind::RParen) {
+      do {
+        ExprPtr Arg = parseExpression();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(std::move(Arg));
+      } while (match(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "after call arguments"))
+      return nullptr;
+    return std::make_unique<CallExpr>(T.Text, std::move(Args), T.Loc);
+  }
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr E = parseExpression();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  default:
+    Diags.error(current().Loc, std::string("expected an expression, found ") +
+                                   tokenKindName(current().Kind));
+    return nullptr;
+  }
+}

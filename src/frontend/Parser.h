@@ -1,0 +1,71 @@
+//===- frontend/Parser.h - Recursive-descent MiniC parser -----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FRONTEND_PARSER_H
+#define IPAS_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+#include <memory>
+
+namespace ipas {
+
+/// Parses a whole MiniC translation unit. On error, diagnostics are
+/// recorded and a (possibly partial) AST is returned; callers must check
+/// Diagnostics::hasErrors() before using the result.
+class Parser {
+public:
+  Parser(const std::vector<Token> &Tokens, Diagnostics &Diags)
+      : Tokens(Tokens), Diags(Diags) {}
+
+  std::unique_ptr<TranslationUnit> parseTranslationUnit();
+
+private:
+  // Token stream helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool match(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void synchronizeToStatement();
+
+  // Types.
+  bool atTypeStart() const;
+  bool parseType(MCType &Out);
+
+  // Declarations.
+  std::unique_ptr<FunctionDecl> parseFunction();
+
+  // Statements.
+  StmtPtr parseStatement();
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseDeclStatement();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpression(); // assignment level
+  ExprPtr parseAssignment();
+  ExprPtr parseLogicalOr();
+  ExprPtr parseLogicalAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  const std::vector<Token> &Tokens;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace ipas
+
+#endif // IPAS_FRONTEND_PARSER_H

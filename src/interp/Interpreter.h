@@ -1,0 +1,192 @@
+//===- interp/Interpreter.h - IR interpreter with fault injection ---------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, non-recursive IR interpreter. It is the "hardware" of
+/// this reproduction: the fault injector flips a bit in the result of a
+/// chosen dynamic instruction instance, exactly the FlipIt fault model the
+/// paper uses. Traps (out-of-bounds access, division by zero, stack
+/// overflow) model the observable symptoms of §5.5; `soc.check`
+/// mismatches raise Detected; exceeding a step budget models hangs.
+///
+/// MPI intrinsics execute inline for single-rank contexts; in multi-rank
+/// jobs they suspend the context (RunStatus::Blocked) until the SimMPI
+/// scheduler resolves the collective across ranks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_INTERP_INTERPRETER_H
+#define IPAS_INTERP_INTERPRETER_H
+
+#include "interp/Memory.h"
+#include "interp/RuntimeValue.h"
+#include "ir/Module.h"
+#include "support/Random.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ipas {
+
+enum class RunStatus : uint8_t {
+  Running,    ///< More work to do (internal).
+  Blocked,    ///< Waiting on an MPI rendezvous (multi-rank only).
+  Finished,   ///< Entry function returned.
+  Trapped,    ///< Hardware-exception symptom (see TrapKind).
+  Detected,   ///< A duplication check caught a mismatch.
+  OutOfSteps, ///< Step budget exceeded (hang symptom when budgeted so).
+};
+
+enum class TrapKind : uint8_t {
+  None,
+  OutOfBounds,
+  DivByZero,
+  OutOfMemory,
+  StackOverflow,
+  CallDepthExceeded,
+  MpiMismatch, ///< Ranks disagreed on the collective being executed.
+};
+
+const char *runStatusName(RunStatus S);
+const char *trapKindName(TrapKind K);
+
+/// One planned bit flip: when the running context is about to commit the
+/// result of its TargetValueStep-th value-producing dynamic instruction,
+/// bit (BitDraw % width) of that result is flipped.
+struct FaultPlan {
+  uint64_t TargetValueStep = UINT64_MAX;
+  uint64_t BitDraw = 0;
+};
+
+/// Dense slot assignment for fast operand access: per function, arguments
+/// occupy slots [0, numArgs) and each value-producing instruction gets one
+/// slot. Built once per module (after Module::renumber()) and shared by
+/// every context executing it.
+class ModuleLayout {
+public:
+  explicit ModuleLayout(const Module &M);
+
+  const Module &module() const { return M; }
+  unsigned slotOfInstruction(const Instruction *I) const {
+    assert(I->id() < InstSlot.size() && "stale module numbering");
+    return InstSlot[I->id()];
+  }
+  unsigned frameSlots(const Function *F) const {
+    return FrameSlots.at(F);
+  }
+  size_t numInstructions() const { return InstSlot.size(); }
+
+private:
+  const Module &M;
+  std::vector<unsigned> InstSlot;
+  std::map<const Function *, unsigned> FrameSlots;
+};
+
+/// A pending blocking MPI operation (multi-rank mode).
+struct PendingMpi {
+  Intrinsic Op = Intrinsic::None;
+  RtValue Args[3];
+};
+
+/// One executing "process" (MPI rank): memory, call stack, and counters.
+class ExecutionContext {
+public:
+  struct Config {
+    Memory::Config Mem;
+    unsigned MaxCallDepth = 512;
+    int Rank = 0;
+    int NumRanks = 1;
+    uint64_t WorkloadRngSeed = 0x1234abcd;
+  };
+
+  ExecutionContext(const ModuleLayout &Layout, const Config &Cfg);
+  explicit ExecutionContext(const ModuleLayout &Layout);
+
+  /// Prepares execution of \p Entry with the given arguments. The context
+  /// must be freshly constructed.
+  void start(const Function *Entry, const std::vector<RtValue> &Args);
+
+  /// Runs until finish/trap/detect/block, or until the *cumulative* step
+  /// count reaches \p MaxSteps (returns OutOfSteps; resumable).
+  RunStatus run(uint64_t MaxSteps);
+
+  RunStatus status() const { return Status; }
+  TrapKind trap() const { return Trap; }
+  RtValue returnValue() const { return ReturnValue; }
+
+  uint64_t steps() const { return Steps; }
+  uint64_t valueSteps() const { return ValueSteps; }
+  uint64_t commCost() const { return CommCost; }
+  void addCommCost(uint64_t C) { CommCost += C; }
+
+  Memory &memory() { return Mem; }
+  const Memory &memory() const { return Mem; }
+
+  /// Host-side heap allocation for I/O buffers shared with the program.
+  uint64_t hostAlloc(uint64_t Slots) { return Mem.mallocBytes(Slots * 8); }
+
+  // Fault injection.
+  void setFaultPlan(const FaultPlan &P) { Plan = P; }
+  bool faultWasInjected() const { return FaultInjected; }
+  unsigned faultedInstructionId() const { return FaultedId; }
+
+  // Multi-rank MPI interface (used by the SimMPI scheduler).
+  int rank() const { return Cfg.Rank; }
+  int numRanks() const { return Cfg.NumRanks; }
+  const PendingMpi &pending() const { return Pending; }
+  /// Completes the blocked MPI call with \p Result and resumes.
+  void completePendingCall(RtValue Result);
+  /// Aborts the blocked MPI call with a trap (e.g. bad buffer).
+  void failPending(TrapKind K);
+
+private:
+  struct Frame {
+    const Function *Fn = nullptr;
+    const BasicBlock *Block = nullptr;
+    const BasicBlock *PrevBlock = nullptr;
+    size_t InstIdx = 0;
+    uint64_t SavedStackPtr = 0;
+    std::vector<RtValue> Slots;
+  };
+
+  RtValue eval(const Frame &F, const Value *V) const;
+  /// Commits a value-producing instruction's result, applying the fault
+  /// plan when this is the targeted dynamic instance.
+  void writeResult(Frame &F, const Instruction *I, RtValue V);
+  void stepOnce();
+  void execPhis(Frame &F);
+  void execCall(Frame &F, const CallInst *Call);
+  void execIntrinsic(Frame &F, const CallInst *Call);
+  bool execMpiSingleRank(Frame &F, const CallInst *Call);
+  void raiseTrap(TrapKind K) {
+    Trap = K;
+    Status = RunStatus::Trapped;
+  }
+  void pushFrame(const Function *Fn, std::vector<RtValue> Args);
+  void returnFromFrame(bool HasValue, RtValue V);
+
+  const ModuleLayout &Layout;
+  Config Cfg;
+  Memory Mem;
+  std::vector<Frame> CallStack;
+  RunStatus Status = RunStatus::Running;
+  TrapKind Trap = TrapKind::None;
+  RtValue ReturnValue;
+  uint64_t Steps = 0;
+  uint64_t ValueSteps = 0;
+  uint64_t CommCost = 0;
+  Rng WorkloadRng;
+  FaultPlan Plan;
+  bool FaultInjected = false;
+  unsigned FaultedId = 0;
+  PendingMpi Pending;
+  bool Started = false;
+};
+
+} // namespace ipas
+
+#endif // IPAS_INTERP_INTERPRETER_H

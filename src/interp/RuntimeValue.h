@@ -1,0 +1,71 @@
+//===- interp/RuntimeValue.h - Raw 64-bit runtime values ------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every runtime value is a raw 64-bit word interpreted through the
+/// instruction's static type. Keeping the representation raw makes the
+/// fault model exact: a soft error flips one bit of the word, whatever the
+/// type — mantissa, exponent, sign, address bit, or boolean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_INTERP_RUNTIMEVALUE_H
+#define IPAS_INTERP_RUNTIMEVALUE_H
+
+#include "ir/Type.h"
+
+#include <cstring>
+
+namespace ipas {
+
+struct RtValue {
+  uint64_t Bits = 0;
+
+  static RtValue fromI64(int64_t V) {
+    RtValue R;
+    R.Bits = static_cast<uint64_t>(V);
+    return R;
+  }
+  static RtValue fromF64(double V) {
+    RtValue R;
+    std::memcpy(&R.Bits, &V, sizeof(V));
+    return R;
+  }
+  static RtValue fromBool(bool V) {
+    RtValue R;
+    R.Bits = V ? 1 : 0;
+    return R;
+  }
+  static RtValue fromPtr(uint64_t Addr) {
+    RtValue R;
+    R.Bits = Addr;
+    return R;
+  }
+
+  int64_t asI64() const { return static_cast<int64_t>(Bits); }
+  double asF64() const {
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  bool asBool() const { return (Bits & 1) != 0; }
+  uint64_t asPtr() const { return Bits; }
+
+  /// Flips bit \p Index within the live width of \p T (masking the value to
+  /// that width first, so an i1 stays a 1-bit quantity).
+  void flipBit(unsigned Index, Type T) {
+    unsigned Width = T.bits();
+    if (Width == 0)
+      return;
+    Bits ^= (1ULL << (Index % Width));
+    if (Width < 64)
+      Bits &= (1ULL << Width) - 1;
+  }
+};
+
+} // namespace ipas
+
+#endif // IPAS_INTERP_RUNTIMEVALUE_H

@@ -1,0 +1,81 @@
+//===- ir/BasicBlock.cpp ----------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include <algorithm>
+
+using namespace ipas;
+
+BasicBlock::~BasicBlock() {
+  // Break operand references first so destruction order is irrelevant.
+  for (auto &I : Insts)
+    I->dropAllReferences();
+}
+
+size_t BasicBlock::indexOf(const Instruction *I) const {
+  for (size_t Idx = 0, E = Insts.size(); Idx != E; ++Idx)
+    if (Insts[Idx].get() == I)
+      return Idx;
+  assert(false && "instruction not in this block");
+  return Insts.size();
+}
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(I && "appending null instruction");
+  I->setParent(this);
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *Pos,
+                                      std::unique_ptr<Instruction> I) {
+  assert(I && "inserting null instruction");
+  size_t Idx = indexOf(Pos);
+  I->setParent(this);
+  Instruction *Raw = I.get();
+  Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Idx), std::move(I));
+  return Raw;
+}
+
+Instruction *BasicBlock::insertAfter(Instruction *Pos,
+                                     std::unique_ptr<Instruction> I) {
+  assert(I && "inserting null instruction");
+  size_t Idx = indexOf(Pos) + 1;
+  I->setParent(this);
+  Instruction *Raw = I.get();
+  Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Idx), std::move(I));
+  return Raw;
+}
+
+void BasicBlock::erase(Instruction *I) {
+  assert(!I->hasUses() && "erasing an instruction that still has users");
+  size_t Idx = indexOf(I);
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(Instruction *I) {
+  size_t Idx = indexOf(I);
+  std::unique_ptr<Instruction> Owned = std::move(Insts[Idx]);
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+  Owned->setParent(nullptr);
+  return Owned;
+}
+
+Instruction *BasicBlock::terminator() const {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  if (Instruction *Term = terminator())
+    for (unsigned I = 0, E = Term->numSuccessors(); I != E; ++I)
+      Result.push_back(Term->successor(I));
+  return Result;
+}

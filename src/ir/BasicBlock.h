@@ -1,0 +1,108 @@
+//===- ir/BasicBlock.h - Straight-line instruction sequence --------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BasicBlock owns an ordered list of instructions ending in exactly one
+/// terminator. The IPAS duplication pass confines duplication paths to a
+/// single basic block (paper §4.4), so the block is also the unit of
+/// protection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_BASICBLOCK_H
+#define IPAS_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+class Function;
+
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+  ~BasicBlock();
+
+  const std::string &name() const { return Name; }
+  Function *parent() const { return Parent; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// Instruction at position \p I.
+  Instruction *at(size_t I) const {
+    assert(I < Insts.size() && "instruction index out of range");
+    return Insts[I].get();
+  }
+
+  /// Position of \p I within the block; asserts when not found.
+  size_t indexOf(const Instruction *I) const;
+
+  /// Appends \p I (takes ownership) and returns the raw pointer.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I before \p Pos (takes ownership); returns the raw pointer.
+  Instruction *insertBefore(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I immediately after \p Pos.
+  Instruction *insertAfter(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Removes and destroys \p I. The instruction must have no remaining
+  /// users.
+  void erase(Instruction *I);
+
+  /// Removes \p I from the block without destroying it.
+  std::unique_ptr<Instruction> remove(Instruction *I);
+
+  /// Last instruction when it is a terminator; null otherwise.
+  Instruction *terminator() const;
+
+  /// Successor blocks, derived from the terminator.
+  std::vector<BasicBlock *> successors() const;
+
+  /// Range-style iteration over raw instruction pointers.
+  class InstIterator {
+  public:
+    InstIterator(const std::vector<std::unique_ptr<Instruction>> *V,
+                 size_t I)
+        : Vec(V), Idx(I) {}
+    Instruction *operator*() const { return (*Vec)[Idx].get(); }
+    InstIterator &operator++() {
+      ++Idx;
+      return *this;
+    }
+    bool operator!=(const InstIterator &O) const { return Idx != O.Idx; }
+    bool operator==(const InstIterator &O) const { return Idx == O.Idx; }
+
+  private:
+    const std::vector<std::unique_ptr<Instruction>> *Vec;
+    size_t Idx;
+  };
+
+  InstIterator begin() const { return InstIterator(&Insts, 0); }
+  InstIterator end() const { return InstIterator(&Insts, Insts.size()); }
+
+private:
+  friend class Function;
+
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace ipas
+
+#endif // IPAS_IR_BASICBLOCK_H

@@ -1,0 +1,80 @@
+//===- ir/Function.cpp -------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace ipas;
+
+Function::Function(std::string Name, Type ReturnType,
+                   std::vector<Type> ParamTypes, Module *Parent)
+    : Name(std::move(Name)), RetTy(ReturnType), Parent(Parent) {
+  Args.reserve(ParamTypes.size());
+  for (unsigned I = 0, E = static_cast<unsigned>(ParamTypes.size()); I != E;
+       ++I)
+    Args.push_back(std::make_unique<Argument>(ParamTypes[I], this, I));
+}
+
+Function::~Function() {
+  // Instructions across blocks can reference each other (and arguments);
+  // break all references before any destructor runs.
+  for (auto &BB : Blocks)
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+}
+
+BasicBlock *Function::addBlock(std::string BlockName) {
+  Blocks.push_back(
+      std::make_unique<BasicBlock>(std::move(BlockName), this));
+  return Blocks.back().get();
+}
+
+size_t Function::indexOf(const BasicBlock *BB) const {
+  for (size_t I = 0, E = Blocks.size(); I != E; ++I)
+    if (Blocks[I].get() == BB)
+      return I;
+  assert(false && "block not in this function");
+  return Blocks.size();
+}
+
+std::vector<BasicBlock *> Function::predecessors(const BasicBlock *BB) const {
+  std::vector<BasicBlock *> Preds;
+  for (const auto &Candidate : Blocks) {
+    Instruction *Term = Candidate->terminator();
+    if (!Term)
+      continue;
+    for (unsigned I = 0, E = Term->numSuccessors(); I != E; ++I)
+      if (Term->successor(I) == BB) {
+        Preds.push_back(Candidate.get());
+        break;
+      }
+  }
+  return Preds;
+}
+
+void Function::eraseBlocks(const std::vector<BasicBlock *> &ToErase) {
+  if (ToErase.empty())
+    return;
+  for (BasicBlock *BB : ToErase) {
+    assert(BB != entry() && "cannot erase the entry block");
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+  }
+  auto ShouldErase = [&](const std::unique_ptr<BasicBlock> &BB) {
+    return std::find(ToErase.begin(), ToErase.end(), BB.get()) !=
+           ToErase.end();
+  };
+  Blocks.erase(std::remove_if(Blocks.begin(), Blocks.end(), ShouldErase),
+               Blocks.end());
+}
+
+size_t Function::numInstructions() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}

@@ -1,0 +1,99 @@
+//===- ir/Function.h - IR function ----------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_FUNCTION_H
+#define IPAS_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+class Module;
+
+/// A function: typed arguments plus a CFG of basic blocks. The first block
+/// is the entry block.
+class Function {
+public:
+  Function(std::string Name, Type ReturnType, std::vector<Type> ParamTypes,
+           Module *Parent);
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+  ~Function();
+
+  const std::string &name() const { return Name; }
+  Type returnType() const { return RetTy; }
+  Module *parent() const { return Parent; }
+
+  unsigned numArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *arg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+
+  bool empty() const { return Blocks.empty(); }
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no entry block");
+    return Blocks.front().get();
+  }
+  BasicBlock *block(size_t I) const {
+    assert(I < Blocks.size() && "block index out of range");
+    return Blocks[I].get();
+  }
+
+  /// Creates and appends a new basic block.
+  BasicBlock *addBlock(std::string BlockName);
+
+  /// Position of \p BB in layout order; asserts when not found.
+  size_t indexOf(const BasicBlock *BB) const;
+
+  /// Predecessor blocks of \p BB (computed by scanning terminators).
+  std::vector<BasicBlock *> predecessors(const BasicBlock *BB) const;
+
+  /// Total number of instructions across all blocks.
+  size_t numInstructions() const;
+
+  /// Destroys the given blocks (dropping all operand references in them
+  /// first, so mutual references among the removed blocks are fine). The
+  /// entry block cannot be removed.
+  void eraseBlocks(const std::vector<BasicBlock *> &ToErase);
+
+  /// Range-style iteration over raw block pointers.
+  class BlockIterator {
+  public:
+    BlockIterator(const std::vector<std::unique_ptr<BasicBlock>> *V,
+                  size_t I)
+        : Vec(V), Idx(I) {}
+    BasicBlock *operator*() const { return (*Vec)[Idx].get(); }
+    BlockIterator &operator++() {
+      ++Idx;
+      return *this;
+    }
+    bool operator!=(const BlockIterator &O) const { return Idx != O.Idx; }
+
+  private:
+    const std::vector<std::unique_ptr<BasicBlock>> *Vec;
+    size_t Idx;
+  };
+
+  BlockIterator begin() const { return BlockIterator(&Blocks, 0); }
+  BlockIterator end() const { return BlockIterator(&Blocks, Blocks.size()); }
+
+private:
+  std::string Name;
+  Type RetTy;
+  Module *Parent;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace ipas
+
+#endif // IPAS_IR_FUNCTION_H

@@ -1,0 +1,148 @@
+//===- ir/IRBuilder.h - Convenience instruction factory -------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder appends instructions to a basic block, mirroring LLVM's
+/// builder. The MiniC code generator and the unit tests construct all IR
+/// through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_IRBUILDER_H
+#define IPAS_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace ipas {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  void setInsertPoint(BasicBlock *Block) { BB = Block; }
+  BasicBlock *insertBlock() const { return BB; }
+  Module &module() const { return M; }
+
+  // Constants.
+  ConstantInt *getInt64(int64_t V) { return M.getInt64(V); }
+  ConstantInt *getBool(bool V) { return M.getBool(V); }
+  ConstantFP *getFloat(double V) { return M.getFloat(V); }
+  ConstantInt *getNullPtr() { return M.getNullPtr(); }
+
+  // Binary operations.
+  Value *createBinary(Opcode Op, Value *L, Value *R,
+                      const std::string &Name = "") {
+    return insert(new BinaryInst(Op, L, R), Name);
+  }
+  Value *createAdd(Value *L, Value *R) {
+    return createBinary(Opcode::Add, L, R);
+  }
+  Value *createSub(Value *L, Value *R) {
+    return createBinary(Opcode::Sub, L, R);
+  }
+  Value *createMul(Value *L, Value *R) {
+    return createBinary(Opcode::Mul, L, R);
+  }
+  Value *createSDiv(Value *L, Value *R) {
+    return createBinary(Opcode::SDiv, L, R);
+  }
+  Value *createSRem(Value *L, Value *R) {
+    return createBinary(Opcode::SRem, L, R);
+  }
+  Value *createFAdd(Value *L, Value *R) {
+    return createBinary(Opcode::FAdd, L, R);
+  }
+  Value *createFSub(Value *L, Value *R) {
+    return createBinary(Opcode::FSub, L, R);
+  }
+  Value *createFMul(Value *L, Value *R) {
+    return createBinary(Opcode::FMul, L, R);
+  }
+  Value *createFDiv(Value *L, Value *R) {
+    return createBinary(Opcode::FDiv, L, R);
+  }
+
+  // Comparisons.
+  Value *createICmp(CmpPredicate P, Value *L, Value *R,
+                    const std::string &Name = "") {
+    return insert(new CmpInst(Opcode::ICmp, P, L, R), Name);
+  }
+  Value *createFCmp(CmpPredicate P, Value *L, Value *R,
+                    const std::string &Name = "") {
+    return insert(new CmpInst(Opcode::FCmp, P, L, R), Name);
+  }
+
+  // Casts.
+  Value *createCast(Opcode Op, Value *Src, const std::string &Name = "") {
+    return insert(new CastInst(Op, Src), Name);
+  }
+  Value *createSIToFP(Value *Src) { return createCast(Opcode::SIToFP, Src); }
+  Value *createFPToSI(Value *Src) { return createCast(Opcode::FPToSI, Src); }
+  Value *createZExt(Value *Src) { return createCast(Opcode::ZExt, Src); }
+
+  // Memory.
+  Value *createAlloca(uint64_t Slots, const std::string &Name = "") {
+    return insert(new AllocaInst(Slots), Name);
+  }
+  Value *createLoad(Type T, Value *Ptr, const std::string &Name = "") {
+    return insert(new LoadInst(T, Ptr), Name);
+  }
+  Instruction *createStore(Value *V, Value *Ptr) {
+    return insert(new StoreInst(V, Ptr), "");
+  }
+  Value *createGep(Value *Base, Value *Index, const std::string &Name = "") {
+    return insert(new GepInst(Base, Index), Name);
+  }
+
+  // Phis / selects / calls.
+  PhiInst *createPhi(Type T, const std::string &Name = "") {
+    return static_cast<PhiInst *>(insert(new PhiInst(T), Name));
+  }
+  Value *createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                      const std::string &Name = "") {
+    return insert(new SelectInst(Cond, TrueV, FalseV), Name);
+  }
+  Value *createCall(Function *Callee, std::vector<Value *> Args,
+                    const std::string &Name = "") {
+    return insert(new CallInst(Callee, Callee->returnType(), std::move(Args)),
+                  Name);
+  }
+  Value *createIntrinsicCall(Intrinsic I, std::vector<Value *> Args,
+                             const std::string &Name = "") {
+    return insert(new CallInst(I, intrinsicSignature(I).Result,
+                               std::move(Args)),
+                  Name);
+  }
+
+  // Terminators.
+  Instruction *createBr(BasicBlock *Target) {
+    return insert(new BranchInst(Target), "");
+  }
+  Instruction *createCondBr(Value *Cond, BasicBlock *TrueT,
+                            BasicBlock *FalseT) {
+    return insert(new CondBranchInst(Cond, TrueT, FalseT), "");
+  }
+  Instruction *createRet(Value *V = nullptr) {
+    return insert(new RetInst(V), "");
+  }
+
+private:
+  Instruction *insert(Instruction *I, const std::string &Name) {
+    assert(BB && "no insertion point set");
+    if (!Name.empty())
+      I->setName(Name);
+    return BB->append(std::unique_ptr<Instruction>(I));
+  }
+
+  Module &M;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace ipas
+
+#endif // IPAS_IR_IRBUILDER_H

@@ -1,0 +1,29 @@
+//===- ir/IRPrinter.h - Textual IR dump ------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_IRPRINTER_H
+#define IPAS_IR_IRPRINTER_H
+
+#include <string>
+
+namespace ipas {
+
+class Function;
+class Module;
+class Instruction;
+
+/// Renders \p F as LLVM-like text (for debugging and golden tests).
+std::string printFunction(const Function &F);
+
+/// Renders all functions in \p M.
+std::string printModule(const Module &M);
+
+/// Renders one instruction (operands by name or %id).
+std::string printInstruction(const Instruction &I);
+
+} // namespace ipas
+
+#endif // IPAS_IR_IRPRINTER_H

@@ -1,0 +1,197 @@
+//===- ir/Instruction.cpp ---------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+using namespace ipas;
+
+const char *ipas::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::FCmp:
+    return "fcmp";
+  case Opcode::SIToFP:
+    return "sitofp";
+  case Opcode::FPToSI:
+    return "fptosi";
+  case Opcode::ZExt:
+    return "zext";
+  case Opcode::BitcastF2I:
+    return "bitcast.f2i";
+  case Opcode::BitcastI2F:
+    return "bitcast.i2f";
+  case Opcode::Alloca:
+    return "alloca";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Gep:
+    return "gep";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Check:
+    return "soc.check";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "<bad opcode>";
+}
+
+const char *ipas::cmpPredicateName(CmpPredicate P) {
+  switch (P) {
+  case CmpPredicate::EQ:
+    return "eq";
+  case CmpPredicate::NE:
+    return "ne";
+  case CmpPredicate::LT:
+    return "lt";
+  case CmpPredicate::LE:
+    return "le";
+  case CmpPredicate::GT:
+    return "gt";
+  case CmpPredicate::GE:
+    return "ge";
+  }
+  return "<bad predicate>";
+}
+
+Instruction::Instruction(Opcode Op, Type T, std::vector<Value *> Ops)
+    : Value(ValueKind::Instruction, T), Op(Op), Operands(std::move(Ops)) {
+  for (Value *V : Operands) {
+    assert(V && "null operand");
+    V->addUser(this);
+  }
+}
+
+Instruction::~Instruction() { dropAllReferences(); }
+
+void Instruction::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "null operand");
+  assert(V->type() == Operands[I]->type() && "operand type change");
+  Operands[I]->removeUser(this);
+  Operands[I] = V;
+  V->addUser(this);
+}
+
+void Instruction::dropAllReferences() {
+  for (Value *V : Operands)
+    V->removeUser(this);
+  Operands.clear();
+}
+
+unsigned Instruction::numSuccessors() const {
+  switch (Op) {
+  case Opcode::Br:
+    return 1;
+  case Opcode::CondBr:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+BasicBlock *Instruction::successor(unsigned I) const {
+  if (const auto *Br = dyn_cast<BranchInst>(this)) {
+    assert(I == 0 && "br has one successor");
+    (void)I;
+    return Br->target();
+  }
+  const auto *CBr = cast<CondBranchInst>(this);
+  assert(I < 2 && "condbr has two successors");
+  return I == 0 ? CBr->trueTarget() : CBr->falseTarget();
+}
+
+void Instruction::appendOperand(Value *V) {
+  assert(V && "null operand");
+  Operands.push_back(V);
+  V->addUser(this);
+}
+
+void PhiInst::addIncoming(Value *V, BasicBlock *BB) {
+  assert(V && BB && "phi incoming must be non-null");
+  assert(V->type() == type() && "phi incoming type mismatch");
+  appendOperand(V);
+  Blocks.push_back(BB);
+}
+
+Value *PhiInst::incomingValueFor(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = numIncoming(); I != E; ++I)
+    if (Blocks[I] == BB)
+      return incomingValue(I);
+  return nullptr;
+}
+
+Instruction *PhiInst::clone() const {
+  auto *P = new PhiInst(type());
+  for (unsigned I = 0, E = numIncoming(); I != E; ++I)
+    P->addIncoming(incomingValue(I), Blocks[I]);
+  return P;
+}
+
+CallInst::CallInst(Function *Callee, Type ResultType,
+                   std::vector<Value *> Args)
+    : Instruction(Opcode::Call, ResultType, std::move(Args)),
+      Callee(Callee) {
+  assert(Callee && "direct call requires a callee");
+  assert(Callee->returnType() == ResultType && "call result type mismatch");
+  assert(Callee->numArgs() == numOperands() && "call arity mismatch");
+}
+
+CallInst::CallInst(Intrinsic IntrinsicId, Type ResultType,
+                   std::vector<Value *> Args)
+    : Instruction(Opcode::Call, ResultType, std::move(Args)),
+      IntrinsicId(IntrinsicId) {
+  assert(IntrinsicId != Intrinsic::None && "intrinsic call requires an id");
+}
+
+Instruction *CallInst::clone() const {
+  std::vector<Value *> Args(operands().begin(), operands().end());
+  if (isIntrinsicCall())
+    return new CallInst(IntrinsicId, type(), std::move(Args));
+  return new CallInst(Callee, type(), std::move(Args));
+}

@@ -1,0 +1,507 @@
+//===- ir/Instruction.h - IR instruction hierarchy -----------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set is a compact subset of LLVM IR: integer and floating
+/// binary operations, comparisons, casts, memory operations over a flat
+/// address space, phis, selects, calls, and terminators — plus `Check`, the
+/// comparison instruction the IPAS duplication pass inserts at the end of a
+/// duplication path (paper §4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_INSTRUCTION_H
+#define IPAS_IR_INSTRUCTION_H
+
+#include "ir/Intrinsics.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace ipas {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode : uint8_t {
+  // Integer binary operations.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  AShr,
+  // Floating-point binary operations.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Comparisons (produce i1).
+  ICmp,
+  FCmp,
+  // Casts.
+  SIToFP,
+  FPToSI,
+  ZExt,       ///< i1 -> i64
+  BitcastF2I, ///< reinterpret f64 bits as i64
+  BitcastI2F, ///< reinterpret i64 bits as f64
+  // Memory.
+  Alloca,
+  Load,
+  Store,
+  Gep,
+  // Other value-producing operations.
+  Phi,
+  Select,
+  Call,
+  // Fault-detection comparison inserted by the duplication pass.
+  Check,
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+};
+
+/// Printable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+inline bool isIntBinaryOpcode(Opcode Op) {
+  return Op >= Opcode::Add && Op <= Opcode::AShr;
+}
+inline bool isFPBinaryOpcode(Opcode Op) {
+  return Op >= Opcode::FAdd && Op <= Opcode::FDiv;
+}
+inline bool isBinaryOpcode(Opcode Op) {
+  return isIntBinaryOpcode(Op) || isFPBinaryOpcode(Op);
+}
+inline bool isCmpOpcode(Opcode Op) {
+  return Op == Opcode::ICmp || Op == Opcode::FCmp;
+}
+inline bool isCastOpcode(Opcode Op) {
+  return Op >= Opcode::SIToFP && Op <= Opcode::BitcastI2F;
+}
+inline bool isTerminatorOpcode(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+/// Comparison predicate shared by ICmp (signed) and FCmp (ordered).
+enum class CmpPredicate : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+const char *cmpPredicateName(CmpPredicate P);
+
+/// Base class of all IR instructions. Owns its operand list and keeps the
+/// operands' use lists in sync.
+class Instruction : public Value {
+public:
+  ~Instruction() override;
+
+  Opcode opcode() const { return Op; }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces operand \p I, updating use lists.
+  void setOperand(unsigned I, Value *V);
+
+  /// Clears the operand list (removing this from use lists). Used prior to
+  /// bulk deletion so that destruction order does not matter.
+  void dropAllReferences();
+
+  bool producesValue() const { return !type().isVoid(); }
+  bool isTerminator() const { return isTerminatorOpcode(Op); }
+
+  /// Module-wide stable identifier, assigned by Module::renumber(). Fault
+  /// campaigns and classifiers address instructions by this id.
+  unsigned id() const { return Id; }
+  void setId(unsigned I) { Id = I; }
+
+  /// Creates an unattached copy of this instruction referencing the same
+  /// operands. Branch targets and phi incoming blocks are copied verbatim.
+  virtual Instruction *clone() const = 0;
+
+  /// Number of successor blocks (nonzero only for Br/CondBr).
+  unsigned numSuccessors() const;
+  BasicBlock *successor(unsigned I) const;
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Instruction;
+  }
+
+protected:
+  Instruction(Opcode Op, Type T, std::vector<Value *> Ops);
+
+  /// Appends an operand after construction (phi incoming values),
+  /// maintaining the use list.
+  void appendOperand(Value *V);
+
+private:
+  Opcode Op;
+  std::vector<Value *> Operands;
+  BasicBlock *Parent = nullptr;
+  unsigned Id = 0;
+};
+
+/// Integer or floating-point binary operation.
+class BinaryInst : public Instruction {
+public:
+  BinaryInst(Opcode Op, Value *LHS, Value *RHS)
+      : Instruction(Op, LHS->type(), {LHS, RHS}) {
+    assert(isBinaryOpcode(Op) && "not a binary opcode");
+    assert(LHS->type() == RHS->type() && "binary operand type mismatch");
+  }
+
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  Instruction *clone() const override {
+    return new BinaryInst(opcode(), operand(0), operand(1));
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && isBinaryOpcode(I->opcode());
+  }
+};
+
+/// Integer (signed) or floating-point (ordered) comparison; result i1.
+class CmpInst : public Instruction {
+public:
+  CmpInst(Opcode Op, CmpPredicate Pred, Value *LHS, Value *RHS)
+      : Instruction(Op, types::I1, {LHS, RHS}), Pred(Pred) {
+    assert(isCmpOpcode(Op) && "not a comparison opcode");
+    assert(LHS->type() == RHS->type() && "cmp operand type mismatch");
+  }
+
+  CmpPredicate predicate() const { return Pred; }
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  Instruction *clone() const override {
+    return new CmpInst(opcode(), Pred, operand(0), operand(1));
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && isCmpOpcode(I->opcode());
+  }
+
+private:
+  CmpPredicate Pred;
+};
+
+/// Conversion between the scalar types.
+class CastInst : public Instruction {
+public:
+  CastInst(Opcode Op, Value *Src) : Instruction(Op, resultType(Op), {Src}) {
+    assert(isCastOpcode(Op) && "not a cast opcode");
+  }
+
+  Value *source() const { return operand(0); }
+
+  Instruction *clone() const override {
+    return new CastInst(opcode(), operand(0));
+  }
+
+  static Type resultType(Opcode Op) {
+    switch (Op) {
+    case Opcode::SIToFP:
+    case Opcode::BitcastI2F:
+      return types::F64;
+    case Opcode::FPToSI:
+    case Opcode::ZExt:
+    case Opcode::BitcastF2I:
+      return types::I64;
+    default:
+      assert(false && "not a cast opcode");
+      return types::Void;
+    }
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && isCastOpcode(I->opcode());
+  }
+};
+
+/// Stack allocation of \p slotCount 8-byte slots; yields a pointer.
+class AllocaInst : public Instruction {
+public:
+  explicit AllocaInst(uint64_t SlotCount)
+      : Instruction(Opcode::Alloca, types::Ptr, {}), Slots(SlotCount) {
+    assert(SlotCount > 0 && "alloca of zero slots");
+  }
+
+  uint64_t slotCount() const { return Slots; }
+
+  Instruction *clone() const override { return new AllocaInst(Slots); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Alloca;
+  }
+
+private:
+  uint64_t Slots;
+};
+
+/// Loads a scalar of the given type from a pointer operand.
+class LoadInst : public Instruction {
+public:
+  LoadInst(Type T, Value *Ptr) : Instruction(Opcode::Load, T, {Ptr}) {
+    assert(Ptr->type().isPtr() && "load pointer operand must be ptr");
+    assert(!T.isVoid() && "cannot load void");
+  }
+
+  Value *pointer() const { return operand(0); }
+
+  Instruction *clone() const override {
+    return new LoadInst(type(), operand(0));
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Load;
+  }
+};
+
+/// Stores a scalar value through a pointer operand.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Value *Val, Value *Ptr)
+      : Instruction(Opcode::Store, types::Void, {Val, Ptr}) {
+    assert(Ptr->type().isPtr() && "store pointer operand must be ptr");
+  }
+
+  Value *storedValue() const { return operand(0); }
+  Value *pointer() const { return operand(1); }
+
+  Instruction *clone() const override {
+    return new StoreInst(operand(0), operand(1));
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Store;
+  }
+};
+
+/// Pointer arithmetic: base + 8 * index (every memory slot is 8 bytes).
+class GepInst : public Instruction {
+public:
+  GepInst(Value *Base, Value *Index)
+      : Instruction(Opcode::Gep, types::Ptr, {Base, Index}) {
+    assert(Base->type().isPtr() && "gep base must be ptr");
+    assert(Index->type().isI64() && "gep index must be i64");
+  }
+
+  Value *base() const { return operand(0); }
+  Value *index() const { return operand(1); }
+
+  Instruction *clone() const override {
+    return new GepInst(operand(0), operand(1));
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Gep;
+  }
+};
+
+/// SSA phi node. Incoming values are operands; incoming blocks are kept in
+/// a parallel array.
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(Type T) : Instruction(Opcode::Phi, T, {}) {}
+
+  void addIncoming(Value *V, BasicBlock *BB);
+
+  unsigned numIncoming() const { return numOperands(); }
+  Value *incomingValue(unsigned I) const { return operand(I); }
+  BasicBlock *incomingBlock(unsigned I) const {
+    assert(I < Blocks.size() && "phi incoming index out of range");
+    return Blocks[I];
+  }
+  void setIncomingBlock(unsigned I, BasicBlock *BB) {
+    assert(I < Blocks.size() && "phi incoming index out of range");
+    Blocks[I] = BB;
+  }
+
+  /// Returns the incoming value for \p BB; null when BB is not incoming.
+  Value *incomingValueFor(const BasicBlock *BB) const;
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Phi;
+  }
+
+private:
+  std::vector<BasicBlock *> Blocks;
+};
+
+/// Two-way select: cond ? a : b.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV)
+      : Instruction(Opcode::Select, TrueV->type(), {Cond, TrueV, FalseV}) {
+    assert(Cond->type().isI1() && "select condition must be i1");
+    assert(TrueV->type() == FalseV->type() && "select arm type mismatch");
+  }
+
+  Value *condition() const { return operand(0); }
+  Value *trueValue() const { return operand(1); }
+  Value *falseValue() const { return operand(2); }
+
+  Instruction *clone() const override {
+    return new SelectInst(operand(0), operand(1), operand(2));
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Select;
+  }
+};
+
+/// Call to either a Function in the module or a runtime intrinsic.
+class CallInst : public Instruction {
+public:
+  CallInst(Function *Callee, Type ResultType, std::vector<Value *> Args);
+  CallInst(Intrinsic IntrinsicId, Type ResultType, std::vector<Value *> Args);
+
+  Function *callee() const { return Callee; }
+  Intrinsic intrinsicId() const { return IntrinsicId; }
+  bool isIntrinsicCall() const { return IntrinsicId != Intrinsic::None; }
+
+  unsigned numArgs() const { return numOperands(); }
+  Value *arg(unsigned I) const { return operand(I); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Call;
+  }
+
+private:
+  Function *Callee = nullptr;
+  Intrinsic IntrinsicId = Intrinsic::None;
+};
+
+/// Detector inserted by the duplication pass: if the two operands differ at
+/// runtime the interpreter raises a Detected event.
+class CheckInst : public Instruction {
+public:
+  CheckInst(Value *Original, Value *Shadow)
+      : Instruction(Opcode::Check, types::Void, {Original, Shadow}) {
+    assert(Original->type() == Shadow->type() && "check type mismatch");
+  }
+
+  Value *original() const { return operand(0); }
+  Value *shadow() const { return operand(1); }
+
+  Instruction *clone() const override {
+    return new CheckInst(operand(0), operand(1));
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Check;
+  }
+};
+
+/// Unconditional branch.
+class BranchInst : public Instruction {
+public:
+  explicit BranchInst(BasicBlock *Target)
+      : Instruction(Opcode::Br, types::Void, {}), Target(Target) {
+    assert(Target && "branch target must be non-null");
+  }
+
+  BasicBlock *target() const { return Target; }
+  void setTarget(BasicBlock *BB) { Target = BB; }
+
+  Instruction *clone() const override { return new BranchInst(Target); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Br;
+  }
+
+private:
+  BasicBlock *Target;
+};
+
+/// Conditional branch on an i1 operand.
+class CondBranchInst : public Instruction {
+public:
+  CondBranchInst(Value *Cond, BasicBlock *TrueTarget, BasicBlock *FalseTarget)
+      : Instruction(Opcode::CondBr, types::Void, {Cond}),
+        TrueTarget(TrueTarget), FalseTarget(FalseTarget) {
+    assert(Cond->type().isI1() && "condbr condition must be i1");
+    assert(TrueTarget && FalseTarget && "condbr targets must be non-null");
+  }
+
+  Value *condition() const { return operand(0); }
+  BasicBlock *trueTarget() const { return TrueTarget; }
+  BasicBlock *falseTarget() const { return FalseTarget; }
+  void setTrueTarget(BasicBlock *BB) { TrueTarget = BB; }
+  void setFalseTarget(BasicBlock *BB) { FalseTarget = BB; }
+
+  Instruction *clone() const override {
+    return new CondBranchInst(operand(0), TrueTarget, FalseTarget);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::CondBr;
+  }
+
+private:
+  BasicBlock *TrueTarget;
+  BasicBlock *FalseTarget;
+};
+
+/// Function return, with an optional value.
+class RetInst : public Instruction {
+public:
+  explicit RetInst(Value *V = nullptr)
+      : Instruction(Opcode::Ret, types::Void,
+                    V ? std::vector<Value *>{V} : std::vector<Value *>{}) {}
+
+  bool hasReturnValue() const { return numOperands() == 1; }
+  Value *returnValue() const {
+    assert(hasReturnValue() && "ret void has no value");
+    return operand(0);
+  }
+
+  Instruction *clone() const override {
+    return new RetInst(hasReturnValue() ? operand(0) : nullptr);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Ret;
+  }
+};
+
+} // namespace ipas
+
+#endif // IPAS_IR_INSTRUCTION_H

@@ -1,0 +1,162 @@
+//===- ir/Intrinsics.cpp -----------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Intrinsics.h"
+
+#include <cstring>
+
+using namespace ipas;
+
+const char *ipas::intrinsicName(Intrinsic I) {
+  switch (I) {
+  case Intrinsic::None:
+    return "<none>";
+  case Intrinsic::Sqrt:
+    return "sqrt";
+  case Intrinsic::Fabs:
+    return "fabs";
+  case Intrinsic::Sin:
+    return "sin";
+  case Intrinsic::Cos:
+    return "cos";
+  case Intrinsic::Exp:
+    return "exp";
+  case Intrinsic::Log:
+    return "log";
+  case Intrinsic::Pow:
+    return "pow";
+  case Intrinsic::Floor:
+    return "floor";
+  case Intrinsic::FMin:
+    return "fmin";
+  case Intrinsic::FMax:
+    return "fmax";
+  case Intrinsic::IMin:
+    return "imin";
+  case Intrinsic::IMax:
+    return "imax";
+  case Intrinsic::Malloc:
+    return "malloc";
+  case Intrinsic::Free:
+    return "free";
+  case Intrinsic::RandSeed:
+    return "rand_seed";
+  case Intrinsic::RandI64:
+    return "rand_i64";
+  case Intrinsic::RandF64:
+    return "rand_f64";
+  case Intrinsic::MpiRank:
+    return "mpi_rank";
+  case Intrinsic::MpiSize:
+    return "mpi_size";
+  case Intrinsic::MpiBarrier:
+    return "mpi_barrier";
+  case Intrinsic::MpiAllreduceSumD:
+    return "mpi_allreduce_sum_d";
+  case Intrinsic::MpiAllreduceMaxD:
+    return "mpi_allreduce_max_d";
+  case Intrinsic::MpiAllreduceSumI:
+    return "mpi_allreduce_sum_i";
+  case Intrinsic::MpiBcastD:
+    return "mpi_bcast_d";
+  case Intrinsic::MpiBcastI:
+    return "mpi_bcast_i";
+  case Intrinsic::MpiAllgatherD:
+    return "mpi_allgather_d";
+  case Intrinsic::MpiAlltoallD:
+    return "mpi_alltoall_d";
+  }
+  return "<bad intrinsic>";
+}
+
+IntrinsicSignature ipas::intrinsicSignature(Intrinsic I) {
+  using namespace types;
+  switch (I) {
+  case Intrinsic::None:
+    return {Void, {}};
+  case Intrinsic::Sqrt:
+  case Intrinsic::Fabs:
+  case Intrinsic::Sin:
+  case Intrinsic::Cos:
+  case Intrinsic::Exp:
+  case Intrinsic::Log:
+  case Intrinsic::Floor:
+    return {F64, {F64}};
+  case Intrinsic::Pow:
+  case Intrinsic::FMin:
+  case Intrinsic::FMax:
+    return {F64, {F64, F64}};
+  case Intrinsic::IMin:
+  case Intrinsic::IMax:
+    return {I64, {I64, I64}};
+  case Intrinsic::Malloc:
+    return {Ptr, {I64}};
+  case Intrinsic::Free:
+    return {Void, {Ptr}};
+  case Intrinsic::RandSeed:
+    return {Void, {I64}};
+  case Intrinsic::RandI64:
+    return {I64, {I64}};
+  case Intrinsic::RandF64:
+    return {F64, {}};
+  case Intrinsic::MpiRank:
+  case Intrinsic::MpiSize:
+    return {I64, {}};
+  case Intrinsic::MpiBarrier:
+    return {Void, {}};
+  case Intrinsic::MpiAllreduceSumD:
+  case Intrinsic::MpiAllreduceMaxD:
+    return {F64, {F64}};
+  case Intrinsic::MpiAllreduceSumI:
+    return {I64, {I64}};
+  case Intrinsic::MpiBcastD:
+    return {F64, {F64, I64}};
+  case Intrinsic::MpiBcastI:
+    return {I64, {I64, I64}};
+  case Intrinsic::MpiAllgatherD:
+  case Intrinsic::MpiAlltoallD:
+    return {Void, {Ptr, Ptr, I64}};
+  }
+  return {Void, {}};
+}
+
+Intrinsic ipas::intrinsicByName(const char *Name) {
+  static const Intrinsic All[] = {
+      Intrinsic::Sqrt,           Intrinsic::Fabs,
+      Intrinsic::Sin,            Intrinsic::Cos,
+      Intrinsic::Exp,            Intrinsic::Log,
+      Intrinsic::Pow,            Intrinsic::Floor,
+      Intrinsic::FMin,           Intrinsic::FMax,
+      Intrinsic::IMin,           Intrinsic::IMax,
+      Intrinsic::Malloc,         Intrinsic::Free,
+      Intrinsic::RandSeed,       Intrinsic::RandI64,
+      Intrinsic::RandF64,        Intrinsic::MpiRank,
+      Intrinsic::MpiSize,        Intrinsic::MpiBarrier,
+      Intrinsic::MpiAllreduceSumD, Intrinsic::MpiAllreduceMaxD,
+      Intrinsic::MpiAllreduceSumI, Intrinsic::MpiBcastD,
+      Intrinsic::MpiBcastI,      Intrinsic::MpiAllgatherD,
+      Intrinsic::MpiAlltoallD};
+  for (Intrinsic I : All)
+    if (std::strcmp(intrinsicName(I), Name) == 0)
+      return I;
+  return Intrinsic::None;
+}
+
+bool ipas::isMpiIntrinsic(Intrinsic I) {
+  switch (I) {
+  case Intrinsic::MpiBarrier:
+  case Intrinsic::MpiAllreduceSumD:
+  case Intrinsic::MpiAllreduceMaxD:
+  case Intrinsic::MpiAllreduceSumI:
+  case Intrinsic::MpiBcastD:
+  case Intrinsic::MpiBcastI:
+  case Intrinsic::MpiAllgatherD:
+  case Intrinsic::MpiAlltoallD:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,83 @@
+//===- ir/Intrinsics.h - Runtime intrinsics callable from IR -------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intrinsics are the IR's interface to the runtime: math library calls,
+/// memory allocation, the deterministic workload RNG, and the simulated MPI
+/// library. Following the paper (§4.4.1), IPAS never duplicates calls, and
+/// the libraries behind these intrinsics are considered protected
+/// externally; faults are still injected into the *values returned* by
+/// calls, matching the paper's fault model (§3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_INTRINSICS_H
+#define IPAS_IR_INTRINSICS_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ipas {
+
+enum class Intrinsic : uint8_t {
+  None, ///< Not an intrinsic (direct call to a Function).
+  // Math.
+  Sqrt,
+  Fabs,
+  Sin,
+  Cos,
+  Exp,
+  Log,
+  Pow,
+  Floor,
+  FMin,
+  FMax,
+  IMin,
+  IMax,
+  // Memory management (bump allocator in the interpreter).
+  Malloc,
+  Free,
+  // Deterministic workload RNG (xorshift state per execution context).
+  RandSeed, ///< rand_seed(i64) -> void
+  RandI64,  ///< rand_i64(bound) -> i64 in [0, bound)
+  RandF64,  ///< rand_f64() -> f64 in [0, 1)
+  // Simulated MPI. Blocking operations suspend the rank until all ranks in
+  // the job reach a matching call.
+  MpiRank,          ///< mpi_rank() -> i64
+  MpiSize,          ///< mpi_size() -> i64
+  MpiBarrier,       ///< mpi_barrier() -> void
+  MpiAllreduceSumD, ///< mpi_allreduce_sum_d(f64) -> f64
+  MpiAllreduceMaxD, ///< mpi_allreduce_max_d(f64) -> f64
+  MpiAllreduceSumI, ///< mpi_allreduce_sum_i(i64) -> i64
+  MpiBcastD,        ///< mpi_bcast_d(f64, i64 root) -> f64
+  MpiBcastI,        ///< mpi_bcast_i(i64, i64 root) -> i64
+  MpiAllgatherD,    ///< mpi_allgather_d(ptr send, ptr recv, i64 n) -> void
+  MpiAlltoallD,     ///< mpi_alltoall_d(ptr send, ptr recv, i64 n) -> void
+};
+
+/// Signature of an intrinsic: result and parameter types.
+struct IntrinsicSignature {
+  Type Result;
+  std::vector<Type> Params;
+};
+
+/// Returns the canonical source-level name (what MiniC programs call).
+const char *intrinsicName(Intrinsic I);
+
+/// Returns the signature used by codegen and the verifier.
+IntrinsicSignature intrinsicSignature(Intrinsic I);
+
+/// Looks an intrinsic up by source-level name; Intrinsic::None if unknown.
+Intrinsic intrinsicByName(const char *Name);
+
+/// True for the blocking MPI operations that must rendezvous across ranks.
+bool isMpiIntrinsic(Intrinsic I);
+
+} // namespace ipas
+
+#endif // IPAS_IR_INTRINSICS_H

@@ -1,0 +1,79 @@
+//===- ir/Module.cpp ---------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace ipas;
+
+Function *Module::createFunction(std::string FnName, Type ReturnType,
+                                 std::vector<Type> ParamTypes) {
+  assert(!getFunction(FnName) && "duplicate function name");
+  Functions.push_back(std::make_unique<Function>(
+      std::move(FnName), ReturnType, std::move(ParamTypes), this));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->name() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+ConstantInt *Module::getConstantInt(Type T, int64_t V) {
+  for (const auto &C : Constants)
+    if (auto *CI = dyn_cast<ConstantInt>(C.get()))
+      if (CI->type() == T && CI->value() == V)
+        return CI;
+  Constants.push_back(std::make_unique<ConstantInt>(T, V));
+  return cast<ConstantInt>(Constants.back().get());
+}
+
+ConstantFP *Module::getConstantFP(double V) {
+  // Compare bit patterns so that -0.0 and 0.0 intern separately and NaNs
+  // do not defeat the cache.
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  __builtin_memcpy(&Bits, &V, sizeof(V));
+  for (const auto &C : Constants)
+    if (auto *CF = dyn_cast<ConstantFP>(C.get())) {
+      uint64_t CBits;
+      double CV = CF->value();
+      __builtin_memcpy(&CBits, &CV, sizeof(CV));
+      if (CBits == Bits)
+        return CF;
+    }
+  Constants.push_back(std::make_unique<ConstantFP>(V));
+  return cast<ConstantFP>(Constants.back().get());
+}
+
+std::vector<Instruction *> Module::renumber() {
+  std::vector<Instruction *> All;
+  unsigned Id = 0;
+  for (const auto &F : Functions)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB) {
+        I->setId(Id++);
+        All.push_back(I);
+      }
+  return All;
+}
+
+std::vector<Instruction *> Module::allInstructions() const {
+  std::vector<Instruction *> All;
+  for (const auto &F : Functions)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        All.push_back(I);
+  return All;
+}
+
+size_t Module::numInstructions() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    N += F->numInstructions();
+  return N;
+}

@@ -1,0 +1,102 @@
+//===- ir/Module.h - Top-level IR container -------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns functions and the constant pool. It also assigns the
+/// module-wide instruction numbering that the fault injector, the feature
+/// extractor, and the classifier use to address static instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_MODULE_H
+#define IPAS_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  /// Creates a new function owned by this module.
+  Function *createFunction(std::string FnName, Type ReturnType,
+                           std::vector<Type> ParamTypes);
+
+  /// Finds a function by name; null when absent.
+  Function *getFunction(const std::string &FnName) const;
+
+  size_t numFunctions() const { return Functions.size(); }
+  Function *function(size_t I) const {
+    assert(I < Functions.size() && "function index out of range");
+    return Functions[I].get();
+  }
+
+  /// Interned i64/i1/ptr constant.
+  ConstantInt *getConstantInt(Type T, int64_t V);
+  /// Interned f64 constant.
+  ConstantFP *getConstantFP(double V);
+
+  /// Convenience shorthands.
+  ConstantInt *getInt64(int64_t V) { return getConstantInt(types::I64, V); }
+  ConstantInt *getBool(bool V) { return getConstantInt(types::I1, V); }
+  ConstantInt *getNullPtr() { return getConstantInt(types::Ptr, 0); }
+  ConstantFP *getFloat(double V) { return getConstantFP(V); }
+
+  /// Assigns sequential ids (0..N-1) to every instruction in layout order
+  /// and returns the flat instruction list in id order. Must be re-run
+  /// after any transformation that adds or removes instructions.
+  std::vector<Instruction *> renumber();
+
+  /// Flat instruction list in current id order (renumber() must be up to
+  /// date; asserts on stale numbering in debug builds).
+  std::vector<Instruction *> allInstructions() const;
+
+  /// Total static instruction count (Table 3).
+  size_t numInstructions() const;
+
+  class FunctionIterator {
+  public:
+    FunctionIterator(const std::vector<std::unique_ptr<Function>> *V,
+                     size_t I)
+        : Vec(V), Idx(I) {}
+    Function *operator*() const { return (*Vec)[Idx].get(); }
+    FunctionIterator &operator++() {
+      ++Idx;
+      return *this;
+    }
+    bool operator!=(const FunctionIterator &O) const { return Idx != O.Idx; }
+
+  private:
+    const std::vector<std::unique_ptr<Function>> *Vec;
+    size_t Idx;
+  };
+
+  FunctionIterator begin() const { return FunctionIterator(&Functions, 0); }
+  FunctionIterator end() const {
+    return FunctionIterator(&Functions, Functions.size());
+  }
+
+private:
+  std::string Name;
+  // Constants are declared before Functions so that during destruction the
+  // Functions (whose instructions hold uses of the constants) are destroyed
+  // first.
+  std::vector<std::unique_ptr<Constant>> Constants;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace ipas
+
+#endif // IPAS_IR_MODULE_H

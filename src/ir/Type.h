@@ -1,0 +1,101 @@
+//===- ir/Type.h - Scalar type system for the IPAS IR --------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR uses a deliberately small scalar type system: 1-bit booleans,
+/// 64-bit signed integers, IEEE-754 doubles, opaque pointers, and void.
+/// This mirrors what the paper's workloads actually exercise (C codes with
+/// int/double/pointer arithmetic) while keeping the fault model simple:
+/// a fault flips one bit within a value's bit width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_TYPE_H
+#define IPAS_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ipas {
+
+/// Discriminates the scalar types the IR supports.
+enum class TypeKind : uint8_t {
+  Void, ///< No value (stores, branches, ret void).
+  I1,   ///< Boolean produced by comparisons.
+  I64,  ///< 64-bit two's-complement integer.
+  F64,  ///< IEEE-754 binary64.
+  Ptr,  ///< Opaque pointer into the interpreter's flat memory.
+};
+
+/// A value type. Cheap to copy; equality is kind equality.
+class Type {
+public:
+  constexpr Type() : Kind(TypeKind::Void) {}
+  constexpr Type(TypeKind K) : Kind(K) {}
+
+  constexpr TypeKind kind() const { return Kind; }
+
+  constexpr bool isVoid() const { return Kind == TypeKind::Void; }
+  constexpr bool isI1() const { return Kind == TypeKind::I1; }
+  constexpr bool isI64() const { return Kind == TypeKind::I64; }
+  constexpr bool isF64() const { return Kind == TypeKind::F64; }
+  constexpr bool isPtr() const { return Kind == TypeKind::Ptr; }
+  constexpr bool isInteger() const { return isI1() || isI64(); }
+
+  /// Number of live bits in the value; faults flip one of these.
+  unsigned bits() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return 0;
+    case TypeKind::I1:
+      return 1;
+    case TypeKind::I64:
+    case TypeKind::F64:
+    case TypeKind::Ptr:
+      return 64;
+    }
+    assert(false && "unknown type kind");
+    return 0;
+  }
+
+  /// Size used for the "bytes in the instruction's result" feature
+  /// (Table 1, feature 12).
+  unsigned bytes() const { return Kind == TypeKind::I1 ? 1 : bits() / 8; }
+
+  const char *name() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::I1:
+      return "i1";
+    case TypeKind::I64:
+      return "i64";
+    case TypeKind::F64:
+      return "f64";
+    case TypeKind::Ptr:
+      return "ptr";
+    }
+    return "<bad>";
+  }
+
+  friend bool operator==(Type A, Type B) { return A.Kind == B.Kind; }
+  friend bool operator!=(Type A, Type B) { return A.Kind != B.Kind; }
+
+private:
+  TypeKind Kind;
+};
+
+namespace types {
+inline constexpr Type Void{TypeKind::Void};
+inline constexpr Type I1{TypeKind::I1};
+inline constexpr Type I64{TypeKind::I64};
+inline constexpr Type F64{TypeKind::F64};
+inline constexpr Type Ptr{TypeKind::Ptr};
+} // namespace types
+
+} // namespace ipas
+
+#endif // IPAS_IR_TYPE_H

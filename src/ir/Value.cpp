@@ -1,0 +1,35 @@
+//===- ir/Value.cpp --------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include "ir/Instruction.h"
+
+#include <algorithm>
+
+using namespace ipas;
+
+Value::~Value() = default;
+
+void Value::removeUser(Instruction *I) {
+  // Remove one occurrence only: an instruction using a value in two operand
+  // slots appears twice in the use list.
+  auto It = std::find(Users.begin(), Users.end(), I);
+  assert(It != Users.end() && "removing a non-existent user");
+  Users.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self");
+  assert(New->type() == type() && "RAUW type mismatch");
+  // setOperand mutates the use list, so iterate over a snapshot.
+  std::vector<Instruction *> Snapshot = Users;
+  for (Instruction *User : Snapshot)
+    for (unsigned I = 0, E = User->numOperands(); I != E; ++I)
+      if (User->operand(I) == this)
+        User->setOperand(I, New);
+  assert(Users.empty() && "stale users after RAUW");
+}

@@ -1,0 +1,142 @@
+//===- ir/Value.h - Base of the IR value hierarchy -----------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the root of the SSA value hierarchy (arguments, constants,
+/// instructions). Every Value tracks its users so that def-use chains — the
+/// backbone of IPAS's forward slicing and duplication-path construction —
+/// can be walked in both directions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_VALUE_H
+#define IPAS_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+class Instruction;
+class Function;
+
+/// Discriminator for the Value hierarchy (LLVM-style RTTI).
+enum class ValueKind : uint8_t {
+  Argument,
+  ConstantInt,
+  ConstantFP,
+  Instruction,
+};
+
+/// Base class of everything that can appear as an instruction operand.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind kind() const { return Kind; }
+  Type type() const { return Ty; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Instructions that use this value as an operand. An instruction appears
+  /// once per operand slot that references this value.
+  const std::vector<Instruction *> &users() const { return Users; }
+  bool hasUses() const { return !Users.empty(); }
+
+  /// Rewrites every use of this value to refer to \p New instead.
+  /// \p New must have the same type.
+  void replaceAllUsesWith(Value *New);
+
+private:
+  friend class Instruction;
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+protected:
+  Value(ValueKind K, Type T) : Kind(K), Ty(T) {}
+
+private:
+  ValueKind Kind;
+  Type Ty;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type T, Function *Parent, unsigned Index)
+      : Value(ValueKind::Argument, T), Parent(Parent), Index(Index) {}
+
+  Function *parent() const { return Parent; }
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Argument;
+  }
+
+private:
+  Function *Parent;
+  unsigned Index;
+};
+
+/// Base class for constants (no users need to be tracked differently; they
+/// participate in use lists like any Value).
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantInt ||
+           V->kind() == ValueKind::ConstantFP;
+  }
+
+protected:
+  using Value::Value;
+};
+
+/// An integer (i64), boolean (i1), or null-pointer (ptr) constant.
+class ConstantInt : public Constant {
+public:
+  ConstantInt(Type T, int64_t V)
+      : Constant(ValueKind::ConstantInt, T), Val(V) {
+    assert((T.isInteger() || T.isPtr()) && "bad constant type");
+  }
+
+  int64_t value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantInt;
+  }
+
+private:
+  int64_t Val;
+};
+
+/// A double-precision floating-point constant.
+class ConstantFP : public Constant {
+public:
+  explicit ConstantFP(double V)
+      : Constant(ValueKind::ConstantFP, types::F64), Val(V) {}
+
+  double value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantFP;
+  }
+
+private:
+  double Val;
+};
+
+} // namespace ipas
+
+#endif // IPAS_IR_VALUE_H

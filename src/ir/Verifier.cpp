@@ -1,0 +1,261 @@
+//===- ir/Verifier.cpp --------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace ipas;
+
+namespace {
+
+/// Collects violations for one function.
+class FunctionVerifier {
+public:
+  explicit FunctionVerifier(const Function &F) : F(F) {}
+
+  std::vector<std::string> run() {
+    checkBlocks();
+    checkInstructions();
+    checkDominance();
+    return std::move(Errors);
+  }
+
+private:
+  void report(const std::string &Msg) {
+    Errors.push_back("in function '" + F.name() + "': " + Msg);
+  }
+
+  std::string describe(const Instruction *I) {
+    std::ostringstream OS;
+    OS << "'" << opcodeName(I->opcode()) << "' in block '"
+       << (I->parent() ? I->parent()->name() : std::string("<detached>"))
+       << "'";
+    return OS.str();
+  }
+
+  void checkBlocks() {
+    if (F.empty()) {
+      report("function has no blocks");
+      return;
+    }
+    for (BasicBlock *BB : F) {
+      if (BB->empty()) {
+        report("block '" + BB->name() + "' is empty");
+        continue;
+      }
+      if (!BB->terminator())
+        report("block '" + BB->name() + "' lacks a terminator");
+      bool SeenNonPhi = false;
+      for (size_t I = 0, E = BB->size(); I != E; ++I) {
+        Instruction *Inst = BB->at(I);
+        if (Inst->isTerminator() && I + 1 != E)
+          report("terminator in the middle of block '" + BB->name() + "'");
+        if (Inst->opcode() == Opcode::Phi) {
+          if (SeenNonPhi)
+            report("phi after non-phi in block '" + BB->name() + "'");
+        } else {
+          SeenNonPhi = true;
+        }
+        if (Inst->parent() != BB)
+          report("instruction parent pointer is stale in block '" +
+                 BB->name() + "'");
+      }
+    }
+  }
+
+  void checkInstructions() {
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        checkInstruction(I, BB);
+  }
+
+  void checkInstruction(Instruction *I, BasicBlock *BB) {
+    for (Value *Op : I->operands())
+      if (!Op)
+        report("null operand on " + describe(I));
+
+    switch (I->opcode()) {
+    case Opcode::Phi: {
+      auto *Phi = cast<PhiInst>(I);
+      std::vector<BasicBlock *> Preds = F.predecessors(BB);
+      if (Phi->numIncoming() != Preds.size()) {
+        report("phi incoming count does not match predecessors in block '" +
+               BB->name() + "'");
+        break;
+      }
+      for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K) {
+        BasicBlock *In = Phi->incomingBlock(K);
+        if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+          report("phi incoming block '" + In->name() +
+                 "' is not a predecessor of '" + BB->name() + "'");
+      }
+      break;
+    }
+    case Opcode::Call: {
+      auto *Call = cast<CallInst>(I);
+      if (Call->isIntrinsicCall()) {
+        IntrinsicSignature Sig = intrinsicSignature(Call->intrinsicId());
+        if (Sig.Params.size() != Call->numArgs()) {
+          report("intrinsic call arity mismatch on " + describe(I));
+          break;
+        }
+        for (unsigned K = 0; K != Call->numArgs(); ++K)
+          if (Call->arg(K)->type() != Sig.Params[K])
+            report("intrinsic call argument type mismatch on " +
+                   describe(I));
+        if (Call->type() != Sig.Result)
+          report("intrinsic call result type mismatch on " + describe(I));
+      } else {
+        Function *Callee = Call->callee();
+        if (Callee->numArgs() != Call->numArgs()) {
+          report("call arity mismatch on " + describe(I));
+          break;
+        }
+        for (unsigned K = 0; K != Call->numArgs(); ++K)
+          if (Call->arg(K)->type() != Callee->arg(K)->type())
+            report("call argument type mismatch on " + describe(I));
+      }
+      break;
+    }
+    case Opcode::Ret: {
+      auto *Ret = cast<RetInst>(I);
+      if (F.returnType().isVoid()) {
+        if (Ret->hasReturnValue())
+          report("ret with a value in a void function");
+      } else if (!Ret->hasReturnValue()) {
+        report("ret void in a non-void function");
+      } else if (Ret->returnValue()->type() != F.returnType()) {
+        report("ret value type mismatch");
+      }
+      break;
+    }
+    case Opcode::SIToFP:
+    case Opcode::BitcastI2F:
+      if (!I->operand(0)->type().isI64())
+        report("cast source type mismatch on " + describe(I));
+      break;
+    case Opcode::FPToSI:
+    case Opcode::BitcastF2I:
+      if (!I->operand(0)->type().isF64())
+        report("cast source type mismatch on " + describe(I));
+      break;
+    case Opcode::ZExt:
+      if (!I->operand(0)->type().isI1())
+        report("zext source must be i1 on " + describe(I));
+      break;
+    default:
+      // Constructor assertions cover the remaining opcode/type contracts;
+      // binary/cmp type agreement is rechecked here for release builds.
+      if (isBinaryOpcode(I->opcode()) || isCmpOpcode(I->opcode()))
+        if (I->operand(0)->type() != I->operand(1)->type())
+          report("operand type mismatch on " + describe(I));
+      break;
+    }
+
+    // Every operand defined by an instruction must belong to this function.
+    for (Value *Op : I->operands()) {
+      if (auto *OpInst = dyn_cast<Instruction>(Op)) {
+        if (!OpInst->parent() || OpInst->parent()->parent() != &F)
+          report("operand crosses function boundary on " + describe(I));
+      } else if (auto *Arg = dyn_cast<Argument>(Op)) {
+        if (Arg->parent() != &F)
+          report("argument operand from another function on " + describe(I));
+      }
+    }
+  }
+
+  /// SSA dominance: a use must be dominated by its definition. Implemented
+  /// with a simple iterative dominator computation local to the verifier to
+  /// avoid a layering cycle with the analysis library.
+  void checkDominance() {
+    if (F.empty())
+      return;
+    std::map<const BasicBlock *, size_t> Index;
+    std::vector<BasicBlock *> Order;
+    for (BasicBlock *BB : F) {
+      Index[BB] = Order.size();
+      Order.push_back(BB);
+    }
+    size_t N = Order.size();
+    // Bitset-based iterative data-flow: Dom(b) = {b} ∪ ∩ Dom(preds).
+    std::vector<std::vector<bool>> Dom(N, std::vector<bool>(N, true));
+    Dom[0].assign(N, false);
+    Dom[0][0] = true;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = 1; B != N; ++B) {
+        std::vector<bool> NewDom(N, true);
+        bool HasPred = false;
+        for (BasicBlock *P : F.predecessors(Order[B])) {
+          HasPred = true;
+          const std::vector<bool> &PD = Dom[Index[P]];
+          for (size_t K = 0; K != N; ++K)
+            NewDom[K] = NewDom[K] && PD[K];
+        }
+        if (!HasPred)
+          NewDom.assign(N, false); // unreachable: dominated by nothing
+        NewDom[B] = true;
+        if (NewDom != Dom[B]) {
+          Dom[B] = std::move(NewDom);
+          Changed = true;
+        }
+      }
+    }
+
+    auto Dominates = [&](const Instruction *Def, const Instruction *Use,
+                         unsigned UseOpIdx) {
+      const BasicBlock *DefBB = Def->parent();
+      const BasicBlock *UseBB = Use->parent();
+      if (auto *Phi = dyn_cast<PhiInst>(Use)) {
+        // A phi use must be dominated at the end of the incoming block.
+        const BasicBlock *In = Phi->incomingBlock(UseOpIdx);
+        return DefBB == In || Dom[Index.at(In)][Index.at(DefBB)];
+      }
+      if (DefBB == UseBB)
+        return DefBB->indexOf(Def) < UseBB->indexOf(Use);
+      return static_cast<bool>(Dom[Index.at(UseBB)][Index.at(DefBB)]);
+    };
+
+    for (BasicBlock *BB : F) {
+      // Skip unreachable blocks: they have no dominance facts.
+      bool Reachable = Index.at(BB) == 0 || !F.predecessors(BB).empty();
+      if (!Reachable)
+        continue;
+      for (Instruction *I : *BB)
+        for (unsigned OpIdx = 0; OpIdx != I->numOperands(); ++OpIdx)
+          if (auto *Def = dyn_cast<Instruction>(I->operand(OpIdx)))
+            if (!Dominates(Def, I, OpIdx))
+              report("use of " + describe(Def) +
+                     " is not dominated by its definition (user " +
+                     describe(I) + ")");
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> ipas::verifyFunction(const Function &F) {
+  return FunctionVerifier(F).run();
+}
+
+std::vector<std::string> ipas::verifyModule(const Module &M) {
+  std::vector<std::string> All;
+  for (Function *F : M) {
+    std::vector<std::string> Errs = verifyFunction(*F);
+    All.insert(All.end(), Errs.begin(), Errs.end());
+  }
+  return All;
+}

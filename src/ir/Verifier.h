@@ -1,0 +1,30 @@
+//===- ir/Verifier.h - Structural IR well-formedness checks --------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_IR_VERIFIER_H
+#define IPAS_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+class Function;
+class Module;
+
+/// Checks structural invariants: every block ends in exactly one
+/// terminator, phis are at the top of their block and match the
+/// predecessor set, operand types match opcode expectations, calls match
+/// callee/intrinsic signatures, and every SSA use is dominated by its
+/// definition. Returns human-readable violation messages (empty = valid).
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Verifies every function in \p M.
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace ipas
+
+#endif // IPAS_IR_VERIFIER_H

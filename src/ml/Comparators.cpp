@@ -1,0 +1,157 @@
+//===- ml/Comparators.cpp -------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Comparators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace ipas;
+
+namespace {
+
+/// Gini impurity of a (positive, total) split half.
+double gini(size_t Pos, size_t Total) {
+  if (Total == 0)
+    return 0.0;
+  double P = static_cast<double>(Pos) / static_cast<double>(Total);
+  return 2.0 * P * (1.0 - P);
+}
+
+int majorityLabel(const Dataset &D, const std::vector<size_t> &Indices) {
+  ptrdiff_t Balance = 0;
+  for (size_t I : Indices)
+    Balance += D.Y[I];
+  return Balance >= 0 ? 1 : -1;
+}
+
+} // namespace
+
+int DecisionTree::build(const Dataset &D, std::vector<size_t> Indices,
+                        unsigned DepthLeft, const Params &P) {
+  Node N;
+  N.LeafLabel = majorityLabel(D, Indices);
+
+  // Stop on purity, depth, or sample floor.
+  size_t Pos = 0;
+  for (size_t I : Indices)
+    if (D.Y[I] > 0)
+      ++Pos;
+  bool Pure = Pos == 0 || Pos == Indices.size();
+  if (Pure || DepthLeft == 0 || Indices.size() < 2 * P.MinSamplesPerLeaf) {
+    Nodes.push_back(N);
+    return static_cast<int>(Nodes.size()) - 1;
+  }
+
+  // Exhaustive best split: for each feature, sort and scan thresholds.
+  double BestGain = 0.0;
+  unsigned BestFeature = 0;
+  double BestThreshold = 0.0;
+  double ParentImpurity = gini(Pos, Indices.size());
+  for (unsigned F = 0; F != D.dim(); ++F) {
+    std::vector<std::pair<double, int>> Sorted;
+    Sorted.reserve(Indices.size());
+    for (size_t I : Indices)
+      Sorted.push_back({D.X[I][F], D.Y[I]});
+    std::sort(Sorted.begin(), Sorted.end());
+    size_t LeftPos = 0;
+    for (size_t Cut = 1; Cut != Sorted.size(); ++Cut) {
+      if (Sorted[Cut - 1].second > 0)
+        ++LeftPos;
+      if (Sorted[Cut - 1].first == Sorted[Cut].first)
+        continue; // cannot split between equal values
+      if (Cut < P.MinSamplesPerLeaf ||
+          Sorted.size() - Cut < P.MinSamplesPerLeaf)
+        continue;
+      double WLeft = static_cast<double>(Cut) /
+                     static_cast<double>(Sorted.size());
+      double Impurity =
+          WLeft * gini(LeftPos, Cut) +
+          (1.0 - WLeft) * gini(Pos - LeftPos, Sorted.size() - Cut);
+      double Gain = ParentImpurity - Impurity;
+      if (Gain > BestGain + 1e-12) {
+        BestGain = Gain;
+        BestFeature = F;
+        BestThreshold =
+            0.5 * (Sorted[Cut - 1].first + Sorted[Cut].first);
+      }
+    }
+  }
+  if (BestGain <= 0.0) {
+    Nodes.push_back(N);
+    return static_cast<int>(Nodes.size()) - 1;
+  }
+
+  std::vector<size_t> LeftIdx, RightIdx;
+  for (size_t I : Indices)
+    (D.X[I][BestFeature] <= BestThreshold ? LeftIdx : RightIdx)
+        .push_back(I);
+
+  N.IsLeaf = false;
+  N.Feature = BestFeature;
+  N.Threshold = BestThreshold;
+  Nodes.push_back(N);
+  int Self = static_cast<int>(Nodes.size()) - 1;
+  int Left = build(D, std::move(LeftIdx), DepthLeft - 1, P);
+  int Right = build(D, std::move(RightIdx), DepthLeft - 1, P);
+  Nodes[Self].Left = Left;
+  Nodes[Self].Right = Right;
+  return Self;
+}
+
+DecisionTree DecisionTree::train(const Dataset &D) {
+  return train(D, Params());
+}
+
+DecisionTree DecisionTree::train(const Dataset &D, const Params &P) {
+  assert(D.size() > 0 && "cannot train a tree on an empty set");
+  DecisionTree T;
+  T.Depth = P.MaxDepth;
+  std::vector<size_t> All(D.size());
+  for (size_t I = 0; I != D.size(); ++I)
+    All[I] = I;
+  T.build(D, std::move(All), P.MaxDepth, P);
+  return T;
+}
+
+int DecisionTree::predict(const std::vector<double> &X) const {
+  assert(!Nodes.empty() && "predicting with an untrained tree");
+  int Cur = 0;
+  while (!Nodes[static_cast<size_t>(Cur)].IsLeaf) {
+    const Node &N = Nodes[static_cast<size_t>(Cur)];
+    Cur = X[N.Feature] <= N.Threshold ? N.Left : N.Right;
+  }
+  return Nodes[static_cast<size_t>(Cur)].LeafLabel;
+}
+
+KnnClassifier::KnnClassifier(const Dataset &D, unsigned K)
+    : Data(D), K(K) {
+  assert(D.size() > 0 && "kNN needs training points");
+  assert(K >= 1 && "k must be positive");
+}
+
+int KnnClassifier::predict(const std::vector<double> &X) const {
+  // Partial selection of the K nearest squared distances.
+  std::vector<std::pair<double, int>> Dist;
+  Dist.reserve(Data.size());
+  for (size_t I = 0; I != Data.size(); ++I) {
+    double D2 = 0.0;
+    for (size_t F = 0; F != X.size(); ++F) {
+      double D = Data.X[I][F] - X[F];
+      D2 += D * D;
+    }
+    Dist.push_back({D2, Data.Y[I]});
+  }
+  size_t Take = std::min<size_t>(K, Dist.size());
+  std::partial_sort(Dist.begin(),
+                    Dist.begin() + static_cast<ptrdiff_t>(Take),
+                    Dist.end());
+  ptrdiff_t Balance = 0;
+  for (size_t I = 0; I != Take; ++I)
+    Balance += Dist[I].second;
+  return Balance >= 0 ? 1 : -1;
+}

@@ -1,0 +1,71 @@
+//===- ml/Comparators.h - Decision tree and kNN baselines ------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper (§4.3.1) reports that SVMs handled the class-imbalanced SOC
+/// data better than "other commonly used classification schemes, such as
+/// decision trees and nearest neighbor". These two reference classifiers
+/// back the ablation bench that reproduces the comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ML_COMPARATORS_H
+#define IPAS_ML_COMPARATORS_H
+
+#include "ml/Dataset.h"
+
+#include <memory>
+
+namespace ipas {
+
+/// CART-style binary decision tree with Gini impurity splits.
+class DecisionTree {
+public:
+  struct Params {
+    unsigned MaxDepth = 8;
+    size_t MinSamplesPerLeaf = 2;
+  };
+
+  static DecisionTree train(const Dataset &D, const Params &P);
+  static DecisionTree train(const Dataset &D);
+
+  int predict(const std::vector<double> &X) const;
+  size_t numNodes() const { return Nodes.size(); }
+  unsigned depth() const { return Depth; }
+
+private:
+  struct Node {
+    bool IsLeaf = true;
+    int LeafLabel = -1;
+    unsigned Feature = 0;
+    double Threshold = 0.0;
+    int Left = -1;  ///< x[Feature] <= Threshold
+    int Right = -1; ///< x[Feature] >  Threshold
+  };
+
+  int build(const Dataset &D, std::vector<size_t> Indices,
+            unsigned DepthLeft, const Params &P);
+
+  std::vector<Node> Nodes;
+  unsigned Depth = 0;
+};
+
+/// k-nearest-neighbour majority vote over Euclidean distance.
+class KnnClassifier {
+public:
+  KnnClassifier(const Dataset &D, unsigned K = 5);
+
+  int predict(const std::vector<double> &X) const;
+  unsigned k() const { return K; }
+
+private:
+  Dataset Data;
+  unsigned K;
+};
+
+} // namespace ipas
+
+#endif // IPAS_ML_COMPARATORS_H

@@ -1,0 +1,165 @@
+//===- ml/Svm.cpp --------------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// SMO in the Fan–Chen–Lin style used by LIBSVM: at each iteration the
+/// maximal violating pair (i from I_up, j from I_low) is selected by
+/// first-order information, the two alphas are updated analytically under
+/// the box constraints, and the gradient is maintained incrementally.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ml/Svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace ipas;
+
+double ipas::rbfKernel(const std::vector<double> &A,
+                       const std::vector<double> &B, double Gamma) {
+  double Dist2 = 0.0;
+  for (size_t J = 0; J != A.size(); ++J) {
+    double D = A[J] - B[J];
+    Dist2 += D * D;
+  }
+  return std::exp(-Gamma * Dist2);
+}
+
+double SvmModel::decision(const std::vector<double> &X) const {
+  double Sum = Bias;
+  for (size_t I = 0; I != SupportVectors.size(); ++I)
+    Sum += Coefficients[I] * rbfKernel(SupportVectors[I], X, Gamma);
+  return Sum;
+}
+
+SvmModel ipas::trainCSvc(const Dataset &D, const SvmParams &P) {
+  const size_t N = D.size();
+  assert(N > 0 && "cannot train on an empty dataset");
+  size_t NumPos = D.countLabel(1);
+  size_t NumNeg = N - NumPos;
+  assert(NumPos > 0 && NumNeg > 0 && "need samples of both classes");
+
+  double WPos = P.PositiveClassWeight;
+  if (P.AutoClassWeight)
+    WPos = static_cast<double>(NumNeg) / static_cast<double>(NumPos);
+  const double CPos = P.C * WPos;
+  const double CNeg = P.C;
+
+  // Precompute the kernel matrix in float (N <= a few thousand in every
+  // IPAS training configuration; see DESIGN.md).
+  std::vector<float> K(N * N);
+  for (size_t I = 0; I != N; ++I) {
+    K[I * N + I] = 1.0f; // exp(0)
+    for (size_t J = I + 1; J != N; ++J) {
+      float V = static_cast<float>(rbfKernel(D.X[I], D.X[J], P.Gamma));
+      K[I * N + J] = V;
+      K[J * N + I] = V;
+    }
+  }
+
+  std::vector<double> Alpha(N, 0.0);
+  // Gradient of the dual objective: G_i = sum_j y_i y_j K_ij alpha_j - 1.
+  std::vector<double> G(N, -1.0);
+  std::vector<double> Cap(N);
+  for (size_t I = 0; I != N; ++I)
+    Cap[I] = D.Y[I] > 0 ? CPos : CNeg;
+
+  auto InUp = [&](size_t I) {
+    return (D.Y[I] > 0 && Alpha[I] < Cap[I]) ||
+           (D.Y[I] < 0 && Alpha[I] > 0.0);
+  };
+  auto InLow = [&](size_t I) {
+    return (D.Y[I] > 0 && Alpha[I] > 0.0) ||
+           (D.Y[I] < 0 && Alpha[I] < Cap[I]);
+  };
+
+  size_t Iter = 0;
+  for (; Iter != P.MaxIterations; ++Iter) {
+    // Working-set selection: i maximizes -y_i G_i over I_up, j minimizes
+    // it over I_low; stop when the KKT gap closes.
+    double GMax = -std::numeric_limits<double>::infinity();
+    double GMin = std::numeric_limits<double>::infinity();
+    size_t Imax = N, Jmin = N;
+    for (size_t I = 0; I != N; ++I) {
+      double V = -static_cast<double>(D.Y[I]) * G[I];
+      if (InUp(I) && V > GMax) {
+        GMax = V;
+        Imax = I;
+      }
+      if (InLow(I) && V < GMin) {
+        GMin = V;
+        Jmin = I;
+      }
+    }
+    if (Imax == N || Jmin == N || GMax - GMin < P.Epsilon)
+      break;
+
+    const size_t I = Imax, J = Jmin;
+    const double Yi = D.Y[I], Yj = D.Y[J];
+    const float *Ki = &K[I * N];
+    const float *Kj = &K[J * N];
+
+    // Second-order curvature along the (i, j) direction.
+    double Quad = Ki[I] + Kj[J] - 2.0 * Yi * Yj * Ki[J];
+    if (Quad <= 0.0)
+      Quad = 1e-12;
+    double Delta = (GMax - GMin) / Quad;
+
+    // Update alphas under box constraints (work in the y-scaled space).
+    double OldAi = Alpha[I], OldAj = Alpha[J];
+    Alpha[I] += Yi * Delta;
+    Alpha[J] -= Yj * Delta;
+    Alpha[I] = std::clamp(Alpha[I], 0.0, Cap[I]);
+    // Preserve the equality constraint sum(y*alpha) = const.
+    double Shift = Yi * (Alpha[I] - OldAi);
+    Alpha[J] = OldAj - Yj * Shift;
+    Alpha[J] = std::clamp(Alpha[J], 0.0, Cap[J]);
+    // Re-adjust i in case j clipped.
+    Shift = Yj * (Alpha[J] - OldAj);
+    Alpha[I] = OldAi - Yi * Shift;
+    Alpha[I] = std::clamp(Alpha[I], 0.0, Cap[I]);
+
+    double DAi = (Alpha[I] - OldAi) * Yi;
+    double DAj = (Alpha[J] - OldAj) * Yj;
+    if (DAi == 0.0 && DAj == 0.0)
+      break; // numerically stuck
+    for (size_t T = 0; T != N; ++T)
+      G[T] += static_cast<double>(D.Y[T]) *
+              (DAi * Ki[T] + DAj * Kj[T]);
+  }
+
+  // Bias from the free support vectors (fall back to the KKT midpoint).
+  double BiasSum = 0.0;
+  size_t FreeCount = 0;
+  double UpBound = -std::numeric_limits<double>::infinity();
+  double LowBound = std::numeric_limits<double>::infinity();
+  for (size_t I = 0; I != N; ++I) {
+    double V = -static_cast<double>(D.Y[I]) * G[I];
+    if (Alpha[I] > 0.0 && Alpha[I] < Cap[I]) {
+      BiasSum += V;
+      ++FreeCount;
+    }
+    if (InUp(I))
+      UpBound = std::max(UpBound, V);
+    if (InLow(I))
+      LowBound = std::min(LowBound, V);
+  }
+  double Bias = FreeCount ? BiasSum / static_cast<double>(FreeCount)
+                          : (UpBound + LowBound) / 2.0;
+
+  SvmModel Model;
+  Model.Gamma = P.Gamma;
+  Model.Bias = Bias;
+  Model.Iterations = Iter;
+  for (size_t I = 0; I != N; ++I)
+    if (Alpha[I] > 1e-12) {
+      Model.SupportVectors.push_back(D.X[I]);
+      Model.Coefficients.push_back(Alpha[I] *
+                                   static_cast<double>(D.Y[I]));
+    }
+  return Model;
+}

@@ -1,0 +1,252 @@
+//===- mpi/SimMpi.cpp ----------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mpi/SimMpi.h"
+
+#include <algorithm>
+
+using namespace ipas;
+
+MpiJob::MpiJob(const ModuleLayout &Layout, const Config &Cfg) : Cfg(Cfg) {
+  assert(Cfg.NumRanks >= 1 && "job needs at least one rank");
+  for (int R = 0; R != Cfg.NumRanks; ++R) {
+    ExecutionContext::Config RankCfg = Cfg.Rank;
+    RankCfg.Rank = R;
+    RankCfg.NumRanks = Cfg.NumRanks;
+    // Decorrelate per-rank workload RNG streams.
+    RankCfg.WorkloadRngSeed =
+        Cfg.Rank.WorkloadRngSeed * 1000003ull + static_cast<uint64_t>(R);
+    Ranks.push_back(std::make_unique<ExecutionContext>(Layout, RankCfg));
+  }
+}
+
+void MpiJob::start(
+    const Function *Entry,
+    const std::function<std::vector<RtValue>(ExecutionContext &, int)>
+        &ArgsFor) {
+  for (int R = 0; R != Cfg.NumRanks; ++R) {
+    ExecutionContext &Ctx = *Ranks[static_cast<size_t>(R)];
+    Ctx.start(Entry, ArgsFor(Ctx, R));
+  }
+}
+
+void MpiJob::chargeComm(uint64_t Bytes) {
+  uint64_t Cost = Cfg.AlphaCost +
+                  static_cast<uint64_t>(Cfg.BetaCostPerByte *
+                                        static_cast<double>(Bytes));
+  for (auto &R : Ranks)
+    R->addCommCost(Cost);
+}
+
+JobResult MpiJob::run() {
+  JobResult Result;
+  while (true) {
+    bool AnyRunning = false;
+    for (int R = 0; R != Cfg.NumRanks; ++R) {
+      ExecutionContext &Ctx = *Ranks[static_cast<size_t>(R)];
+      if (Ctx.status() != RunStatus::Running)
+        continue;
+      AnyRunning = true;
+      RunStatus S = Ctx.run(Cfg.StepBudgetPerRank);
+      if (S == RunStatus::Trapped || S == RunStatus::Detected ||
+          S == RunStatus::OutOfSteps) {
+        // One failing process aborts the whole job (observable symptom /
+        // detection propagates, paper §4.4.1).
+        Result.Status = S;
+        Result.Trap = Ctx.trap();
+        Result.FailedRank = R;
+        break;
+      }
+    }
+    if (Result.Status != RunStatus::Finished)
+      break;
+
+    bool AllFinished = true;
+    bool AllSettled = true; // finished or blocked
+    int NumBlocked = 0;
+    for (auto &Ctx : Ranks) {
+      if (Ctx->status() == RunStatus::Blocked)
+        ++NumBlocked;
+      if (Ctx->status() != RunStatus::Finished)
+        AllFinished = false;
+      if (Ctx->status() == RunStatus::Running)
+        AllSettled = false;
+    }
+    if (AllFinished)
+      break;
+    if (!AllSettled)
+      continue;
+    if (NumBlocked != Cfg.NumRanks) {
+      // Some ranks exited while others wait on a collective: the real job
+      // would hang in MPI_Wait forever.
+      Result.Status = RunStatus::OutOfSteps;
+      Result.FailedRank = -1;
+      break;
+    }
+    if (!resolveCollective(Result))
+      break;
+    (void)AnyRunning;
+  }
+
+  for (auto &Ctx : Ranks) {
+    Result.TotalSteps += Ctx->steps();
+    Result.CriticalPathCycles =
+        std::max(Result.CriticalPathCycles, Ctx->steps() + Ctx->commCost());
+  }
+  return Result;
+}
+
+bool MpiJob::resolveCollective(JobResult &Result) {
+  const int P = Cfg.NumRanks;
+  Intrinsic Op = Ranks[0]->pending().Op;
+  for (auto &Ctx : Ranks)
+    if (Ctx->pending().Op != Op) {
+      // A corrupted rank reached a different collective: communicator
+      // mismatch, which MVAPICH would surface as a fatal error.
+      Ctx->failPending(TrapKind::MpiMismatch);
+      Result.Status = RunStatus::Trapped;
+      Result.Trap = TrapKind::MpiMismatch;
+      Result.FailedRank = Ctx->rank();
+      return false;
+    }
+
+  auto CompleteAll = [&](RtValue V) {
+    for (auto &Ctx : Ranks)
+      Ctx->completePendingCall(V);
+  };
+
+  switch (Op) {
+  case Intrinsic::MpiBarrier:
+    chargeComm(0);
+    CompleteAll(RtValue());
+    return true;
+  case Intrinsic::MpiAllreduceSumD: {
+    double Sum = 0.0;
+    for (auto &Ctx : Ranks)
+      Sum += Ctx->pending().Args[0].asF64();
+    chargeComm(8ull * static_cast<uint64_t>(P));
+    CompleteAll(RtValue::fromF64(Sum));
+    return true;
+  }
+  case Intrinsic::MpiAllreduceMaxD: {
+    double Max = Ranks[0]->pending().Args[0].asF64();
+    for (auto &Ctx : Ranks)
+      Max = std::max(Max, Ctx->pending().Args[0].asF64());
+    chargeComm(8ull * static_cast<uint64_t>(P));
+    CompleteAll(RtValue::fromF64(Max));
+    return true;
+  }
+  case Intrinsic::MpiAllreduceSumI: {
+    int64_t Sum = 0;
+    for (auto &Ctx : Ranks)
+      Sum += Ctx->pending().Args[0].asI64();
+    chargeComm(8ull * static_cast<uint64_t>(P));
+    CompleteAll(RtValue::fromI64(Sum));
+    return true;
+  }
+  case Intrinsic::MpiBcastD:
+  case Intrinsic::MpiBcastI: {
+    int64_t Root = Ranks[0]->pending().Args[1].asI64();
+    if (Root < 0 || Root >= P) {
+      Ranks[0]->failPending(TrapKind::MpiMismatch);
+      Result.Status = RunStatus::Trapped;
+      Result.Trap = TrapKind::MpiMismatch;
+      Result.FailedRank = 0;
+      return false;
+    }
+    RtValue V = Ranks[static_cast<size_t>(Root)]->pending().Args[0];
+    chargeComm(8ull * static_cast<uint64_t>(P));
+    CompleteAll(V);
+    return true;
+  }
+  case Intrinsic::MpiAllgatherD: {
+    // Rank r contributes N slots; every rank receives P*N slots with rank
+    // r's data at offset r*N.
+    int64_t N = Ranks[0]->pending().Args[2].asI64();
+    for (auto &Ctx : Ranks)
+      if (Ctx->pending().Args[2].asI64() != N || N < 0) {
+        Ctx->failPending(TrapKind::MpiMismatch);
+        Result.Status = RunStatus::Trapped;
+        Result.Trap = TrapKind::MpiMismatch;
+        Result.FailedRank = Ctx->rank();
+        return false;
+      }
+    uint64_t Count = static_cast<uint64_t>(N);
+    // Validate all buffers before moving data.
+    for (auto &Ctx : Ranks) {
+      uint64_t Send = Ctx->pending().Args[0].asPtr();
+      uint64_t Recv = Ctx->pending().Args[1].asPtr();
+      if (!Ctx->memory().validRange(Send, Count * 8) ||
+          !Ctx->memory().validRange(Recv,
+                                    Count * 8 * static_cast<uint64_t>(P))) {
+        Ctx->failPending(TrapKind::OutOfBounds);
+        Result.Status = RunStatus::Trapped;
+        Result.Trap = TrapKind::OutOfBounds;
+        Result.FailedRank = Ctx->rank();
+        return false;
+      }
+    }
+    for (int Src = 0; Src != P; ++Src) {
+      uint64_t SendAddr = Ranks[Src]->pending().Args[0].asPtr();
+      for (int Dst = 0; Dst != P; ++Dst) {
+        uint64_t RecvAddr = Ranks[Dst]->pending().Args[1].asPtr() +
+                            static_cast<uint64_t>(Src) * Count * 8;
+        for (uint64_t K = 0; K != Count; ++K)
+          Ranks[Dst]->memory().write64(
+              RecvAddr + K * 8,
+              Ranks[Src]->memory().read64(SendAddr + K * 8));
+      }
+    }
+    chargeComm(Count * 8 * static_cast<uint64_t>(P));
+    CompleteAll(RtValue());
+    return true;
+  }
+  case Intrinsic::MpiAlltoallD: {
+    // Rank r's send buffer holds P segments of N slots; segment k goes to
+    // rank k's recv buffer at offset r*N.
+    int64_t N = Ranks[0]->pending().Args[2].asI64();
+    for (auto &Ctx : Ranks)
+      if (Ctx->pending().Args[2].asI64() != N || N < 0) {
+        Ctx->failPending(TrapKind::MpiMismatch);
+        Result.Status = RunStatus::Trapped;
+        Result.Trap = TrapKind::MpiMismatch;
+        Result.FailedRank = Ctx->rank();
+        return false;
+      }
+    uint64_t Count = static_cast<uint64_t>(N);
+    uint64_t Full = Count * 8 * static_cast<uint64_t>(P);
+    for (auto &Ctx : Ranks) {
+      uint64_t Send = Ctx->pending().Args[0].asPtr();
+      uint64_t Recv = Ctx->pending().Args[1].asPtr();
+      if (!Ctx->memory().validRange(Send, Full) ||
+          !Ctx->memory().validRange(Recv, Full)) {
+        Ctx->failPending(TrapKind::OutOfBounds);
+        Result.Status = RunStatus::Trapped;
+        Result.Trap = TrapKind::OutOfBounds;
+        Result.FailedRank = Ctx->rank();
+        return false;
+      }
+    }
+    for (int Src = 0; Src != P; ++Src) {
+      uint64_t SendBase = Ranks[Src]->pending().Args[0].asPtr();
+      for (int Dst = 0; Dst != P; ++Dst) {
+        uint64_t SegSrc = SendBase + static_cast<uint64_t>(Dst) * Count * 8;
+        uint64_t SegDst = Ranks[Dst]->pending().Args[1].asPtr() +
+                          static_cast<uint64_t>(Src) * Count * 8;
+        for (uint64_t K = 0; K != Count; ++K)
+          Ranks[Dst]->memory().write64(
+              SegDst + K * 8, Ranks[Src]->memory().read64(SegSrc + K * 8));
+      }
+    }
+    chargeComm(Full);
+    CompleteAll(RtValue());
+    return true;
+  }
+  default:
+    assert(false && "non-collective op left pending");
+    return false;
+  }
+}

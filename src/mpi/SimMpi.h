@@ -1,0 +1,83 @@
+//===- mpi/SimMpi.h - Simulated MPI job scheduler ---------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SimMPI runs one ExecutionContext per rank and resolves blocking
+/// collectives when every rank has arrived, providing the semantics the
+/// paper relies on (§4.4.1): rank/size queries, collectives, and "one
+/// process fails => the whole job aborts with an observable symptom".
+/// Ranks are scheduled deterministically (round-robin), so fault-injection
+/// campaigns over MPI jobs are exactly reproducible.
+///
+/// A simple alpha-beta cost model charges each rank for communication so
+/// that the scalability experiment (Figure 8) has a communication term
+/// that duplication does not inflate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_MPI_SIMMPI_H
+#define IPAS_MPI_SIMMPI_H
+
+#include "interp/Interpreter.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ipas {
+
+/// Aggregate result of a parallel run.
+struct JobResult {
+  /// Finished when all ranks completed; otherwise the failure kind
+  /// (Trapped/Detected/OutOfSteps) of the first rank that failed.
+  RunStatus Status = RunStatus::Finished;
+  TrapKind Trap = TrapKind::None;
+  int FailedRank = -1;
+  /// Critical-path cycles: max over ranks of (steps + comm cost). The
+  /// slowdown metric for Figures 6 and 8 is a ratio of these.
+  uint64_t CriticalPathCycles = 0;
+  uint64_t TotalSteps = 0;
+};
+
+class MpiJob {
+public:
+  struct Config {
+    int NumRanks = 1;
+    ExecutionContext::Config Rank; ///< Template; Rank/NumRanks overridden.
+    /// Per-rank step budget; exceeding it classifies the job as a hang.
+    uint64_t StepBudgetPerRank = UINT64_MAX;
+    /// Communication cost model: Alpha cycles per collective plus Beta
+    /// cycles per byte moved (charged to every participating rank).
+    uint64_t AlphaCost = 200;
+    double BetaCostPerByte = 0.05;
+  };
+
+  MpiJob(const ModuleLayout &Layout, const Config &Cfg);
+
+  int numRanks() const { return Cfg.NumRanks; }
+  ExecutionContext &rank(int R) { return *Ranks[static_cast<size_t>(R)]; }
+
+  /// Starts every rank on \p Entry. \p ArgsFor builds the per-rank argument
+  /// list (and may allocate buffers in the rank's memory).
+  void
+  start(const Function *Entry,
+        const std::function<std::vector<RtValue>(ExecutionContext &, int)>
+            &ArgsFor);
+
+  /// Runs the job to completion (or failure).
+  JobResult run();
+
+private:
+  bool resolveCollective(JobResult &Result);
+  void chargeComm(uint64_t Bytes);
+
+  Config Cfg;
+  std::vector<std::unique_ptr<ExecutionContext>> Ranks;
+};
+
+} // namespace ipas
+
+#endif // IPAS_MPI_SIMMPI_H

@@ -1,0 +1,154 @@
+//===- support/ArgParser.cpp ----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace ipas;
+
+void ArgParser::addInt(const std::string &Name, int64_t *Storage,
+                       const std::string &Help) {
+  Flags.push_back({Name, FlagKind::Int, Storage, Help});
+}
+
+void ArgParser::addDouble(const std::string &Name, double *Storage,
+                          const std::string &Help) {
+  Flags.push_back({Name, FlagKind::Double, Storage, Help});
+}
+
+void ArgParser::addString(const std::string &Name, std::string *Storage,
+                          const std::string &Help) {
+  Flags.push_back({Name, FlagKind::String, Storage, Help});
+}
+
+void ArgParser::addBool(const std::string &Name, bool *Storage,
+                        const std::string &Help) {
+  Flags.push_back({Name, FlagKind::Bool, Storage, Help});
+}
+
+ArgParser::Flag *ArgParser::findFlag(const std::string &Name) {
+  for (Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+bool ArgParser::assign(Flag &F, const std::string &Value) {
+  char *End = nullptr;
+  switch (F.Kind) {
+  case FlagKind::Int: {
+    long long V = std::strtoll(Value.c_str(), &End, 10);
+    if (End == Value.c_str() || *End != '\0') {
+      std::fprintf(stderr, "error: flag --%s expects an integer, got '%s'\n",
+                   F.Name.c_str(), Value.c_str());
+      return false;
+    }
+    *static_cast<int64_t *>(F.Storage) = V;
+    return true;
+  }
+  case FlagKind::Double: {
+    double V = std::strtod(Value.c_str(), &End);
+    if (End == Value.c_str() || *End != '\0') {
+      std::fprintf(stderr, "error: flag --%s expects a number, got '%s'\n",
+                   F.Name.c_str(), Value.c_str());
+      return false;
+    }
+    *static_cast<double *>(F.Storage) = V;
+    return true;
+  }
+  case FlagKind::String:
+    *static_cast<std::string *>(F.Storage) = Value;
+    return true;
+  case FlagKind::Bool:
+    if (Value == "true" || Value == "1") {
+      *static_cast<bool *>(F.Storage) = true;
+      return true;
+    }
+    if (Value == "false" || Value == "0") {
+      *static_cast<bool *>(F.Storage) = false;
+      return true;
+    }
+    std::fprintf(stderr, "error: flag --%s expects true/false, got '%s'\n",
+                 F.Name.c_str(), Value.c_str());
+    return false;
+  }
+  return false;
+}
+
+bool ArgParser::parse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positionals.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    if (Body == "help") {
+      std::fputs(usage().c_str(), stderr);
+      return false;
+    }
+    std::string Name = Body;
+    std::string Value;
+    bool HasValue = false;
+    size_t Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+      HasValue = true;
+    }
+    Flag *F = findFlag(Name);
+    if (!F) {
+      std::fprintf(stderr, "error: unknown flag --%s\n%s", Name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!HasValue) {
+      // Boolean switches may omit the value; everything else consumes the
+      // next argument.
+      if (F->Kind == FlagKind::Bool) {
+        *static_cast<bool *>(F->Storage) = true;
+        continue;
+      }
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: flag --%s requires a value\n",
+                     Name.c_str());
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    if (!assign(*F, Value))
+      return false;
+  }
+  return true;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream OS;
+  OS << Description << "\n\nFlags:\n";
+  for (const Flag &F : Flags) {
+    OS << "  --" << F.Name;
+    switch (F.Kind) {
+    case FlagKind::Int:
+      OS << " <int>";
+      break;
+    case FlagKind::Double:
+      OS << " <num>";
+      break;
+    case FlagKind::String:
+      OS << " <str>";
+      break;
+    case FlagKind::Bool:
+      OS << " [bool]";
+      break;
+    }
+    OS << "\n      " << F.Help << "\n";
+  }
+  OS << "  --help\n      Print this message.\n";
+  return OS.str();
+}

@@ -1,0 +1,68 @@
+//===- support/ArgParser.h - Minimal command-line flag parsing -----------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small `--flag value` / `--flag=value` / `--switch` parser shared by the
+/// benchmark harnesses and example tools. Unknown flags are reported and
+/// cause parse() to fail so that typos do not silently change experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_SUPPORT_ARGPARSER_H
+#define IPAS_SUPPORT_ARGPARSER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+/// Registers typed flags bound to caller-owned storage, then parses argv.
+class ArgParser {
+public:
+  explicit ArgParser(std::string ProgramDescription)
+      : Description(std::move(ProgramDescription)) {}
+
+  void addInt(const std::string &Name, int64_t *Storage,
+              const std::string &Help);
+  void addDouble(const std::string &Name, double *Storage,
+                 const std::string &Help);
+  void addString(const std::string &Name, std::string *Storage,
+                 const std::string &Help);
+  void addBool(const std::string &Name, bool *Storage,
+               const std::string &Help);
+
+  /// Parses argv; returns false (after printing a message to stderr) on an
+  /// unknown flag, a missing value, or a malformed number. `--help` prints
+  /// usage and returns false as well.
+  bool parse(int Argc, const char *const *Argv);
+
+  /// Positional (non-flag) arguments encountered during parse().
+  const std::vector<std::string> &positionals() const { return Positionals; }
+
+  /// Renders the usage/help text.
+  std::string usage() const;
+
+private:
+  enum class FlagKind { Int, Double, String, Bool };
+  struct Flag {
+    std::string Name;
+    FlagKind Kind;
+    void *Storage;
+    std::string Help;
+  };
+
+  Flag *findFlag(const std::string &Name);
+  bool assign(Flag &F, const std::string &Value);
+
+  std::string Description;
+  std::vector<Flag> Flags;
+  std::vector<std::string> Positionals;
+};
+
+} // namespace ipas
+
+#endif // IPAS_SUPPORT_ARGPARSER_H

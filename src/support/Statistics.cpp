@@ -1,0 +1,111 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ipas;
+
+void RunningStat::add(double X) {
+  ++N;
+  if (N == 1) {
+    Mean = Min = Max = X;
+    M2 = 0.0;
+    return;
+  }
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+  if (X < Min)
+    Min = X;
+  if (X > Max)
+    Max = X;
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+/// Inverse standard normal CDF via Acklam's rational approximation,
+/// accurate to ~1e-9 over (0, 1).
+static double inverseNormalCdf(double P) {
+  assert(P > 0.0 && P < 1.0 && "probability must be in (0, 1)");
+  static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double PLow = 0.02425;
+  const double PHigh = 1.0 - PLow;
+
+  if (P < PLow) {
+    double Q = std::sqrt(-2.0 * std::log(P));
+    return (((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+            C[5]) /
+           ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+  }
+  if (P > PHigh) {
+    double Q = std::sqrt(-2.0 * std::log(1.0 - P));
+    return -(((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+             C[5]) /
+           ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+  }
+  double Q = P - 0.5;
+  double R = Q * Q;
+  return (((((A[0] * R + A[1]) * R + A[2]) * R + A[3]) * R + A[4]) * R +
+          A[5]) *
+         Q /
+         (((((B[0] * R + B[1]) * R + B[2]) * R + B[3]) * R + B[4]) * R + 1.0);
+}
+
+double ipas::zCriticalValue(double Confidence) {
+  assert(Confidence > 0.0 && Confidence < 1.0 && "confidence in (0, 1)");
+  return inverseNormalCdf(0.5 + Confidence / 2.0);
+}
+
+double ipas::proportionMarginOfError(double P, size_t N, double Confidence) {
+  if (N == 0)
+    return 1.0;
+  double Z = zCriticalValue(Confidence);
+  return Z * std::sqrt(P * (1.0 - P) / static_cast<double>(N));
+}
+
+double ipas::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double ipas::sampleStddev(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0.0;
+  double M = mean(Xs);
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += (X - M) * (X - M);
+  return std::sqrt(Sum / static_cast<double>(Xs.size() - 1));
+}
+
+double ipas::euclideanDistance(double X1, double Y1, double X2, double Y2) {
+  double DX = X1 - X2;
+  double DY = Y1 - Y2;
+  return std::sqrt(DX * DX + DY * DY);
+}

@@ -1,0 +1,65 @@
+//===- support/Statistics.h - Summary statistics helpers -----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics utilities used by the evaluation harness: running
+/// mean/variance, and the margin of error for proportions estimated by
+/// statistical fault injection (paper §5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_SUPPORT_STATISTICS_H
+#define IPAS_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ipas {
+
+/// Accumulates a stream of samples and reports mean / variance / extrema
+/// using Welford's numerically stable update.
+class RunningStat {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Unbiased sample variance; zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Margin of error (half-width of the confidence interval) for a proportion
+/// \p P estimated from \p N fault-injection samples, using the normal
+/// approximation the paper assumes (§5.4). \p Confidence is e.g. 0.95.
+double proportionMarginOfError(double P, size_t N, double Confidence = 0.95);
+
+/// Two-sided z critical value for the given confidence level, computed by
+/// inverting the standard normal CDF (Acklam's rational approximation).
+double zCriticalValue(double Confidence);
+
+/// Arithmetic mean of \p Xs; zero when empty.
+double mean(const std::vector<double> &Xs);
+
+/// Unbiased sample standard deviation of \p Xs; zero for fewer than two.
+double sampleStddev(const std::vector<double> &Xs);
+
+/// Euclidean distance between (X1, Y1) and (X2, Y2); used by the
+/// ideal-point best-configuration criterion (paper §6.3).
+double euclideanDistance(double X1, double Y1, double X2, double Y2);
+
+} // namespace ipas
+
+#endif // IPAS_SUPPORT_STATISTICS_H

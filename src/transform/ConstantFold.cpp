@@ -1,0 +1,226 @@
+//===- transform/ConstantFold.cpp ----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ConstantFold.h"
+
+#include <cmath>
+#include <optional>
+
+using namespace ipas;
+
+namespace {
+
+std::optional<int64_t> intValue(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return CI->value();
+  return std::nullopt;
+}
+
+std::optional<double> fpValue(const Value *V) {
+  if (const auto *CF = dyn_cast<ConstantFP>(V))
+    return CF->value();
+  return std::nullopt;
+}
+
+/// Computes the folded replacement for \p I, or null if not foldable.
+Value *foldInstruction(Module &M, Instruction *I) {
+  Opcode Op = I->opcode();
+
+  if (isIntBinaryOpcode(Op)) {
+    auto A = intValue(I->operand(0));
+    auto B = intValue(I->operand(1));
+    // Identities that need only one constant operand.
+    if (B) {
+      if ((Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Or ||
+           Op == Opcode::Xor || Op == Opcode::Shl ||
+           Op == Opcode::AShr) &&
+          *B == 0 && I->type().isI64())
+        return I->operand(0);
+      if (Op == Opcode::Mul && *B == 1)
+        return I->operand(0);
+    }
+    if (!A || !B)
+      return nullptr;
+    uint64_t UA = static_cast<uint64_t>(*A), UB = static_cast<uint64_t>(*B);
+    uint64_t R;
+    switch (Op) {
+    case Opcode::Add:
+      R = UA + UB;
+      break;
+    case Opcode::Sub:
+      R = UA - UB;
+      break;
+    case Opcode::Mul:
+      R = UA * UB;
+      break;
+    case Opcode::SDiv:
+    case Opcode::SRem:
+      // Trapping cases must stay: they are observable behaviour.
+      if (*B == 0 || (*A == INT64_MIN && *B == -1))
+        return nullptr;
+      R = static_cast<uint64_t>(Op == Opcode::SDiv ? *A / *B : *A % *B);
+      break;
+    case Opcode::And:
+      R = UA & UB;
+      break;
+    case Opcode::Or:
+      R = UA | UB;
+      break;
+    case Opcode::Xor:
+      R = UA ^ UB;
+      break;
+    case Opcode::Shl:
+      R = UA << (UB & 63);
+      break;
+    default:
+      R = static_cast<uint64_t>(*A >> (UB & 63));
+      break;
+    }
+    if (I->type().isI1())
+      R &= 1;
+    return M.getConstantInt(I->type(), static_cast<int64_t>(R));
+  }
+
+  if (isFPBinaryOpcode(Op)) {
+    auto A = fpValue(I->operand(0));
+    auto B = fpValue(I->operand(1));
+    if (!A || !B)
+      return nullptr;
+    double R;
+    switch (Op) {
+    case Opcode::FAdd:
+      R = *A + *B;
+      break;
+    case Opcode::FSub:
+      R = *A - *B;
+      break;
+    case Opcode::FMul:
+      R = *A * *B;
+      break;
+    default:
+      R = *A / *B;
+      break;
+    }
+    return M.getFloat(R);
+  }
+
+  if (isCmpOpcode(Op)) {
+    const auto *Cmp = cast<CmpInst>(I);
+    bool R;
+    if (Op == Opcode::ICmp) {
+      auto A = intValue(I->operand(0));
+      auto B = intValue(I->operand(1));
+      if (!A || !B)
+        return nullptr;
+      switch (Cmp->predicate()) {
+      case CmpPredicate::EQ:
+        R = *A == *B;
+        break;
+      case CmpPredicate::NE:
+        R = *A != *B;
+        break;
+      case CmpPredicate::LT:
+        R = *A < *B;
+        break;
+      case CmpPredicate::LE:
+        R = *A <= *B;
+        break;
+      case CmpPredicate::GT:
+        R = *A > *B;
+        break;
+      default:
+        R = *A >= *B;
+        break;
+      }
+    } else {
+      auto A = fpValue(I->operand(0));
+      auto B = fpValue(I->operand(1));
+      if (!A || !B)
+        return nullptr;
+      switch (Cmp->predicate()) {
+      case CmpPredicate::EQ:
+        R = *A == *B;
+        break;
+      case CmpPredicate::NE:
+        R = *A != *B;
+        break;
+      case CmpPredicate::LT:
+        R = *A < *B;
+        break;
+      case CmpPredicate::LE:
+        R = *A <= *B;
+        break;
+      case CmpPredicate::GT:
+        R = *A > *B;
+        break;
+      default:
+        R = *A >= *B;
+        break;
+      }
+    }
+    return M.getBool(R);
+  }
+
+  switch (Op) {
+  case Opcode::SIToFP:
+    if (auto A = intValue(I->operand(0)))
+      return M.getFloat(static_cast<double>(*A));
+    return nullptr;
+  case Opcode::FPToSI:
+    if (auto A = fpValue(I->operand(0))) {
+      if (std::isnan(*A) || *A >= 9.2233720368547758e18 ||
+          *A <= -9.2233720368547758e18)
+        return M.getInt64(INT64_MIN);
+      return M.getInt64(static_cast<int64_t>(*A));
+    }
+    return nullptr;
+  case Opcode::ZExt:
+    if (auto A = intValue(I->operand(0)))
+      return M.getInt64(*A & 1);
+    return nullptr;
+  case Opcode::Select: {
+    auto C = intValue(I->operand(0));
+    if (!C)
+      return nullptr;
+    return I->operand((*C & 1) ? 1 : 2);
+  }
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+unsigned ipas::foldConstants(Function &F) {
+  Module &M = *F.parent();
+  unsigned Folded = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      std::vector<Instruction *> Work;
+      for (Instruction *I : *BB)
+        Work.push_back(I);
+      for (Instruction *I : Work) {
+        Value *Replacement = foldInstruction(M, I);
+        if (!Replacement)
+          continue;
+        I->replaceAllUsesWith(Replacement);
+        BB->erase(I);
+        ++Folded;
+        Changed = true;
+      }
+    }
+  }
+  return Folded;
+}
+
+unsigned ipas::foldConstants(Module &M) {
+  unsigned N = 0;
+  for (Function *F : M)
+    N += foldConstants(*F);
+  return N;
+}

@@ -1,0 +1,32 @@
+//===- transform/ConstantFold.h - Constant folding --------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Folds instructions whose operands are all constants (and a few safe
+/// algebraic identities). The paper applies protection after user-level
+/// optimizations (§3, step 4); this pass and DCE let the pipeline model
+/// an optimized build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TRANSFORM_CONSTANTFOLD_H
+#define IPAS_TRANSFORM_CONSTANTFOLD_H
+
+#include "ir/Module.h"
+
+namespace ipas {
+
+/// Folds constants in \p F until fixpoint. Integer division by zero (and
+/// other trapping cases) are never folded. Returns the number of
+/// instructions folded away.
+unsigned foldConstants(Function &F);
+
+/// Runs folding over every function.
+unsigned foldConstants(Module &M);
+
+} // namespace ipas
+
+#endif // IPAS_TRANSFORM_CONSTANTFOLD_H

@@ -1,0 +1,57 @@
+//===- transform/DCE.cpp --------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/DCE.h"
+
+using namespace ipas;
+
+/// True when deleting an unused \p I cannot change program behaviour.
+/// Loads are removable (no volatile semantics in this IR); calls are not
+/// (callees and intrinsics may have effects); stores, checks, and
+/// terminators obviously are not.
+static bool isRemovableWhenUnused(const Instruction *I) {
+  switch (I->opcode()) {
+  case Opcode::Store:
+  case Opcode::Call:
+  case Opcode::Check:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return false;
+  default:
+    return true;
+  }
+}
+
+unsigned ipas::eliminateDeadCode(Function &F) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      // Iterate a snapshot in reverse so chains die in one sweep.
+      std::vector<Instruction *> Work;
+      for (Instruction *I : *BB)
+        Work.push_back(I);
+      for (auto It = Work.rbegin(); It != Work.rend(); ++It) {
+        Instruction *I = *It;
+        if (I->hasUses() || !isRemovableWhenUnused(I))
+          continue;
+        BB->erase(I);
+        ++Removed;
+        Changed = true;
+      }
+    }
+  }
+  return Removed;
+}
+
+unsigned ipas::eliminateDeadCode(Module &M) {
+  unsigned N = 0;
+  for (Function *F : M)
+    N += eliminateDeadCode(*F);
+  return N;
+}

@@ -1,0 +1,25 @@
+//===- transform/DCE.h - Dead code elimination -------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TRANSFORM_DCE_H
+#define IPAS_TRANSFORM_DCE_H
+
+#include "ir/Module.h"
+
+namespace ipas {
+
+/// Deletes unused side-effect-free instructions (arithmetic, casts,
+/// comparisons, geps, selects, phis, loads, and unused allocas) until
+/// fixpoint. Stores, calls, checks, and terminators are never removed.
+/// Returns the number of instructions deleted.
+unsigned eliminateDeadCode(Function &F);
+
+/// Runs DCE over every function.
+unsigned eliminateDeadCode(Module &M);
+
+} // namespace ipas
+
+#endif // IPAS_TRANSFORM_DCE_H

@@ -1,0 +1,103 @@
+//===- transform/Duplication.cpp ----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Duplication.h"
+
+#include <map>
+#include <vector>
+
+using namespace ipas;
+
+bool ipas::isDuplicableOpcode(Opcode Op) {
+  // Computation instructions only: no loads/stores (ECC-protected memory),
+  // no calls (library code is protected separately, §5.1), no allocas, no
+  // phis (their incoming shadows would cross block boundaries), and no
+  // control flow (covered by control-flow checking techniques, §3).
+  return isBinaryOpcode(Op) || isCmpOpcode(Op) || isCastOpcode(Op) ||
+         Op == Opcode::Gep || Op == Opcode::Select;
+}
+
+namespace {
+
+/// Duplicates the selected instructions of one basic block and inserts the
+/// duplication-path checks.
+void processBlock(BasicBlock *BB, const ProtectionPredicate &Protect,
+                  const DuplicationOptions &Opts, DuplicationStats &Stats) {
+  // Snapshot: the pass inserts while iterating.
+  std::vector<Instruction *> Originals;
+  Originals.reserve(BB->size());
+  for (Instruction *I : *BB)
+    Originals.push_back(I);
+
+  // Pass 1: create shadows in order; shadows consume shadows.
+  std::map<const Value *, Instruction *> ShadowOf;
+  std::vector<Instruction *> Selected;
+  for (Instruction *I : Originals) {
+    ++Stats.TotalInstructions;
+    if (!isDuplicableOpcode(I->opcode()))
+      continue;
+    ++Stats.EligibleInstructions;
+    if (!Protect(*I))
+      continue;
+    ++Stats.SelectedInstructions;
+
+    Instruction *Shadow = I->clone();
+    if (!I->name().empty())
+      Shadow->setName(I->name() + ".dup");
+    for (unsigned OpIdx = 0; OpIdx != Shadow->numOperands(); ++OpIdx) {
+      auto It = ShadowOf.find(Shadow->operand(OpIdx));
+      if (It != ShadowOf.end())
+        Shadow->setOperand(OpIdx, It->second);
+    }
+    BB->insertAfter(I, std::unique_ptr<Instruction>(Shadow));
+    ShadowOf[I] = Shadow;
+    Selected.push_back(I);
+    ++Stats.DuplicatedInstructions;
+  }
+
+  // Pass 2: place checks. In the SWIFT-style ablation every duplicated
+  // instruction gets one; in the paper's design only duplication-path
+  // ends — selected instructions with no selected user inside this block
+  // — are checked.
+  for (Instruction *I : Selected) {
+    if (Opts.Placement == CheckPlacement::EveryInstruction) {
+      auto *Check = new CheckInst(I, ShadowOf[I]);
+      BB->insertAfter(ShadowOf[I], std::unique_ptr<Instruction>(Check));
+      ++Stats.ChecksInserted;
+      continue;
+    }
+    bool HasSelectedUserHere = false;
+    for (Instruction *User : I->users()) {
+      if (User == ShadowOf[I])
+        continue; // the shadow itself is not a path continuation
+      if (User->parent() == BB && ShadowOf.count(User)) {
+        HasSelectedUserHere = true;
+        break;
+      }
+    }
+    if (HasSelectedUserHere)
+      continue;
+    auto *Check = new CheckInst(I, ShadowOf[I]);
+    BB->insertAfter(ShadowOf[I], std::unique_ptr<Instruction>(Check));
+    ++Stats.ChecksInserted;
+  }
+}
+
+} // namespace
+
+DuplicationStats
+ipas::duplicateInstructions(Module &M, const ProtectionPredicate &Protect,
+                            const DuplicationOptions &Opts) {
+  DuplicationStats Stats;
+  for (Function *F : M)
+    for (BasicBlock *BB : *F)
+      processBlock(BB, Protect, Opts, Stats);
+  return Stats;
+}
+
+DuplicationStats ipas::duplicateAllInstructions(Module &M) {
+  return duplicateInstructions(M, [](const Instruction &) { return true; });
+}

@@ -1,0 +1,83 @@
+//===- transform/Duplication.h - Instruction duplication (paper §4.4) -----===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The protection transform: selected computation instructions are
+/// duplicated into shadow copies, shadows consume shadows where available,
+/// and a `soc.check` comparison is inserted at the end of every
+/// *duplication path* — a maximal def-use chain of duplicated instructions
+/// confined to one basic block. A runtime mismatch between an original and
+/// its shadow raises a Detected event.
+///
+/// Like the paper (and SWIFT), loads, stores, calls, allocas, phis, and
+/// control flow are never duplicated: memory is assumed ECC-protected and
+/// control-flow faults are out of the fault model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TRANSFORM_DUPLICATION_H
+#define IPAS_TRANSFORM_DUPLICATION_H
+
+#include "ir/Module.h"
+
+#include <functional>
+#include <set>
+
+namespace ipas {
+
+/// Decides, per instruction, whether it must be protected. Receives the
+/// instruction's module-wide id (stable across the renumber() preceding
+/// the pass).
+using ProtectionPredicate = std::function<bool(const Instruction &)>;
+
+/// Statistics reported by the pass, used for Figure 7 and the slowdown
+/// accounting.
+struct DuplicationStats {
+  size_t TotalInstructions = 0;   ///< Before the pass.
+  size_t EligibleInstructions = 0; ///< Duplicable opcodes before the pass.
+  size_t SelectedInstructions = 0; ///< Predicate said protect.
+  size_t DuplicatedInstructions = 0; ///< Shadows actually inserted.
+  size_t ChecksInserted = 0;
+
+  /// Fraction of (pre-pass) instructions that received a shadow.
+  double duplicatedFraction() const {
+    return TotalInstructions
+               ? static_cast<double>(DuplicatedInstructions) /
+                     static_cast<double>(TotalInstructions)
+               : 0.0;
+  }
+};
+
+/// True for opcodes the pass knows how to duplicate.
+bool isDuplicableOpcode(Opcode Op);
+
+/// Where the pass places `soc.check` comparisons.
+enum class CheckPlacement : uint8_t {
+  /// One check at the end of each duplication path (the paper's design,
+  /// §4.4): errors inside a chain are caught when the chain ends.
+  PathEnds,
+  /// One check after every duplicated instruction (the SWIFT-style
+  /// ablation documented in DESIGN.md): earlier detection, more checks.
+  EveryInstruction,
+};
+
+struct DuplicationOptions {
+  CheckPlacement Placement = CheckPlacement::PathEnds;
+};
+
+/// Applies duplication to every instruction of \p M for which \p Protect
+/// returns true (non-duplicable instructions are skipped regardless).
+/// Invalidates instruction numbering; callers re-run Module::renumber().
+DuplicationStats duplicateInstructions(Module &M,
+                                       const ProtectionPredicate &Protect,
+                                       const DuplicationOptions &Opts = {});
+
+/// Full duplication (SWIFT-style): protects every duplicable instruction.
+DuplicationStats duplicateAllInstructions(Module &M);
+
+} // namespace ipas
+
+#endif // IPAS_TRANSFORM_DUPLICATION_H

@@ -1,0 +1,211 @@
+//===- transform/Mem2Reg.cpp --------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Mem2Reg.h"
+
+#include "analysis/Dominators.h"
+#include "transform/SimplifyCFG.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace ipas;
+
+namespace {
+
+/// Book-keeping for one promotable alloca.
+struct PromotionTarget {
+  AllocaInst *Slot = nullptr;
+  Type VarType;
+  std::vector<LoadInst *> Loads;
+  std::vector<StoreInst *> Stores;
+};
+
+/// Determines whether \p A can be promoted and, if so, fills \p Out.
+/// Promotable: exactly one slot; every use is a load from it or a store
+/// *to* it (never the stored value); all accesses agree on one type.
+bool analyzeAlloca(AllocaInst *A, PromotionTarget &Out) {
+  if (A->slotCount() != 1)
+    return false;
+  Out.Slot = A;
+  Type VarType = types::Void;
+  for (Instruction *User : A->users()) {
+    if (auto *Load = dyn_cast<LoadInst>(User)) {
+      if (!VarType.isVoid() && Load->type() != VarType)
+        return false;
+      VarType = Load->type();
+      Out.Loads.push_back(Load);
+      continue;
+    }
+    if (auto *Store = dyn_cast<StoreInst>(User)) {
+      if (Store->pointer() != A || Store->storedValue() == A)
+        return false; // the address escapes as a stored value
+      if (!VarType.isVoid() && Store->storedValue()->type() != VarType)
+        return false;
+      VarType = Store->storedValue()->type();
+      Out.Stores.push_back(Store);
+      continue;
+    }
+    return false; // used by a gep/call/phi/... -> address escapes
+  }
+  if (VarType.isVoid()) {
+    // Never loaded or stored: dead alloca; promote trivially.
+    Out.VarType = types::I64;
+    return true;
+  }
+  Out.VarType = VarType;
+  return true;
+}
+
+/// Default value for a variable read before any store reaches it (the C
+/// program would be reading indeterminate memory; we define it as zero).
+Value *undefValueFor(Module &M, Type T) {
+  if (T.isF64())
+    return M.getFloat(0.0);
+  if (T.isI1())
+    return M.getBool(false);
+  if (T.isPtr())
+    return M.getNullPtr();
+  return M.getInt64(0);
+}
+
+class Promoter {
+public:
+  Promoter(Function &F, DominatorTree &DT) : F(F), DT(DT) {}
+
+  unsigned run() {
+    collectTargets();
+    if (Targets.empty())
+      return 0;
+    insertPhis();
+    // Seed every variable with its undef value at entry, then rename.
+    std::map<const AllocaInst *, Value *> Current;
+    for (auto &T : Targets)
+      Current[T.Slot] = undefValueFor(*F.parent(), T.VarType);
+    rename(F.entry(), Current);
+    cleanup();
+    return static_cast<unsigned>(Targets.size());
+  }
+
+private:
+  void collectTargets() {
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        if (auto *A = dyn_cast<AllocaInst>(I)) {
+          PromotionTarget T;
+          if (analyzeAlloca(A, T))
+            Targets.push_back(std::move(T));
+        }
+    for (size_t I = 0; I != Targets.size(); ++I)
+      TargetIndex[Targets[I].Slot] = I;
+  }
+
+  void insertPhis() {
+    for (PromotionTarget &T : Targets) {
+      // Iterated dominance frontier of the store blocks.
+      std::set<BasicBlock *> DefBlocks;
+      for (StoreInst *S : T.Stores)
+        DefBlocks.insert(S->parent());
+      std::set<BasicBlock *> PhiBlocks;
+      std::vector<BasicBlock *> Work(DefBlocks.begin(), DefBlocks.end());
+      while (!Work.empty()) {
+        BasicBlock *BB = Work.back();
+        Work.pop_back();
+        if (!DT.isReachable(BB))
+          continue;
+        for (BasicBlock *DF : DT.frontier(BB))
+          if (PhiBlocks.insert(DF).second)
+            Work.push_back(DF);
+      }
+      for (BasicBlock *BB : PhiBlocks) {
+        auto *Phi = new PhiInst(T.VarType);
+        Phi->setName(T.Slot->name());
+        if (BB->empty())
+          BB->append(std::unique_ptr<Instruction>(Phi));
+        else
+          BB->insertBefore(BB->front(), std::unique_ptr<Instruction>(Phi));
+        PhiToTarget[Phi] = TargetIndex.at(T.Slot);
+      }
+    }
+  }
+
+  void rename(BasicBlock *BB,
+              std::map<const AllocaInst *, Value *> Current) {
+    // Phis at the block top define new current values.
+    for (Instruction *I : *BB) {
+      if (I->opcode() != Opcode::Phi)
+        break;
+      auto It = PhiToTarget.find(cast<PhiInst>(I));
+      if (It != PhiToTarget.end())
+        Current[Targets[It->second].Slot] = I;
+    }
+    // Rewrite loads, record stores.
+    std::vector<Instruction *> ToErase;
+    for (Instruction *I : *BB) {
+      if (auto *Load = dyn_cast<LoadInst>(I)) {
+        auto *A = dyn_cast<AllocaInst>(Load->pointer());
+        if (A && TargetIndex.count(A)) {
+          Load->replaceAllUsesWith(Current.at(A));
+          ToErase.push_back(Load);
+        }
+      } else if (auto *Store = dyn_cast<StoreInst>(I)) {
+        auto *A = dyn_cast<AllocaInst>(Store->pointer());
+        if (A && TargetIndex.count(A)) {
+          Current[A] = Store->storedValue();
+          ToErase.push_back(Store);
+        }
+      }
+    }
+    for (Instruction *I : ToErase)
+      BB->erase(I);
+    // Feed successor phis.
+    for (BasicBlock *S : BB->successors())
+      for (Instruction *I : *S) {
+        if (I->opcode() != Opcode::Phi)
+          break;
+        auto It = PhiToTarget.find(cast<PhiInst>(I));
+        if (It != PhiToTarget.end())
+          cast<PhiInst>(I)->addIncoming(
+              Current.at(Targets[It->second].Slot), BB);
+      }
+    // Recurse over dominator-tree children (copies Current by value).
+    for (BasicBlock *Child : DT.children(BB))
+      rename(Child, Current);
+  }
+
+  void cleanup() {
+    for (PromotionTarget &T : Targets) {
+      assert(!T.Slot->hasUses() && "alloca still used after promotion");
+      T.Slot->parent()->erase(T.Slot);
+    }
+  }
+
+  Function &F;
+  DominatorTree &DT;
+  std::vector<PromotionTarget> Targets;
+  std::map<const AllocaInst *, size_t> TargetIndex;
+  std::map<const PhiInst *, size_t> PhiToTarget;
+};
+
+} // namespace
+
+unsigned ipas::promoteAllocasToRegisters(Function &F) {
+  if (F.empty())
+    return 0;
+  // Renaming walks the dominator tree from the entry, so unreachable
+  // blocks (which it would never visit) must be gone first.
+  removeUnreachableBlocks(F);
+  DominatorTree DT(F);
+  return Promoter(F, DT).run();
+}
+
+unsigned ipas::promoteAllocasToRegisters(Module &M) {
+  unsigned N = 0;
+  for (Function *F : M)
+    N += promoteAllocasToRegisters(*F);
+  return N;
+}

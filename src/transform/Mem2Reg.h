@@ -1,0 +1,30 @@
+//===- transform/Mem2Reg.h - SSA construction ------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Promotes single-slot allocas whose only uses are loads and stores into
+/// SSA registers, inserting phi nodes at iterated dominance frontiers
+/// (Cytron et al.). The MiniC frontend lowers every local to an alloca;
+/// this pass recovers the SSA form the paper's LLVM pipeline would see.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TRANSFORM_MEM2REG_H
+#define IPAS_TRANSFORM_MEM2REG_H
+
+#include "ir/Module.h"
+
+namespace ipas {
+
+/// Promotes eligible allocas in \p F. Returns the number promoted.
+unsigned promoteAllocasToRegisters(Function &F);
+
+/// Runs promotion over every function in \p M.
+unsigned promoteAllocasToRegisters(Module &M);
+
+} // namespace ipas
+
+#endif // IPAS_TRANSFORM_MEM2REG_H

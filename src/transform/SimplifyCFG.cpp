@@ -1,0 +1,40 @@
+//===- transform/SimplifyCFG.cpp ----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SimplifyCFG.h"
+
+#include <set>
+#include <vector>
+
+using namespace ipas;
+
+unsigned ipas::removeUnreachableBlocks(Function &F) {
+  if (F.empty())
+    return 0;
+  std::set<const BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{F.entry()};
+  Reachable.insert(F.entry());
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : BB->successors())
+      if (Reachable.insert(S).second)
+        Work.push_back(S);
+  }
+  std::vector<BasicBlock *> Dead;
+  for (BasicBlock *BB : F)
+    if (!Reachable.count(BB))
+      Dead.push_back(BB);
+  F.eraseBlocks(Dead);
+  return static_cast<unsigned>(Dead.size());
+}
+
+unsigned ipas::removeUnreachableBlocks(Module &M) {
+  unsigned N = 0;
+  for (Function *F : M)
+    N += removeUnreachableBlocks(*F);
+  return N;
+}

@@ -1,0 +1,25 @@
+//===- transform/SimplifyCFG.h - CFG cleanup -------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TRANSFORM_SIMPLIFYCFG_H
+#define IPAS_TRANSFORM_SIMPLIFYCFG_H
+
+#include "ir/Module.h"
+
+namespace ipas {
+
+/// Deletes blocks unreachable from the entry (e.g. the frontend's
+/// dead-code landing blocks after `return`). Returns the number removed.
+/// Must run before mem2reg inserts phis, or phi incoming lists would need
+/// repair.
+unsigned removeUnreachableBlocks(Function &F);
+
+/// Runs removeUnreachableBlocks over every function.
+unsigned removeUnreachableBlocks(Module &M);
+
+} // namespace ipas
+
+#endif // IPAS_TRANSFORM_SIMPLIFYCFG_H

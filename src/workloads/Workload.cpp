@@ -1,0 +1,54 @@
+//===- workloads/Workload.cpp -------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "transform/Mem2Reg.h"
+#include "transform/SimplifyCFG.h"
+#include "workloads/WorkloadImpl.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ipas;
+
+std::vector<std::unique_ptr<Workload>> ipas::makeAllWorkloads() {
+  std::vector<std::unique_ptr<Workload>> All;
+  All.push_back(makeCoMDWorkload());
+  All.push_back(makeHpccgWorkload());
+  All.push_back(makeAmgWorkload());
+  All.push_back(makeFftWorkload());
+  All.push_back(makeIsWorkload());
+  return All;
+}
+
+std::unique_ptr<Workload> ipas::makeWorkload(const std::string &Name) {
+  if (Name == "CoMD")
+    return makeCoMDWorkload();
+  if (Name == "HPCCG")
+    return makeHpccgWorkload();
+  if (Name == "AMG")
+    return makeAmgWorkload();
+  if (Name == "FFT")
+    return makeFftWorkload();
+  if (Name == "IS")
+    return makeIsWorkload();
+  return nullptr;
+}
+
+std::unique_ptr<Module> ipas::compileWorkload(const Workload &W) {
+  Diagnostics Diags;
+  std::unique_ptr<Module> M = compileMiniC(W.source(), W.name(), Diags);
+  if (!M) {
+    std::fprintf(stderr, "fatal: workload %s failed to compile:\n%s\n",
+                 W.name().c_str(), Diags.summary().c_str());
+    std::abort();
+  }
+  removeUnreachableBlocks(*M);
+  promoteAllocasToRegisters(*M);
+  M->renumber();
+  return M;
+}

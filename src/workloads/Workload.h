@@ -1,0 +1,87 @@
+//===- workloads/Workload.h - The five evaluation workloads ----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's five workloads (Table 2) as MiniC programs with their
+/// output-verification routines and the four input levels of Table 5:
+///
+///   CoMD  - short-range molecular dynamics; energy-conservation check
+///   HPCCG - conjugate gradient on a 3D stencil; exact-solution check
+///   AMG   - multigrid Poisson solve kernel; input-integrity + residual
+///   FFT   - 2D FFT + inverse round trip; L2-norm check vs golden run
+///   IS    - integer bucket sort; sortedness (+ golden multiset) check
+///
+/// Every workload's MiniC entry point has the form
+///   int run(<int params...>, double* out)
+/// and is MPI-aware: with one rank the MPI intrinsics degrade to serial
+/// semantics, with many ranks the work is domain-partitioned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_WORKLOADS_WORKLOAD_H
+#define IPAS_WORKLOADS_WORKLOAD_H
+
+#include "frontend/CodeGen.h"
+#include "interp/Interpreter.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+class Workload {
+public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+
+  /// The MiniC source of the workload.
+  virtual std::string source() const = 0;
+
+  /// Integer problem parameters for input level 1..4 (Table 5). Level 1 is
+  /// the training input.
+  virtual std::vector<int64_t> inputParams(int Level) const = 0;
+
+  /// A short human-readable description of the input level.
+  virtual std::string inputDescription(int Level) const = 0;
+
+  /// Output buffer size (in 8-byte slots) for the given input.
+  virtual uint64_t outputSlots(const std::vector<int64_t> &Params) const = 0;
+
+  /// Memory sizing for the given input.
+  virtual Memory::Config memoryConfig(
+      const std::vector<int64_t> &Params) const {
+    (void)Params;
+    return Memory::Config();
+  }
+
+  /// The application-specific verification routine (Table 2): decides
+  /// whether \p Output is an acceptable outcome given the golden (clean
+  /// run) output. Called with Output == Golden for the clean run itself.
+  virtual bool verify(const std::vector<RtValue> &Output,
+                      const std::vector<RtValue> &Golden,
+                      const std::vector<int64_t> &Params) const = 0;
+
+  static constexpr const char *EntryName = "run";
+};
+
+/// Instantiates all five workloads in paper order.
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+/// Instantiates one workload by name (CoMD, HPCCG, AMG, FFT, IS); null if
+/// unknown.
+std::unique_ptr<Workload> makeWorkload(const std::string &Name);
+
+/// Compiles the workload's MiniC source and runs the standard pass
+/// pipeline (CFG cleanup, mem2reg) followed by Module::renumber().
+/// Aborts on compile errors — workload sources are part of the library.
+std::unique_ptr<Module> compileWorkload(const Workload &W);
+
+} // namespace ipas
+
+#endif // IPAS_WORKLOADS_WORKLOAD_H

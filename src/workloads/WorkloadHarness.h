@@ -1,0 +1,52 @@
+//===- workloads/WorkloadHarness.h - Workloads as injectable programs -----===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_WORKLOADS_WORKLOADHARNESS_H
+#define IPAS_WORKLOADS_WORKLOADHARNESS_H
+
+#include "fault/ProgramHarness.h"
+#include "mpi/SimMpi.h"
+#include "workloads/Workload.h"
+
+namespace ipas {
+
+/// Executes a workload (serial or multi-rank) under the campaign driver.
+/// The first clean execution captures the golden output used by the
+/// verification routine. Fault injection is supported for serial runs
+/// (the paper's coverage methodology, §6); multi-rank runs are used for
+/// the scalability measurements.
+class WorkloadHarness : public ProgramHarness {
+public:
+  WorkloadHarness(const Workload &W, int InputLevel, int NumRanks = 1,
+                  uint64_t WorkloadSeed = 0x1234abcd)
+      : W(W), Params(W.inputParams(InputLevel)), NumRanks(NumRanks),
+        WorkloadSeed(WorkloadSeed) {}
+
+  ExecutionRecord execute(const ModuleLayout &Layout, const FaultPlan *Plan,
+                          uint64_t StepBudget) override;
+
+  /// Golden output captured by the first clean run (empty before that).
+  const std::vector<RtValue> &golden() const { return Golden; }
+
+  const std::vector<int64_t> &params() const { return Params; }
+
+private:
+  ExecutionRecord executeSerial(const ModuleLayout &Layout,
+                                const FaultPlan *Plan, uint64_t StepBudget);
+  ExecutionRecord executeParallel(const ModuleLayout &Layout,
+                                  uint64_t StepBudget);
+  bool verifyAgainstGolden(const std::vector<RtValue> &Output);
+
+  const Workload &W;
+  std::vector<int64_t> Params;
+  int NumRanks;
+  uint64_t WorkloadSeed;
+  std::vector<RtValue> Golden;
+};
+
+} // namespace ipas
+
+#endif // IPAS_WORKLOADS_WORKLOADHARNESS_H

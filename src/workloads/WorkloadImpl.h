@@ -1,0 +1,28 @@
+//===- workloads/WorkloadImpl.h - Internal workload factory hooks ---------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_WORKLOADS_WORKLOADIMPL_H
+#define IPAS_WORKLOADS_WORKLOADIMPL_H
+
+#include "workloads/Workload.h"
+
+#include <algorithm>
+
+namespace ipas {
+
+std::unique_ptr<Workload> makeCoMDWorkload();
+std::unique_ptr<Workload> makeHpccgWorkload();
+std::unique_ptr<Workload> makeAmgWorkload();
+std::unique_ptr<Workload> makeFftWorkload();
+std::unique_ptr<Workload> makeIsWorkload();
+
+/// Clamps a 1-based Table-5 input level into [1, 4] and converts it to a
+/// 0-based array index.
+inline int levelIndex(int Level) { return std::clamp(Level, 1, 4) - 1; }
+
+} // namespace ipas
+
+#endif // IPAS_WORKLOADS_WORKLOADIMPL_H

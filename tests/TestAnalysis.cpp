@@ -1,0 +1,313 @@
+//===- tests/TestAnalysis.cpp - Dominators, loops, slicing, features ----------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/Features.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Slicing.h"
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+namespace {
+
+/// Diamond CFG: entry -> (a | b) -> merge -> exit.
+struct DiamondCfg {
+  Module M{"m"};
+  Function *F;
+  BasicBlock *Entry, *A, *B, *Merge;
+
+  DiamondCfg() {
+    F = M.createFunction("f", types::I64, {types::I1});
+    Entry = F->addBlock("entry");
+    A = F->addBlock("a");
+    B = F->addBlock("b");
+    Merge = F->addBlock("merge");
+    IRBuilder Bld(M);
+    Bld.setInsertPoint(Entry);
+    Bld.createCondBr(F->arg(0), A, B);
+    Bld.setInsertPoint(A);
+    Bld.createBr(Merge);
+    Bld.setInsertPoint(B);
+    Bld.createBr(Merge);
+    Bld.setInsertPoint(Merge);
+    Bld.createRet(Bld.getInt64(0));
+    M.renumber();
+  }
+};
+
+} // namespace
+
+TEST(Dominators, DiamondIdoms) {
+  DiamondCfg D;
+  DominatorTree DT(*D.F);
+  EXPECT_EQ(DT.idom(D.Entry), nullptr);
+  EXPECT_EQ(DT.idom(D.A), D.Entry);
+  EXPECT_EQ(DT.idom(D.B), D.Entry);
+  EXPECT_EQ(DT.idom(D.Merge), D.Entry);
+  EXPECT_TRUE(DT.dominates(D.Entry, D.Merge));
+  EXPECT_FALSE(DT.dominates(D.A, D.Merge));
+  EXPECT_TRUE(DT.dominates(D.A, D.A));
+}
+
+TEST(Dominators, DiamondFrontiers) {
+  DiamondCfg D;
+  DominatorTree DT(*D.F);
+  // The merge is in the frontier of both arms, not of the entry.
+  ASSERT_EQ(DT.frontier(D.A).size(), 1u);
+  EXPECT_EQ(DT.frontier(D.A)[0], D.Merge);
+  ASSERT_EQ(DT.frontier(D.B).size(), 1u);
+  EXPECT_EQ(DT.frontier(D.B)[0], D.Merge);
+  EXPECT_TRUE(DT.frontier(D.Entry).empty());
+  EXPECT_TRUE(DT.frontier(D.Merge).empty());
+}
+
+TEST(Dominators, LoopFrontierContainsHeader) {
+  // From real code: the loop latch's frontier contains the loop header.
+  auto M = compile("int f(int n) { int s = 0;\n"
+                   "  for (int i = 0; i < n; i = i + 1) s += i;\n"
+                   "  return s; }",
+                   /*RunMem2Reg=*/false);
+  ASSERT_TRUE(M);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  BasicBlock *Header = LI.loops()[0].Header;
+  bool HeaderInSomeFrontier = false;
+  for (BasicBlock *BB : *F)
+    for (BasicBlock *DF : DT.frontier(BB))
+      if (DF == Header)
+        HeaderInSomeFrontier = true;
+  EXPECT_TRUE(HeaderInSomeFrontier);
+}
+
+TEST(Dominators, ReversePostOrderStartsAtEntry) {
+  DiamondCfg D;
+  DominatorTree DT(*D.F);
+  ASSERT_EQ(DT.reversePostOrder().size(), 4u);
+  EXPECT_EQ(DT.reversePostOrder()[0], D.Entry);
+}
+
+TEST(Dominators, DominatesUseSameBlock) {
+  auto M = compile("int f(int a) { int b = a + 1; return b * 2; }");
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->entry();
+  Instruction *Add = Entry->at(0);
+  Instruction *Mul = Entry->at(1);
+  EXPECT_TRUE(DT.dominatesUse(Add, Mul, 0));
+  EXPECT_FALSE(DT.dominatesUse(Mul, Add, 0));
+}
+
+TEST(LoopInfo, DetectsNestedLoops) {
+  auto M = compile("int f(int n) { int s = 0;\n"
+                   "  for (int i = 0; i < n; i = i + 1)\n"
+                   "    for (int j = 0; j < n; j = j + 1)\n"
+                   "      s += i * j;\n"
+                   "  return s; }",
+                   /*RunMem2Reg=*/false);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  EXPECT_EQ(LI.loops().size(), 2u);
+  unsigned MaxDepth = 0;
+  for (BasicBlock *BB : *F)
+    MaxDepth = std::max(MaxDepth, LI.loopDepth(BB));
+  EXPECT_EQ(MaxDepth, 2u);
+  EXPECT_FALSE(LI.isInLoop(F->entry()));
+}
+
+TEST(LoopInfo, StraightLineHasNoLoops) {
+  auto M = compile("int f(int a) { return a + 1; }");
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  EXPECT_TRUE(LI.loops().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Forward slicing
+//===----------------------------------------------------------------------===//
+
+TEST(Slicing, FollowsDefUseChain) {
+  auto M = compile("int f(int a) { int b = a + 1; int c = b * 2;\n"
+                   "  int d = c - 3; return d; }");
+  Function *F = M->getFunction("f");
+  BasicBlock *Entry = F->entry();
+  // After mem2reg: add, mul, sub, ret.
+  Instruction *Add = Entry->at(0);
+  ASSERT_EQ(Add->opcode(), Opcode::Add);
+  auto Slice = forwardSlice(Add);
+  // mul, sub, ret are all influenced.
+  EXPECT_EQ(Slice.size(), 3u);
+  // The last value-producing instruction's slice is just the ret.
+  Instruction *Sub = Entry->at(2);
+  ASSERT_EQ(Sub->opcode(), Opcode::Sub);
+  EXPECT_EQ(forwardSlice(Sub).size(), 1u);
+}
+
+TEST(Slicing, ExcludesUnrelatedInstructions) {
+  auto M = compile("int f(int a, int b) { int x = a + 1; int y = b + 2;\n"
+                   "  return x * y; }");
+  Function *F = M->getFunction("f");
+  BasicBlock *Entry = F->entry();
+  Instruction *X = Entry->at(0);
+  Instruction *Y = Entry->at(1);
+  auto SliceX = forwardSlice(X);
+  EXPECT_EQ(SliceX.count(Y), 0u);
+  EXPECT_EQ(SliceX.size(), 2u); // mul + ret
+}
+
+TEST(Slicing, FlowsThroughMemoryWhenEnabled) {
+  // The value stored through the array flows to the later load.
+  auto M = compile("double f(int i) { double a[4]; a[0] = 1.0;\n"
+                   "  double v = 2.0 * i;\n"
+                   "  a[i] = v;\n"
+                   "  return a[0] + 1.0; }");
+  Function *F = M->getFunction("f");
+  // Find the fmul (computing v) and check the load joins its slice.
+  Instruction *Mul = nullptr;
+  const Instruction *Load = nullptr;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB) {
+      if (I->opcode() == Opcode::FMul)
+        Mul = I;
+      if (I->opcode() == Opcode::Load && I->type().isF64())
+        Load = I;
+    }
+  ASSERT_TRUE(Mul && Load);
+  SliceOptions WithMem;
+  auto Slice = forwardSlice(Mul, WithMem);
+  EXPECT_EQ(Slice.count(Load), 1u);
+  SliceOptions NoMem;
+  NoMem.ThroughMemory = false;
+  auto Pure = forwardSlice(Mul, NoMem);
+  EXPECT_EQ(Pure.count(Load), 0u);
+}
+
+TEST(Slicing, PointerRootWalksGeps) {
+  auto M = compile("double f(double* p, int i) { return p[i + 1]; }");
+  Function *F = M->getFunction("f");
+  const Instruction *Load = nullptr;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      if (I->opcode() == Opcode::Load)
+        Load = I;
+  ASSERT_TRUE(Load);
+  EXPECT_EQ(pointerRoot(cast<LoadInst>(Load)->pointer()), F->arg(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Feature extraction (Table 1)
+//===----------------------------------------------------------------------===//
+
+TEST(Features, InstructionCategoryFlags) {
+  auto M = compile("double f(double* p, int i) {\n"
+                   "  double v = p[i] * 2.0;\n"
+                   "  if (v > 1.0) return v - 1.0;\n"
+                   "  return v; }");
+  FeatureExtractor FE;
+  auto All = FE.extractModule(*M);
+  ASSERT_EQ(All.size(), M->numInstructions());
+  bool SawGep = false, SawCmp = false, SawMul = false;
+  for (Instruction *I : M->allInstructions()) {
+    const FeatureVector &FV = All[I->id()];
+    if (I->opcode() == Opcode::Gep) {
+      SawGep = true;
+      EXPECT_EQ(FV[8], 1.0);  // is get-pointer
+      EXPECT_EQ(FV[0], 0.0);  // not a binary op
+      EXPECT_EQ(FV[11], 8.0); // pointer result bytes
+    }
+    if (I->opcode() == Opcode::FCmp) {
+      SawCmp = true;
+      EXPECT_EQ(FV[6], 1.0);  // is comparison
+      EXPECT_EQ(FV[11], 1.0); // i1 result byte
+    }
+    if (I->opcode() == Opcode::FMul) {
+      SawMul = true;
+      EXPECT_EQ(FV[0], 1.0); // binary
+      EXPECT_EQ(FV[2], 1.0); // mul/div
+      EXPECT_EQ(FV[1], 0.0); // not add/sub
+    }
+  }
+  EXPECT_TRUE(SawGep && SawCmp && SawMul);
+}
+
+TEST(Features, BlockAndFunctionCounts) {
+  auto M = compile("int f(int a) { int b = a + 1; int c = b * 2;\n"
+                   "  return c; }");
+  Function *F = M->getFunction("f");
+  FeatureExtractor FE;
+  auto All = FE.extractModule(*M);
+  BasicBlock *Entry = F->entry();
+  Instruction *Add = Entry->at(0);
+  const FeatureVector &FV = All[Add->id()];
+  EXPECT_EQ(FV[13], 3.0); // bb size: add, mul, ret
+  EXPECT_EQ(FV[12], 2.0); // remaining in bb
+  EXPECT_EQ(FV[14], 0.0); // no successors (ret block)
+  EXPECT_EQ(FV[19], 2.0); // remaining to return
+  EXPECT_EQ(FV[20], 3.0); // insts in function
+  EXPECT_EQ(FV[21], 1.0); // blocks in function
+  EXPECT_EQ(FV[23], 1.0); // returns a value
+  EXPECT_EQ(FV[18], 0.0); // terminator is ret, not branch
+}
+
+TEST(Features, LoopAndPhiFlags) {
+  auto M = compile("int f(int n) { int s = 0;\n"
+                   "  for (int i = 0; i < n; i = i + 1) s += i;\n"
+                   "  return s; }");
+  Function *F = M->getFunction("f");
+  FeatureExtractor FE;
+  auto All = FE.extractModule(*M);
+  bool SawLoopPhiBlock = false;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      if (I->opcode() == Opcode::Phi) {
+        const FeatureVector &FV = All[I->id()];
+        EXPECT_EQ(FV[16], 1.0); // in loop
+        EXPECT_EQ(FV[17], 1.0); // block has phi
+        SawLoopPhiBlock = true;
+      }
+  EXPECT_TRUE(SawLoopPhiBlock);
+}
+
+TEST(Features, FutureCallsCounted) {
+  auto M = compile("int g(int x) { return x; }\n"
+                   "int f(int a) { int b = a + 1;\n"
+                   "  int c = g(b); int d = g(c); return d; }");
+  Function *F = M->getFunction("f");
+  FeatureExtractor FE;
+  auto All = FE.extractModule(*M);
+  Instruction *Add = F->entry()->at(0);
+  ASSERT_EQ(Add->opcode(), Opcode::Add);
+  EXPECT_EQ(All[Add->id()][22], 2.0); // two calls ahead
+}
+
+TEST(Features, SliceCountsMatchForwardSlice) {
+  auto M = compile("int f(int a) { int b = a + 1; int c = b * b;\n"
+                   "  return c + 2; }");
+  Function *F = M->getFunction("f");
+  FeatureExtractor FE;
+  Instruction *Add = F->entry()->at(0);
+  FeatureVector FV = FE.extract(Add);
+  auto Slice = forwardSlice(Add);
+  EXPECT_EQ(FV[24], static_cast<double>(Slice.size()));
+  double BinOps = 0;
+  for (const Instruction *I : Slice)
+    if (isBinaryOpcode(I->opcode()))
+      ++BinOps;
+  EXPECT_EQ(FV[28], BinOps);
+}
+
+TEST(Features, NamesAreDistinct) {
+  std::set<std::string> Names;
+  for (unsigned I = 0; I != NumInstructionFeatures; ++I)
+    Names.insert(featureName(I));
+  EXPECT_EQ(Names.size(), NumInstructionFeatures);
+}

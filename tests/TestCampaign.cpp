@@ -1,0 +1,188 @@
+//===- tests/TestCampaign.cpp - Fault-injection campaigns ---------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "fault/Campaign.h"
+#include "transform/Duplication.h"
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+namespace {
+
+/// A tiny synthetic harness: computes a checksum over arithmetic and
+/// verifies it against the clean value exactly.
+class ToyHarness : public ProgramHarness {
+public:
+  explicit ToyHarness(const Module &M) : M(M) {}
+
+  ExecutionRecord execute(const ModuleLayout &Layout, const FaultPlan *Plan,
+                          uint64_t StepBudget) override {
+    ExecutionContext Ctx(Layout);
+    if (Plan)
+      Ctx.setFaultPlan(*Plan);
+    Ctx.start(M.getFunction("f"), {RtValue::fromI64(25)});
+    RunStatus S = Ctx.run(StepBudget);
+    ExecutionRecord R;
+    R.Status = S;
+    R.Trap = Ctx.trap();
+    R.Steps = Ctx.steps();
+    R.ValueSteps = Ctx.valueSteps();
+    R.FaultInjected = Ctx.faultWasInjected();
+    R.FaultedInstructionId = Ctx.faultedInstructionId();
+    if (S == RunStatus::Finished) {
+      if (!HaveGolden) {
+        Golden = Ctx.returnValue().asI64();
+        HaveGolden = true;
+        R.OutputValid = true;
+      } else {
+        R.OutputValid = Ctx.returnValue().asI64() == Golden;
+      }
+    }
+    return R;
+  }
+
+private:
+  const Module &M;
+  int64_t Golden = 0;
+  bool HaveGolden = false;
+};
+
+const char *ToySrc =
+    "int f(int n) {\n"
+    "  double a[32];\n"
+    "  for (int i = 0; i < 32; i = i + 1) a[i] = 1.0 * i;\n"
+    "  double s = 0.0;\n"
+    "  for (int k = 0; k < n; k = k + 1)\n"
+    "    for (int i = 0; i < 32; i = i + 1)\n"
+    "      s = s + a[i] * 1.0001 - 0.5;\n"
+    "  return (int)(s * 1000.0);\n"
+    "}\n";
+
+} // namespace
+
+TEST(Campaign, ClassifyOutcomeMapping) {
+  ExecutionRecord R;
+  R.Status = RunStatus::Trapped;
+  EXPECT_EQ(classifyOutcome(R), Outcome::Crash);
+  R.Status = RunStatus::OutOfSteps;
+  EXPECT_EQ(classifyOutcome(R), Outcome::Hang);
+  R.Status = RunStatus::Detected;
+  EXPECT_EQ(classifyOutcome(R), Outcome::Detected);
+  R.Status = RunStatus::Finished;
+  R.OutputValid = true;
+  EXPECT_EQ(classifyOutcome(R), Outcome::Masked);
+  R.OutputValid = false;
+  EXPECT_EQ(classifyOutcome(R), Outcome::SOC);
+}
+
+TEST(Campaign, SymptomBucket) {
+  EXPECT_TRUE(isSymptom(Outcome::Crash));
+  EXPECT_TRUE(isSymptom(Outcome::Hang));
+  EXPECT_FALSE(isSymptom(Outcome::Detected));
+  EXPECT_FALSE(isSymptom(Outcome::Masked));
+  EXPECT_FALSE(isSymptom(Outcome::SOC));
+}
+
+TEST(Campaign, RunsRequestedInjections) {
+  auto M = compile(ToySrc);
+  ModuleLayout Layout(*M);
+  ToyHarness H(*M);
+  CampaignConfig CC;
+  CC.NumRuns = 100;
+  CC.Seed = 11;
+  CampaignResult R = runCampaign(H, Layout, CC);
+  EXPECT_EQ(R.Records.size(), 100u);
+  EXPECT_EQ(R.totalRuns(), 100u);
+  EXPECT_GT(R.CleanSteps, 0u);
+  EXPECT_GT(R.CleanValueSteps, 0u);
+  size_t Sum = 0;
+  for (Outcome O : {Outcome::Crash, Outcome::Hang, Outcome::Detected,
+                    Outcome::Masked, Outcome::SOC})
+    Sum += R.count(O);
+  EXPECT_EQ(Sum, 100u);
+  // The toy program is unprotected: nothing can be Detected.
+  EXPECT_EQ(R.count(Outcome::Detected), 0u);
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  auto M = compile(ToySrc);
+  ModuleLayout Layout(*M);
+  CampaignConfig CC;
+  CC.NumRuns = 60;
+  CC.Seed = 42;
+  ToyHarness H1(*M), H2(*M);
+  CampaignResult A = runCampaign(H1, Layout, CC);
+  CampaignResult B = runCampaign(H2, Layout, CC);
+  ASSERT_EQ(A.Records.size(), B.Records.size());
+  for (size_t I = 0; I != A.Records.size(); ++I) {
+    EXPECT_EQ(A.Records[I].InstructionId, B.Records[I].InstructionId);
+    EXPECT_EQ(A.Records[I].Result, B.Records[I].Result);
+  }
+}
+
+TEST(Campaign, DifferentSeedsSampleDifferently) {
+  auto M = compile(ToySrc);
+  ModuleLayout Layout(*M);
+  CampaignConfig A, B;
+  A.NumRuns = B.NumRuns = 40;
+  A.Seed = 1;
+  B.Seed = 2;
+  ToyHarness H1(*M), H2(*M);
+  CampaignResult RA = runCampaign(H1, Layout, A);
+  CampaignResult RB = runCampaign(H2, Layout, B);
+  int Different = 0;
+  for (size_t I = 0; I != 40; ++I)
+    if (RA.Records[I].TargetValueStep != RB.Records[I].TargetValueStep)
+      ++Different;
+  EXPECT_GT(Different, 30);
+}
+
+TEST(Campaign, RecordsReferenceValidInstructionIds) {
+  auto M = compile(ToySrc);
+  ModuleLayout Layout(*M);
+  ToyHarness H(*M);
+  CampaignConfig CC;
+  CC.NumRuns = 80;
+  CampaignResult R = runCampaign(H, Layout, CC);
+  size_t NumInsts = M->numInstructions();
+  for (const InjectionRecord &Rec : R.Records)
+    EXPECT_LT(Rec.InstructionId, NumInsts);
+}
+
+TEST(Campaign, ProtectedProgramDetectsFaults) {
+  auto M = compile(ToySrc);
+  duplicateAllInstructions(*M);
+  M->renumber();
+  ModuleLayout Layout(*M);
+  ToyHarness H(*M);
+  CampaignConfig CC;
+  CC.NumRuns = 150;
+  CC.Seed = 77;
+  CampaignResult R = runCampaign(H, Layout, CC);
+  EXPECT_GT(R.count(Outcome::Detected), 0u);
+  // SOC under full duplication must be well below the unprotected rate.
+  auto M2 = compile(ToySrc);
+  ModuleLayout Layout2(*M2);
+  ToyHarness H2(*M2);
+  CampaignResult Unprot = runCampaign(H2, Layout2, CC);
+  EXPECT_LT(R.fraction(Outcome::SOC), Unprot.fraction(Outcome::SOC));
+}
+
+TEST(Campaign, FractionsSumToOne) {
+  auto M = compile(ToySrc);
+  ModuleLayout Layout(*M);
+  ToyHarness H(*M);
+  CampaignConfig CC;
+  CC.NumRuns = 50;
+  CampaignResult R = runCampaign(H, Layout, CC);
+  double Sum = 0;
+  for (Outcome O : {Outcome::Crash, Outcome::Hang, Outcome::Detected,
+                    Outcome::Masked, Outcome::SOC})
+    Sum += R.fraction(O);
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+}

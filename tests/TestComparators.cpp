@@ -1,0 +1,147 @@
+//===- tests/TestComparators.cpp - Decision tree and kNN ----------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Comparators.h"
+#include "ml/ModelSelection.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipas;
+
+namespace {
+
+Dataset makeBlobs(size_t PerClass, Rng &R) {
+  Dataset D;
+  for (size_t I = 0; I != PerClass; ++I) {
+    D.add({R.nextDoubleIn(-0.8, 0.8), R.nextDoubleIn(-0.8, 0.8)}, -1);
+    D.add({3.0 + R.nextDoubleIn(-0.8, 0.8), 3.0 + R.nextDoubleIn(-0.8, 0.8)},
+          1);
+  }
+  return D;
+}
+
+} // namespace
+
+TEST(DecisionTree, SeparatesBlobs) {
+  Rng R(1);
+  Dataset D = makeBlobs(50, R);
+  DecisionTree T = DecisionTree::train(D);
+  size_t Correct = 0;
+  for (size_t I = 0; I != D.size(); ++I)
+    Correct += T.predict(D.X[I]) == D.Y[I];
+  EXPECT_GT(static_cast<double>(Correct) / static_cast<double>(D.size()),
+            0.98);
+  EXPECT_GT(T.numNodes(), 1u);
+}
+
+TEST(DecisionTree, HandlesXor) {
+  // Axis-aligned splits solve XOR with depth >= 2 — provided the data is
+  // not perfectly symmetric (symmetric XOR has zero Gini gain at the
+  // root, the classic greedy-CART blind spot). Use uneven quadrants.
+  Rng R(2);
+  Dataset D;
+  auto Quadrant = [&](double Sx, double Sy, int Label, int N) {
+    for (int I = 0; I != N; ++I)
+      D.add({Sx * R.nextDoubleIn(0.2, 1.0), Sy * R.nextDoubleIn(0.2, 1.0)},
+            Label);
+  };
+  Quadrant(+1, +1, 1, 40);
+  Quadrant(-1, -1, 1, 20);
+  Quadrant(-1, +1, -1, 35);
+  Quadrant(+1, -1, -1, 15);
+  DecisionTree T = DecisionTree::train(D);
+  size_t Correct = 0;
+  for (size_t I = 0; I != D.size(); ++I)
+    Correct += T.predict(D.X[I]) == D.Y[I];
+  EXPECT_GT(static_cast<double>(Correct) / static_cast<double>(D.size()),
+            0.95);
+}
+
+TEST(DecisionTree, DepthLimitProducesLeafOnPureMajority) {
+  Rng R(3);
+  Dataset D = makeBlobs(30, R);
+  DecisionTree::Params P;
+  P.MaxDepth = 0; // forced to a single leaf
+  DecisionTree T = DecisionTree::train(D, P);
+  EXPECT_EQ(T.numNodes(), 1u);
+  // Balanced classes: the leaf predicts one class for everything.
+  int Pred = T.predict(D.X[0]);
+  for (size_t I = 0; I != D.size(); ++I)
+    EXPECT_EQ(T.predict(D.X[I]), Pred);
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Dataset D;
+  for (int I = 0; I != 10; ++I)
+    D.add({static_cast<double>(I), 0.0}, 1);
+  DecisionTree T = DecisionTree::train(D);
+  EXPECT_EQ(T.numNodes(), 1u);
+  EXPECT_EQ(T.predict({100.0, 0.0}), 1);
+}
+
+TEST(Knn, NearestNeighbourVotes) {
+  Dataset D;
+  D.add({0.0, 0.0}, -1);
+  D.add({0.1, 0.0}, -1);
+  D.add({0.2, 0.1}, -1);
+  D.add({5.0, 5.0}, 1);
+  D.add({5.1, 5.0}, 1);
+  D.add({5.0, 5.2}, 1);
+  KnnClassifier K3(D, 3);
+  EXPECT_EQ(K3.predict({0.05, 0.05}), -1);
+  EXPECT_EQ(K3.predict({5.05, 5.05}), 1);
+  KnnClassifier K1(D, 1);
+  EXPECT_EQ(K1.predict({4.0, 4.0}), 1);
+}
+
+TEST(Knn, KLargerThanDatasetUsesAll) {
+  Dataset D;
+  D.add({0.0}, 1);
+  D.add({1.0}, 1);
+  D.add({2.0}, -1);
+  KnnClassifier K(D, 99);
+  // Majority of all three is +1.
+  EXPECT_EQ(K.predict({10.0}), 1);
+}
+
+TEST(Comparators, SvmBeatsBothOnImbalancedOverlap) {
+  // The §4.3.1 claim, in miniature: 6% positives with heavy overlap.
+  Rng R(4);
+  Dataset D;
+  for (int I = 0; I != 470; ++I)
+    D.add({R.nextDoubleIn(-1.5, 1.5), R.nextDoubleIn(-1.5, 1.5)}, -1);
+  for (int I = 0; I != 30; ++I)
+    D.add({1.0 + R.nextDoubleIn(-1.2, 1.2),
+           1.0 + R.nextDoubleIn(-1.2, 1.2)},
+          1);
+
+  SvmParams P;
+  P.C = 10.0;
+  P.Gamma = 1.0;
+  SvmModel Svm = trainCSvc(D, P);
+  DecisionTree Tree = DecisionTree::train(D);
+  KnnClassifier Knn(D, 5);
+
+  auto MinorityRecall = [&](auto Predict) {
+    size_t Correct = 0, Total = 0;
+    for (size_t I = 0; I != D.size(); ++I)
+      if (D.Y[I] > 0) {
+        ++Total;
+        Correct += Predict(D.X[I]) > 0;
+      }
+    return static_cast<double>(Correct) / static_cast<double>(Total);
+  };
+  double SvmRecall =
+      MinorityRecall([&](const std::vector<double> &X) { return Svm.predict(X); });
+  double KnnRecall = MinorityRecall(
+      [&](const std::vector<double> &X) { return Knn.predict(X); });
+  // The class-weighted SVM must not abandon the minority class; kNN with
+  // a majority vote typically does.
+  EXPECT_GT(SvmRecall, 0.5);
+  EXPECT_GT(SvmRecall, KnnRecall);
+  (void)Tree; // tree behaviour varies; covered by the ablation bench
+}

@@ -1,0 +1,348 @@
+//===- tests/TestFrontend.cpp - Lexer, parser, codegen ------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Parser.h"
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+static std::vector<Token> lex(const std::string &Src) {
+  Diagnostics D;
+  Lexer L(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.summary();
+  return L.tokens();
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto T = lex("int foo double while whilex");
+  ASSERT_EQ(T.size(), 6u); // + End
+  EXPECT_EQ(T[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(T[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[1].Text, "foo");
+  EXPECT_EQ(T[2].Kind, TokenKind::KwDouble);
+  EXPECT_EQ(T[3].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(T[4].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[5].Kind, TokenKind::End);
+}
+
+TEST(Lexer, NumericLiterals) {
+  auto T = lex("42 3.5 1e-6 2.5E+3 7.");
+  EXPECT_EQ(T[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(T[0].IntValue, 42);
+  EXPECT_EQ(T[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(T[1].FloatValue, 3.5);
+  EXPECT_DOUBLE_EQ(T[2].FloatValue, 1e-6);
+  EXPECT_DOUBLE_EQ(T[3].FloatValue, 2500.0);
+  EXPECT_DOUBLE_EQ(T[4].FloatValue, 7.0);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto T = lex("<= >= == != && || += -= *= /=");
+  TokenKind Expected[] = {
+      TokenKind::LessEqual,  TokenKind::GreaterEqual, TokenKind::EqualEqual,
+      TokenKind::NotEqual,   TokenKind::AmpAmp,       TokenKind::PipePipe,
+      TokenKind::PlusAssign, TokenKind::MinusAssign,  TokenKind::StarAssign,
+      TokenKind::SlashAssign};
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(T[I].Kind, Expected[I]) << I;
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto T = lex("a // line comment\n /* block \n comment */ b");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto T = lex("a\nb\n  c");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[2].Loc.Line, 3u);
+  EXPECT_EQ(T[2].Loc.Column, 3u);
+}
+
+TEST(Lexer, ReportsUnknownCharacters) {
+  Diagnostics D;
+  Lexer L("a $ b", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, CountCodeLines) {
+  const char *Src = "int f() {\n"
+                    "  // comment only\n"
+                    "\n"
+                    "  return 1; /* trailing */\n"
+                    "  /* multi\n"
+                    "     line */\n"
+                    "}\n";
+  EXPECT_EQ(Lexer::countCodeLines(Src), 3u); // header, return, brace
+}
+
+//===----------------------------------------------------------------------===//
+// Parser diagnostics
+//===----------------------------------------------------------------------===//
+
+static bool parses(const std::string &Src) {
+  Diagnostics D;
+  Lexer L(Src, D);
+  if (D.hasErrors())
+    return false;
+  Parser P(L.tokens(), D);
+  P.parseTranslationUnit();
+  return !D.hasErrors();
+}
+
+TEST(Parser, AcceptsCoreLanguage) {
+  EXPECT_TRUE(parses("int f(int a) { return a + 1; }"));
+  EXPECT_TRUE(parses("double g() { double x[4]; x[0] = 1.0; return x[0]; }"));
+  EXPECT_TRUE(parses("void h(int n) { for (int i = 0; i < n; i += 1) {} }"));
+  EXPECT_TRUE(parses("int k(int a) { if (a > 0 && a < 9) return 1; "
+                     "else return 0; }"));
+  EXPECT_TRUE(parses("int m(double* p) { *p = 2.0; return (int)*p; }"));
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+  EXPECT_FALSE(parses("int f( { return 1; }"));
+  EXPECT_FALSE(parses("int f() { return 1 +; }"));   // dangling operator
+  EXPECT_FALSE(parses("int f() { int x = ; }"));
+  EXPECT_FALSE(parses("int f() { while true {} }")); // missing parens
+  EXPECT_FALSE(parses("int f() { return 1 }"));      // missing semicolon
+}
+
+TEST(Parser, RejectsBadArrayDecls) {
+  EXPECT_FALSE(parses("int f() { double x[0]; return 0; }"));
+  EXPECT_FALSE(parses("int f() { double x[-1]; return 0; }"));
+  EXPECT_FALSE(parses("int f() { double x[n]; return 0; }"));
+}
+
+TEST(Parser, RejectsTriplePointer) {
+  EXPECT_FALSE(parses("int f(double*** p) { return 0; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// CodeGen + execution (semantics)
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGen, ArithmeticAndPrecedence) {
+  EXPECT_EQ(evalInt("int f() { return 2 + 3 * 4; }", "f"), 14);
+  EXPECT_EQ(evalInt("int f() { return (2 + 3) * 4; }", "f"), 20);
+  EXPECT_EQ(evalInt("int f() { return 7 / 2; }", "f"), 3);
+  EXPECT_EQ(evalInt("int f() { return 7 % 3; }", "f"), 1);
+  EXPECT_EQ(evalInt("int f() { return -5 + 2; }", "f"), -3);
+}
+
+TEST(CodeGen, DoubleArithmeticAndConversions) {
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { return 1.5 * 2.0; }", "f"), 3.0);
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { return 3 / 2.0; }", "f"), 1.5);
+  EXPECT_EQ(evalInt("int f() { return (int)2.9; }", "f"), 2);
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { return (double)7 / 2; }", "f"),
+                   3.5);
+  EXPECT_DOUBLE_EQ(evalDouble("double f(int a) { double x = a; return x; }",
+                              "f", {RtValue::fromI64(4)}),
+                   4.0);
+}
+
+TEST(CodeGen, ComparisonsYieldInt) {
+  EXPECT_EQ(evalInt("int f() { return 3 < 4; }", "f"), 1);
+  EXPECT_EQ(evalInt("int f() { return 3 >= 4; }", "f"), 0);
+  EXPECT_EQ(evalInt("int f() { return (1 < 2) + (3 == 3); }", "f"), 2);
+  EXPECT_EQ(evalInt("int f() { return 1.5 > 1.0; }", "f"), 1);
+}
+
+TEST(CodeGen, ShortCircuitEvaluation) {
+  // The second operand must not execute when the first decides: an OOB
+  // guard is the classic use.
+  const char *Src = "int f(int i) {\n"
+                    "  double a[2];\n"
+                    "  a[0] = 5.0; a[1] = 6.0;\n"
+                    "  if (i < 2 && a[i] > 4.0) return 1;\n"
+                    "  return 0;\n"
+                    "}\n";
+  EXPECT_EQ(evalInt(Src, "f", {RtValue::fromI64(0)}), 1);
+  // i = 99 must not fault: && short-circuits before a[99].
+  EXPECT_EQ(evalInt(Src, "f", {RtValue::fromI64(99)}), 0);
+}
+
+TEST(CodeGen, LogicalOrAndNot) {
+  EXPECT_EQ(evalInt("int f() { return 0 || 2; }", "f"), 1);
+  EXPECT_EQ(evalInt("int f() { return 0 || 0; }", "f"), 0);
+  EXPECT_EQ(evalInt("int f() { return !0; }", "f"), 1);
+  EXPECT_EQ(evalInt("int f() { return !3; }", "f"), 0);
+  EXPECT_EQ(evalInt("int f(int a) { return !(a < 5) || a == 2; }", "f",
+                    {RtValue::fromI64(2)}),
+            1);
+}
+
+TEST(CodeGen, WhileAndForLoops) {
+  EXPECT_EQ(evalInt("int f(int n) { int s = 0; int i = 0;\n"
+                    "  while (i < n) { s += i; i = i + 1; } return s; }",
+                    "f", {RtValue::fromI64(10)}),
+            45);
+  EXPECT_EQ(evalInt("int f(int n) { int s = 0;\n"
+                    "  for (int i = 0; i < n; i = i + 1) s += i * i;\n"
+                    "  return s; }",
+                    "f", {RtValue::fromI64(5)}),
+            30);
+}
+
+TEST(CodeGen, BreakAndContinue) {
+  EXPECT_EQ(evalInt("int f() { int s = 0;\n"
+                    "  for (int i = 0; i < 100; i = i + 1) {\n"
+                    "    if (i == 5) break;\n"
+                    "    if (i % 2 == 0) continue;\n"
+                    "    s += i;\n"
+                    "  } return s; }",
+                    "f"),
+            4); // 1 + 3
+}
+
+TEST(CodeGen, ArraysAndPointers) {
+  EXPECT_DOUBLE_EQ(evalDouble("double f() {\n"
+                              "  double a[4];\n"
+                              "  for (int i = 0; i < 4; i = i + 1)\n"
+                              "    a[i] = 1.5 * i;\n"
+                              "  double* p = a + 1;\n"
+                              "  return p[2] + *p;\n"
+                              "}",
+                              "f"),
+                   6.0); // a[3] + a[1] = 4.5 + 1.5
+}
+
+TEST(CodeGen, MallocAndPointerToPointer) {
+  EXPECT_DOUBLE_EQ(evalDouble("double f() {\n"
+                              "  double** rows = (double**)malloc(3);\n"
+                              "  for (int r = 0; r < 3; r = r + 1) {\n"
+                              "    rows[r] = (double*)malloc(4);\n"
+                              "    for (int c = 0; c < 4; c = c + 1)\n"
+                              "      rows[r][c] = r * 10.0 + c;\n"
+                              "  }\n"
+                              "  return rows[2][3];\n"
+                              "}",
+                              "f"),
+                   23.0);
+}
+
+TEST(CodeGen, FunctionCallsAndRecursion) {
+  EXPECT_EQ(evalInt("int fib(int n) {\n"
+                    "  if (n < 2) return n;\n"
+                    "  return fib(n - 1) + fib(n - 2);\n"
+                    "}\n"
+                    "int f() { return fib(12); }",
+                    "f"),
+            144);
+}
+
+TEST(CodeGen, ForwardCallsWork) {
+  EXPECT_EQ(evalInt("int f() { return helper(4); }\n"
+                    "int helper(int x) { return x * x; }",
+                    "f"),
+            16);
+}
+
+TEST(CodeGen, MathIntrinsics) {
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { return sqrt(16.0); }", "f"), 4.0);
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { return fabs(-2.5); }", "f"), 2.5);
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { return pow(2.0, 10.0); }", "f"),
+                   1024.0);
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { return fmax(1.0, 2.0); }", "f"),
+                   2.0);
+  EXPECT_EQ(evalInt("int f() { return imin(3, -4); }", "f"), -4);
+}
+
+TEST(CodeGen, RandIntrinsicsAreDeterministic) {
+  const char *Src = "int f() { rand_seed(5);\n"
+                    "  int a = rand_i64(100); rand_seed(5);\n"
+                    "  int b = rand_i64(100);\n"
+                    "  return (a == b) && a >= 0 && a < 100; }";
+  EXPECT_EQ(evalInt(Src, "f"), 1);
+}
+
+TEST(CodeGen, CompoundAssignOnArrayElement) {
+  EXPECT_DOUBLE_EQ(evalDouble("double f() { double a[2]; a[0] = 1.0;\n"
+                              "  a[0] += 2.5; a[0] *= 2.0; return a[0]; }",
+                              "f"),
+                   7.0);
+}
+
+TEST(CodeGen, DeclShadowingInInnerScope) {
+  EXPECT_EQ(evalInt("int f() { int x = 1; { int x = 2; } return x; }", "f"),
+            1);
+}
+
+//===----------------------------------------------------------------------===//
+// CodeGen semantic errors
+//===----------------------------------------------------------------------===//
+
+static bool compilesCleanly(const std::string &Src) {
+  Diagnostics D;
+  return compileMiniC(Src, "t", D) != nullptr;
+}
+
+TEST(CodeGen, RejectsUndeclaredIdentifier) {
+  EXPECT_FALSE(compilesCleanly("int f() { return nope; }"));
+}
+
+TEST(CodeGen, RejectsUndeclaredFunction) {
+  EXPECT_FALSE(compilesCleanly("int f() { return g(1); }"));
+}
+
+TEST(CodeGen, RejectsArityMismatch) {
+  EXPECT_FALSE(compilesCleanly(
+      "int g(int a, int b) { return a; } int f() { return g(1); }"));
+}
+
+TEST(CodeGen, RejectsAssignToArrayName) {
+  EXPECT_FALSE(
+      compilesCleanly("int f() { double a[2]; double b[2]; a = b;"
+                      " return 0; }"));
+}
+
+TEST(CodeGen, RejectsPointerArithmeticTypeErrors) {
+  EXPECT_FALSE(compilesCleanly(
+      "int f(double* p, double* q) { return (int)(p * q); }"));
+  EXPECT_FALSE(
+      compilesCleanly("int f(double* p) { double x = p; return 0; }"));
+}
+
+TEST(CodeGen, RejectsVoidMisuse) {
+  EXPECT_FALSE(compilesCleanly("void f() { return 1; }"));
+  EXPECT_FALSE(compilesCleanly("int f() { return; }"));
+  EXPECT_FALSE(compilesCleanly("int f() { void x; return 0; }"));
+}
+
+TEST(CodeGen, RejectsBreakOutsideLoop) {
+  EXPECT_FALSE(compilesCleanly("int f() { break; return 0; }"));
+}
+
+TEST(CodeGen, RejectsDuplicateFunctions) {
+  EXPECT_FALSE(compilesCleanly("int f() { return 0; } int f() { return 1; }"));
+}
+
+TEST(CodeGen, RejectsShadowingIntrinsics) {
+  EXPECT_FALSE(compilesCleanly("double sqrt(double x) { return x; }"));
+}
+
+TEST(CodeGen, RejectsIndexingVoidPointer) {
+  EXPECT_FALSE(compilesCleanly(
+      "int f() { return (int)(malloc(4)[0]); }"));
+}
+
+TEST(CodeGen, ImplicitReturnZeroOnFallThrough) {
+  EXPECT_EQ(evalInt("int f(int a) { if (a > 0) return 7; }", "f",
+                    {RtValue::fromI64(-1)}),
+            0);
+}
+
+TEST(CodeGen, DeadCodeAfterReturnIsTolerated) {
+  EXPECT_EQ(evalInt("int f() { return 3; int x = 1; x = x + 1; }", "f"), 3);
+}

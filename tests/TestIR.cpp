@@ -1,0 +1,284 @@
+//===- tests/TestIR.cpp - IR data structures ----------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipas;
+
+TEST(Type, WidthsAndBytes) {
+  EXPECT_EQ(types::Void.bits(), 0u);
+  EXPECT_EQ(types::I1.bits(), 1u);
+  EXPECT_EQ(types::I64.bits(), 64u);
+  EXPECT_EQ(types::F64.bits(), 64u);
+  EXPECT_EQ(types::Ptr.bits(), 64u);
+  EXPECT_EQ(types::I1.bytes(), 1u);
+  EXPECT_EQ(types::I64.bytes(), 8u);
+  EXPECT_EQ(types::Void.bytes(), 0u);
+}
+
+TEST(Module, ConstantInterning) {
+  Module M("m");
+  EXPECT_EQ(M.getInt64(7), M.getInt64(7));
+  EXPECT_NE(M.getInt64(7), M.getInt64(8));
+  EXPECT_EQ(M.getFloat(1.5), M.getFloat(1.5));
+  // -0.0 and 0.0 are distinct bit patterns and intern separately.
+  EXPECT_NE(M.getFloat(0.0), M.getFloat(-0.0));
+  EXPECT_NE(static_cast<Value *>(M.getInt64(0)),
+            static_cast<Value *>(M.getNullPtr()));
+}
+
+namespace {
+
+/// Builds: f(a, b) { entry: c = a + b; d = c * a; ret d }
+struct SimpleFn {
+  Module M{"m"};
+  Function *F;
+  BasicBlock *Entry;
+  Value *C, *D;
+
+  SimpleFn() {
+    F = M.createFunction("f", types::I64, {types::I64, types::I64});
+    Entry = F->addBlock("entry");
+    IRBuilder B(M);
+    B.setInsertPoint(Entry);
+    C = B.createAdd(F->arg(0), F->arg(1));
+    D = B.createMul(C, F->arg(0));
+    B.createRet(D);
+    M.renumber();
+  }
+};
+
+} // namespace
+
+TEST(IR, UseDefChains) {
+  SimpleFn S;
+  // a is used by c (add) and d (mul).
+  EXPECT_EQ(S.F->arg(0)->users().size(), 2u);
+  EXPECT_EQ(S.F->arg(1)->users().size(), 1u);
+  EXPECT_EQ(S.C->users().size(), 1u);
+  EXPECT_EQ(S.C->users()[0], S.D);
+  // d is used by ret.
+  ASSERT_EQ(S.D->users().size(), 1u);
+  EXPECT_EQ(S.D->users()[0]->opcode(), Opcode::Ret);
+}
+
+TEST(IR, ReplaceAllUsesWith) {
+  SimpleFn S;
+  Value *Seven = S.M.getInt64(7);
+  S.C->replaceAllUsesWith(Seven);
+  EXPECT_FALSE(S.C->hasUses());
+  auto *Mul = cast<Instruction>(S.D);
+  EXPECT_EQ(Mul->operand(0), Seven);
+}
+
+TEST(IR, SetOperandMaintainsUseLists) {
+  SimpleFn S;
+  auto *Mul = cast<Instruction>(S.D);
+  size_t AUses = S.F->arg(0)->users().size();
+  Mul->setOperand(1, S.F->arg(1));
+  EXPECT_EQ(S.F->arg(0)->users().size(), AUses - 1);
+  EXPECT_EQ(S.F->arg(1)->users().size(), 2u);
+}
+
+TEST(IR, DuplicateOperandUsesCountTwice) {
+  Module M("m");
+  Function *F = M.createFunction("g", types::I64, {types::I64});
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *Sq = B.createMul(F->arg(0), F->arg(0));
+  B.createRet(Sq);
+  EXPECT_EQ(F->arg(0)->users().size(), 2u);
+}
+
+TEST(IR, CloneSharesOperands) {
+  SimpleFn S;
+  auto *Mul = cast<Instruction>(S.D);
+  std::unique_ptr<Instruction> Clone(Mul->clone());
+  EXPECT_EQ(Clone->opcode(), Opcode::Mul);
+  EXPECT_EQ(Clone->operand(0), S.C);
+  EXPECT_EQ(Clone->operand(1), S.F->arg(0));
+  // The clone registered itself as a user.
+  EXPECT_EQ(S.C->users().size(), 2u);
+  Clone->dropAllReferences();
+  EXPECT_EQ(S.C->users().size(), 1u);
+}
+
+TEST(IR, InsertBeforeAfterAndIndexOf) {
+  SimpleFn S;
+  auto *CInst = cast<Instruction>(S.C);
+  auto *New = new BinaryInst(Opcode::Sub, S.F->arg(0), S.F->arg(1));
+  S.Entry->insertAfter(CInst, std::unique_ptr<Instruction>(New));
+  EXPECT_EQ(S.Entry->indexOf(New), 1u);
+  EXPECT_EQ(S.Entry->size(), 4u);
+  EXPECT_EQ(S.Entry->at(0), CInst);
+}
+
+TEST(IR, TerminatorAndSuccessors) {
+  Module M("m");
+  Function *F = M.createFunction("h", types::Void, {types::I1});
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *T = F->addBlock("t");
+  BasicBlock *E = F->addBlock("e");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->arg(0), T, E);
+  B.setInsertPoint(T);
+  B.createRet();
+  B.setInsertPoint(E);
+  B.createRet();
+  auto Succs = Entry->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], T);
+  EXPECT_EQ(Succs[1], E);
+  auto Preds = F->predecessors(T);
+  ASSERT_EQ(Preds.size(), 1u);
+  EXPECT_EQ(Preds[0], Entry);
+  EXPECT_EQ(T->terminator()->opcode(), Opcode::Ret);
+}
+
+TEST(IR, PhiIncoming) {
+  Module M("m");
+  Function *F = M.createFunction("p", types::I64, {types::I1});
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *A = F->addBlock("a");
+  BasicBlock *Bb = F->addBlock("b");
+  BasicBlock *Merge = F->addBlock("merge");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->arg(0), A, Bb);
+  B.setInsertPoint(A);
+  B.createBr(Merge);
+  B.setInsertPoint(Bb);
+  B.createBr(Merge);
+  B.setInsertPoint(Merge);
+  PhiInst *Phi = B.createPhi(types::I64, "x");
+  Phi->addIncoming(M.getInt64(1), A);
+  Phi->addIncoming(M.getInt64(2), Bb);
+  B.createRet(Phi);
+  EXPECT_EQ(Phi->numIncoming(), 2u);
+  EXPECT_EQ(cast<ConstantInt>(Phi->incomingValueFor(A))->value(), 1);
+  EXPECT_EQ(cast<ConstantInt>(Phi->incomingValueFor(Bb))->value(), 2);
+  EXPECT_EQ(Phi->incomingValueFor(Entry), nullptr);
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(IR, CastRtti) {
+  SimpleFn S;
+  Value *V = S.C;
+  EXPECT_TRUE(isa<Instruction>(V));
+  EXPECT_TRUE(isa<BinaryInst>(V));
+  EXPECT_FALSE(isa<CmpInst>(V));
+  EXPECT_NE(dyn_cast<BinaryInst>(V), nullptr);
+  EXPECT_EQ(dyn_cast<PhiInst>(V), nullptr);
+  EXPECT_FALSE(isa<Instruction>(static_cast<Value *>(S.F->arg(0))));
+}
+
+TEST(Verifier, DetectsMissingTerminator) {
+  Module M("m");
+  Function *F = M.createFunction("f", types::Void, {});
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createAdd(M.getInt64(1), M.getInt64(2));
+  auto Errs = verifyModule(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, DetectsRetTypeMismatch) {
+  Module M("m");
+  Function *F = M.createFunction("f", types::I64, {});
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createRet(M.getFloat(1.0));
+  auto Errs = verifyFunction(*F);
+  ASSERT_FALSE(Errs.empty());
+}
+
+TEST(Verifier, DetectsUseBeforeDef) {
+  Module M("m");
+  Function *F = M.createFunction("f", types::I64, {types::I64});
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *X = B.createAdd(F->arg(0), F->arg(0));
+  Value *Y = B.createMul(X, F->arg(0));
+  B.createRet(Y);
+  // Move the mul before the add: now it uses a later definition.
+  auto *MulI = cast<Instruction>(Y);
+  std::unique_ptr<Instruction> Owned = BB->remove(MulI);
+  BB->insertBefore(cast<Instruction>(X), std::move(Owned));
+  auto Errs = verifyFunction(*F);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("dominated"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedFunction) {
+  SimpleFn S;
+  EXPECT_TRUE(verifyModule(S.M).empty());
+}
+
+TEST(Printer, RendersInstructionsAndBlocks) {
+  SimpleFn S;
+  std::string Text = printFunction(*S.F);
+  EXPECT_NE(Text.find("define i64 @f"), std::string::npos);
+  EXPECT_NE(Text.find("entry:"), std::string::npos);
+  EXPECT_NE(Text.find("add"), std::string::npos);
+  EXPECT_NE(Text.find("mul"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(Printer, RendersCallAndCheck) {
+  Module M("m");
+  Function *Callee = M.createFunction("callee", types::F64, {types::F64});
+  {
+    IRBuilder B(M);
+    B.setInsertPoint(Callee->addBlock("entry"));
+    B.createRet(Callee->arg(0));
+  }
+  Function *F = M.createFunction("f", types::F64, {types::F64});
+  IRBuilder B(M);
+  B.setInsertPoint(F->addBlock("entry"));
+  Value *C = B.createCall(Callee, {F->arg(0)});
+  Value *C2 = B.createCall(Callee, {F->arg(0)});
+  B.insertBlock()->append(std::make_unique<CheckInst>(C, C2));
+  B.createRet(C);
+  std::string Text = printFunction(*F);
+  EXPECT_NE(Text.find("call @callee"), std::string::npos);
+  EXPECT_NE(Text.find("soc.check"), std::string::npos);
+}
+
+TEST(Module, RenumberAssignsSequentialIds) {
+  SimpleFn S;
+  std::vector<Instruction *> All = S.M.renumber();
+  ASSERT_EQ(All.size(), 3u);
+  for (unsigned I = 0; I != All.size(); ++I)
+    EXPECT_EQ(All[I]->id(), I);
+  EXPECT_EQ(S.M.numInstructions(), 3u);
+}
+
+TEST(Intrinsics, NameRoundTrip) {
+  for (Intrinsic I :
+       {Intrinsic::Sqrt, Intrinsic::Malloc, Intrinsic::MpiRank,
+        Intrinsic::MpiAlltoallD, Intrinsic::RandSeed}) {
+    EXPECT_EQ(intrinsicByName(intrinsicName(I)), I);
+  }
+  EXPECT_EQ(intrinsicByName("definitely_not_an_intrinsic"),
+            Intrinsic::None);
+}
+
+TEST(Intrinsics, MpiClassification) {
+  EXPECT_TRUE(isMpiIntrinsic(Intrinsic::MpiBarrier));
+  EXPECT_TRUE(isMpiIntrinsic(Intrinsic::MpiAllreduceSumD));
+  EXPECT_FALSE(isMpiIntrinsic(Intrinsic::Sqrt));
+  EXPECT_FALSE(isMpiIntrinsic(Intrinsic::MpiRank)); // resolves locally
+}

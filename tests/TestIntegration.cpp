@@ -1,0 +1,169 @@
+//===- tests/TestIntegration.cpp - Cross-module integration -------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Cross-cutting scenarios that exercise several layers at once: golden
+/// IR text, harness hang classification, module layout, verifier
+/// signature checks, and a protected end-to-end run on a second workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Pipeline.h"
+#include "fault/Campaign.h"
+#include "ir/IRPrinter.h"
+#include "transform/ConstantFold.h"
+#include "transform/DCE.h"
+#include "transform/Duplication.h"
+#include "workloads/WorkloadHarness.h"
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+TEST(Integration, GoldenIRText) {
+  auto M = compile("int f(int a, int b) { return a * b + 1; }");
+  std::string Text = printFunction(*M->getFunction("f"));
+  EXPECT_EQ(Text, "define i64 @f(i64 %a, i64 %b) {\n"
+                  "entry:\n"
+                  "  %0 = mul i64 %a, %b\n"
+                  "  %1 = add i64 %0, 1\n"
+                  "  ret %1\n"
+                  "}\n");
+}
+
+TEST(Integration, GoldenIRWithControlFlow) {
+  auto M = compile("int f(int a) { if (a > 0) return 1; return 2; }");
+  std::string Text = printFunction(*M->getFunction("f"));
+  EXPECT_NE(Text.find("icmp gt i1 %a, 0"), std::string::npos);
+  EXPECT_NE(Text.find("condbr"), std::string::npos);
+  EXPECT_NE(Text.find("label %if.then.0"), std::string::npos);
+}
+
+TEST(Integration, ModuleLayoutAssignsDenseSlots) {
+  auto M = compile("int f(int a) { int b = a + 1; int c = b * 2;\n"
+                   "  return c - 3; }");
+  ModuleLayout Layout(*M);
+  const Function *F = M->getFunction("f");
+  // Args occupy the first slots; value-producing instructions follow.
+  EXPECT_EQ(Layout.frameSlots(F), 1u + 3u);
+  std::set<unsigned> Slots;
+  for (Instruction *I : M->allInstructions())
+    if (I->producesValue())
+      Slots.insert(Layout.slotOfInstruction(I));
+  EXPECT_EQ(Slots.size(), 3u);
+  EXPECT_EQ(*Slots.begin(), 1u);
+}
+
+TEST(Integration, VerifierCatchesBadIntrinsicSignature) {
+  Module M("m");
+  Function *F = M.createFunction("f", types::F64, {types::F64});
+  IRBuilder B(M);
+  B.setInsertPoint(F->addBlock("entry"));
+  // sqrt takes one f64; build a call with an i64 argument instead.
+  auto *Bad = new CallInst(Intrinsic::Sqrt, types::F64,
+                           {static_cast<Value *>(M.getInt64(4))});
+  B.insertBlock()->append(std::unique_ptr<Instruction>(Bad));
+  B.createRet(Bad);
+  auto Errs = verifyFunction(*F);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("intrinsic"), std::string::npos);
+}
+
+TEST(Integration, VerifierCatchesPhiPredecessorMismatch) {
+  Module M("m");
+  Function *F = M.createFunction("f", types::I64, {types::I1});
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Next = F->addBlock("next");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createBr(Next);
+  B.setInsertPoint(Next);
+  PhiInst *Phi = B.createPhi(types::I64);
+  Phi->addIncoming(M.getInt64(1), Entry);
+  Phi->addIncoming(M.getInt64(2), Next); // Next is not a predecessor
+  B.createRet(Phi);
+  auto Errs = verifyFunction(*F);
+  ASSERT_FALSE(Errs.empty());
+}
+
+TEST(Integration, HarnessClassifiesHangViaBudget) {
+  // An injected fault that corrupts a loop bound can make the run exceed
+  // the campaign's hang budget; simulate directly with a small budget.
+  auto W = makeWorkload("IS");
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, /*StepBudget=*/1000);
+  EXPECT_EQ(R.Status, RunStatus::OutOfSteps);
+  EXPECT_EQ(classifyOutcome(R), Outcome::Hang);
+}
+
+TEST(Integration, OptimizedWorkloadStillVerifies) {
+  // The paper protects after user-level optimizations; fold + DCE a
+  // workload and confirm the whole harness still passes verification.
+  auto W = makeWorkload("FFT");
+  auto M = compileWorkload(*W);
+  size_t Before = M->numInstructions();
+  foldConstants(*M);
+  eliminateDeadCode(*M);
+  duplicateAllInstructions(*M);
+  M->renumber();
+  ASSERT_TRUE(verifyModule(*M).empty());
+  EXPECT_GT(M->numInstructions(), Before); // dup outweighs folding
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_TRUE(R.OutputValid);
+}
+
+TEST(Integration, SelectiveProtectionOnSecondWorkload) {
+  // End-to-end sanity on FFT (the pipeline tests use IS): protect the
+  // top-SOC instructions found by a small campaign and confirm SOC drops.
+  auto W = makeWorkload("FFT");
+  PipelineConfig Cfg = PipelineConfig::defaults();
+  Cfg.TrainSamples = 120;
+  Cfg.EvalRuns = 100;
+  Cfg.Grid.CSteps = 3;
+  Cfg.Grid.GammaSteps = 3;
+  Cfg.TopN = 1;
+  IpasPipeline Pipeline(*W, Cfg);
+  TrainingArtifacts A = Pipeline.collectAndTrain();
+  ASSERT_FALSE(A.IpasConfigs.empty());
+  auto Ids = Pipeline.selectInstructions(Technique::Ipas,
+                                         A.IpasConfigs.front().Params, A);
+  auto PM = Pipeline.protect(Ids);
+  auto Unprot = Pipeline.protectNone();
+  CampaignResult RP = Pipeline.evaluate(PM, 0x11);
+  CampaignResult RU = Pipeline.evaluate(Unprot, 0x11);
+  EXPECT_LT(RP.fraction(Outcome::SOC), RU.fraction(Outcome::SOC));
+  EXPECT_GT(RP.count(Outcome::Detected), 0u);
+  EXPECT_LT(static_cast<double>(RP.CleanSteps),
+            1.9 * static_cast<double>(RU.CleanSteps));
+}
+
+TEST(Integration, DuplicatedShadowsAreWellFormedPaths) {
+  // Structural invariant of the pass: every check compares an original
+  // against its shadow, and the shadow is a clone with the same opcode.
+  auto W = makeWorkload("HPCCG");
+  auto M = compileWorkload(*W);
+  duplicateAllInstructions(*M);
+  M->renumber();
+  size_t Checks = 0;
+  for (Instruction *I : M->allInstructions()) {
+    auto *Check = dyn_cast<CheckInst>(I);
+    if (!Check)
+      continue;
+    ++Checks;
+    const auto *Orig = dyn_cast<Instruction>(Check->original());
+    const auto *Shadow = dyn_cast<Instruction>(Check->shadow());
+    ASSERT_TRUE(Orig && Shadow);
+    EXPECT_EQ(Orig->opcode(), Shadow->opcode());
+    EXPECT_EQ(Orig->parent(), Shadow->parent());
+    EXPECT_TRUE(isDuplicableOpcode(Orig->opcode()));
+  }
+  EXPECT_GT(Checks, 10u);
+}

@@ -1,0 +1,333 @@
+//===- tests/TestInterpreter.cpp - Interpreter and memory ---------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <cmath>
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+TEST(Memory, NullPageIsInvalid) {
+  Memory Mem;
+  EXPECT_FALSE(Mem.validRange(0, 8));
+  EXPECT_FALSE(Mem.validRange(7, 8));
+}
+
+TEST(Memory, AllocationsAreValidAndAligned) {
+  Memory Mem;
+  uint64_t A = Mem.mallocBytes(64);
+  ASSERT_NE(A, 0u);
+  EXPECT_EQ(A % 8, 0u);
+  EXPECT_TRUE(Mem.validRange(A, 64));
+  Mem.write64(A + 8, 0xdeadbeef);
+  EXPECT_EQ(Mem.read64(A + 8), 0xdeadbeefull);
+}
+
+TEST(Memory, HeapExhaustionReturnsNull) {
+  Memory::Config Cfg;
+  Cfg.HeapBytes = 1024;
+  Memory Mem(Cfg);
+  EXPECT_EQ(Mem.mallocBytes(1 << 20), 0u);
+  EXPECT_NE(Mem.mallocBytes(512), 0u);
+}
+
+TEST(Memory, StackSaveRestore) {
+  Memory Mem;
+  uint64_t SP = Mem.stackPointer();
+  uint64_t A = Mem.allocaBytes(128);
+  ASSERT_NE(A, 0u);
+  EXPECT_GT(Mem.stackPointer(), SP);
+  Mem.restoreStackPointer(SP);
+  EXPECT_EQ(Mem.stackPointer(), SP);
+}
+
+TEST(Memory, OverflowDetectedAtEnd) {
+  Memory Mem;
+  // Cross-boundary ranges are invalid even when the start is valid.
+  uint64_t A = Mem.mallocBytes(16);
+  EXPECT_TRUE(Mem.validRange(A, 16));
+  EXPECT_FALSE(Mem.validRange(UINT64_MAX - 4, 8)); // wraparound guard
+}
+
+//===----------------------------------------------------------------------===//
+// RtValue / fault model
+//===----------------------------------------------------------------------===//
+
+TEST(RtValue, RoundTrips) {
+  EXPECT_EQ(RtValue::fromI64(-5).asI64(), -5);
+  EXPECT_DOUBLE_EQ(RtValue::fromF64(2.75).asF64(), 2.75);
+  EXPECT_TRUE(RtValue::fromBool(true).asBool());
+  EXPECT_EQ(RtValue::fromPtr(4096).asPtr(), 4096u);
+}
+
+TEST(RtValue, FlipBitRespectsWidth) {
+  RtValue B = RtValue::fromBool(true);
+  B.flipBit(0, types::I1);
+  EXPECT_FALSE(B.asBool());
+  // Bit index wraps modulo the width: flipping "bit 65" of an i1 flips
+  // bit 0 again... and bit 7 of an i1 wraps to bit 0 too.
+  B.flipBit(7, types::I1);
+  EXPECT_TRUE(B.asBool());
+
+  RtValue V = RtValue::fromI64(0);
+  V.flipBit(63, types::I64);
+  EXPECT_LT(V.asI64(), 0);
+
+  RtValue F = RtValue::fromF64(1.0);
+  F.flipBit(62, types::F64); // exponent bit: huge change
+  EXPECT_GT(std::fabs(F.asF64() - 1.0), 1.0);
+}
+
+/// Property: a double bit flip in the low mantissa produces a tiny
+/// relative error; in the exponent, a large one.
+class BitFlipMagnitude : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitFlipMagnitude, MantissaVsExponent) {
+  unsigned Bit = GetParam();
+  RtValue V = RtValue::fromF64(1.2345678);
+  V.flipBit(Bit, types::F64);
+  double RelErr = std::fabs(V.asF64() - 1.2345678) / 1.2345678;
+  if (Bit < 26) {
+    EXPECT_LT(RelErr, 1e-7) << "bit " << Bit;
+  } else if (Bit >= 52 && Bit < 63) {
+    // Exponent flips at least halve the value; some produce inf/NaN.
+    EXPECT_TRUE(std::isnan(RelErr) || RelErr >= 0.5) << "bit " << Bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitFlipMagnitude,
+                         ::testing::Values(0u, 5u, 12u, 20u, 25u, 52u, 55u,
+                                           58u, 62u));
+
+//===----------------------------------------------------------------------===//
+// Interpreter semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, IntegerArithmeticMatchesNative) {
+  const char *Src = "int f(int a, int b) { return (a + b) * (a - b); }";
+  auto M = compile(Src);
+  Rng R(5);
+  for (int I = 0; I != 50; ++I) {
+    int64_t A = R.nextInRange(-1000000, 1000000);
+    int64_t B = R.nextInRange(-1000000, 1000000);
+    RunResult Res = runFunction(
+        *M, "f", {RtValue::fromI64(A), RtValue::fromI64(B)});
+    EXPECT_EQ(Res.Value.asI64(), (A + B) * (A - B));
+  }
+}
+
+TEST(Interpreter, DoubleArithmeticMatchesNative) {
+  const char *Src =
+      "double f(double a, double b) { return a / b + a * b - 1.0; }";
+  auto M = compile(Src);
+  Rng R(9);
+  for (int I = 0; I != 50; ++I) {
+    double A = R.nextDoubleIn(-100.0, 100.0);
+    double B = R.nextDoubleIn(0.5, 10.0);
+    RunResult Res = runFunction(
+        *M, "f", {RtValue::fromF64(A), RtValue::fromF64(B)});
+    EXPECT_DOUBLE_EQ(Res.Value.asF64(), A / B + A * B - 1.0);
+  }
+}
+
+TEST(Interpreter, DivisionByZeroTraps) {
+  auto M = compile("int f(int a) { return 10 / a; }");
+  RunResult R = runFunction(*M, "f", {RtValue::fromI64(0)});
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::DivByZero);
+  R = runFunction(*M, "f", {RtValue::fromI64(2)});
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(R.Value.asI64(), 5);
+}
+
+TEST(Interpreter, IntMinDivMinusOneTraps) {
+  auto M = compile("int f(int a, int b) { return a / b; }");
+  RunResult R = runFunction(
+      *M, "f", {RtValue::fromI64(INT64_MIN), RtValue::fromI64(-1)});
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::DivByZero);
+}
+
+TEST(Interpreter, OutOfBoundsAccessTraps) {
+  auto M = compile("double f(int i) { double a[4]; a[0] = 1.0;\n"
+                   "  return a[i]; }");
+  RunResult R = runFunction(*M, "f", {RtValue::fromI64(100000000)});
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::OutOfBounds);
+  R = runFunction(*M, "f", {RtValue::fromI64(-100000000)});
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+}
+
+TEST(Interpreter, FpDivisionByZeroDoesNotTrap) {
+  // IEEE semantics: inf, not a hardware exception.
+  auto M = compile("double f(double a) { return a / 0.0; }");
+  RunResult R = runFunction(*M, "f", {RtValue::fromF64(1.0)});
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_TRUE(std::isinf(R.Value.asF64()));
+}
+
+TEST(Interpreter, DeepRecursionTrapsOnCallDepth) {
+  auto M = compile("int f(int n) { if (n <= 0) return 0;\n"
+                   "  return 1 + f(n - 1); }");
+  RunResult R = runFunction(*M, "f", {RtValue::fromI64(100000)});
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::CallDepthExceeded);
+  R = runFunction(*M, "f", {RtValue::fromI64(100)});
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(R.Value.asI64(), 100);
+}
+
+TEST(Interpreter, StackRestoredAcrossCalls) {
+  // Each call allocates a frame array; without restore the stack would
+  // overflow long before 20000 iterations.
+  auto M = compile("int g(int x) { double t[64]; t[0] = 1.0 * x;\n"
+                   "  return (int)t[0]; }\n"
+                   "int f() { int s = 0;\n"
+                   "  for (int i = 0; i < 20000; i = i + 1) s = g(i);\n"
+                   "  return s; }");
+  RunResult R = runFunction(*M, "f", {});
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(R.Value.asI64(), 19999);
+}
+
+TEST(Interpreter, OutOfStepsIsResumable) {
+  auto M = compile("int f() { int s = 0;\n"
+                   "  for (int i = 0; i < 1000; i = i + 1) s += i;\n"
+                   "  return s; }");
+  ModuleLayout Layout(*M);
+  ExecutionContext Ctx(Layout);
+  Ctx.start(M->getFunction("f"), {});
+  EXPECT_EQ(Ctx.run(10), RunStatus::OutOfSteps);
+  EXPECT_EQ(Ctx.run(100), RunStatus::OutOfSteps);
+  EXPECT_EQ(Ctx.run(UINT64_MAX), RunStatus::Finished);
+  EXPECT_EQ(Ctx.returnValue().asI64(), 499500);
+}
+
+TEST(Interpreter, StepCountsAreDeterministic) {
+  auto M = compile("int f(int n) { int s = 0;\n"
+                   "  for (int i = 0; i < n; i = i + 1) s += i;\n"
+                   "  return s; }");
+  RunResult A = runFunction(*M, "f", {RtValue::fromI64(50)});
+  RunResult B = runFunction(*M, "f", {RtValue::fromI64(50)});
+  EXPECT_EQ(A.Steps, B.Steps);
+  RunResult C = runFunction(*M, "f", {RtValue::fromI64(51)});
+  EXPECT_GT(C.Steps, A.Steps);
+}
+
+TEST(Interpreter, FaultInjectionHitsExactInstance) {
+  // f returns a + a; flipping bit 1 of the first add's result changes the
+  // return by exactly +-2 when the fault lands pre-return.
+  auto M = compile("int f(int a) { int b = a + a; return b; }");
+  ModuleLayout Layout(*M);
+  FaultPlan Plan;
+  Plan.TargetValueStep = 0; // the add
+  Plan.BitDraw = 1;
+  ExecutionContext Ctx(Layout);
+  Ctx.setFaultPlan(Plan);
+  Ctx.start(M->getFunction("f"), {RtValue::fromI64(10)});
+  EXPECT_EQ(Ctx.run(UINT64_MAX), RunStatus::Finished);
+  EXPECT_TRUE(Ctx.faultWasInjected());
+  EXPECT_EQ(Ctx.returnValue().asI64(), 20 ^ 2);
+}
+
+TEST(Interpreter, FaultBeyondExecutionNeverInjects) {
+  auto M = compile("int f() { return 1 + 2; }");
+  ModuleLayout Layout(*M);
+  FaultPlan Plan;
+  Plan.TargetValueStep = 1000000;
+  ExecutionContext Ctx(Layout);
+  Ctx.setFaultPlan(Plan);
+  Ctx.start(M->getFunction("f"), {});
+  EXPECT_EQ(Ctx.run(UINT64_MAX), RunStatus::Finished);
+  EXPECT_FALSE(Ctx.faultWasInjected());
+  EXPECT_EQ(Ctx.returnValue().asI64(), 3);
+}
+
+TEST(Interpreter, FaultedInstructionIdIsRecorded) {
+  auto M = compile("int f(int a) { int b = a * 2; int c = b + 1;\n"
+                   "  return c; }");
+  ModuleLayout Layout(*M);
+  for (uint64_t Step : {0ull, 1ull}) {
+    FaultPlan Plan;
+    Plan.TargetValueStep = Step;
+    Plan.BitDraw = 0;
+    ExecutionContext Ctx(Layout);
+    Ctx.setFaultPlan(Plan);
+    Ctx.start(M->getFunction("f"), {RtValue::fromI64(3)});
+    Ctx.run(UINT64_MAX);
+    ASSERT_TRUE(Ctx.faultWasInjected());
+    const Instruction *Hit = nullptr;
+    for (Instruction *I : M->allInstructions())
+      if (I->id() == Ctx.faultedInstructionId())
+        Hit = I;
+    ASSERT_NE(Hit, nullptr);
+    EXPECT_EQ(Hit->opcode(), Step == 0 ? Opcode::Mul : Opcode::Add);
+  }
+}
+
+TEST(Interpreter, PhisReadSimultaneously) {
+  // Swap two values through a loop: phis must snapshot their inputs.
+  auto M = compile("int f(int n) { int a = 1; int b = 2;\n"
+                   "  for (int i = 0; i < n; i = i + 1) {\n"
+                   "    int t = a; a = b; b = t;\n"
+                   "  }\n"
+                   "  return a * 10 + b; }");
+  EXPECT_EQ(runFunction(*M, "f", {RtValue::fromI64(0)}).Value.asI64(), 12);
+  EXPECT_EQ(runFunction(*M, "f", {RtValue::fromI64(1)}).Value.asI64(), 21);
+  EXPECT_EQ(runFunction(*M, "f", {RtValue::fromI64(2)}).Value.asI64(), 12);
+}
+
+TEST(Interpreter, CheckMismatchRaisesDetected) {
+  // Build a function with a check that cannot pass: check(x, x+1).
+  Module M("m");
+  Function *F = M.createFunction("f", types::I64, {types::I64});
+  IRBuilder B(M);
+  B.setInsertPoint(F->addBlock("entry"));
+  Value *X = B.createAdd(F->arg(0), B.getInt64(0));
+  Value *Y = B.createAdd(F->arg(0), B.getInt64(1));
+  B.insertBlock()->append(std::make_unique<CheckInst>(X, Y));
+  B.createRet(X);
+  M.renumber();
+  RunResult R = runFunction(M, "f", {RtValue::fromI64(5)});
+  EXPECT_EQ(R.Status, RunStatus::Detected);
+}
+
+TEST(Interpreter, MallocZeroAndNegative) {
+  auto M = compile("int f(int n) { double* p = (double*)malloc(n);\n"
+                   "  p[0] = 1.0; return (int)p[0]; }");
+  // Zero slots still yields a valid (minimal) allocation.
+  EXPECT_EQ(runFunction(*M, "f", {RtValue::fromI64(0)}).Value.asI64(), 1);
+  // Negative requests trap.
+  RunResult R = runFunction(*M, "f", {RtValue::fromI64(-5)});
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::OutOfMemory);
+}
+
+TEST(Interpreter, SingleRankMpiSemantics) {
+  auto M = compile("double f(double x) {\n"
+                   "  int r = mpi_rank(); int s = mpi_size();\n"
+                   "  mpi_barrier();\n"
+                   "  double sum = mpi_allreduce_sum_d(x);\n"
+                   "  double m = mpi_allreduce_max_d(x * 2.0);\n"
+                   "  return sum + m + r + s; }");
+  RunResult R = runFunction(*M, "f", {RtValue::fromF64(3.0)});
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_DOUBLE_EQ(R.Value.asF64(), 3.0 + 6.0 + 0.0 + 1.0);
+}
+
+TEST(Interpreter, FPToSIOutOfRangeSaturates) {
+  auto M = compile("int f(double x) { return (int)x; }");
+  RunResult R = runFunction(*M, "f", {RtValue::fromF64(1e300)});
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(R.Value.asI64(), INT64_MIN); // x86 "integer indefinite"
+  R = runFunction(*M, "f", {RtValue::fromF64(0.0 / 0.0)});
+  EXPECT_EQ(R.Value.asI64(), INT64_MIN);
+}

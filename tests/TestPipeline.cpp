@@ -1,0 +1,201 @@
+//===- tests/TestPipeline.cpp - End-to-end IPAS workflow ----------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ResultsCache.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipas;
+
+namespace {
+
+/// Small-but-meaningful configuration shared by the pipeline tests: IS is
+/// the cheapest workload, and these sizes keep each test in seconds.
+PipelineConfig tinyConfig() {
+  PipelineConfig Cfg = PipelineConfig::defaults();
+  Cfg.TrainSamples = 150;
+  Cfg.EvalRuns = 120;
+  Cfg.Grid.CSteps = 3;
+  Cfg.Grid.GammaSteps = 3;
+  Cfg.Grid.Folds = 3;
+  Cfg.TopN = 2;
+  Cfg.Seed = 0xBEEF;
+  return Cfg;
+}
+
+/// The full evaluation is expensive; compute it once for the suite.
+const WorkloadEvaluation &isEvaluation() {
+  static WorkloadEvaluation WE = [] {
+    auto W = makeWorkload("IS");
+    IpasPipeline P(*W, tinyConfig());
+    return P.run();
+  }();
+  return WE;
+}
+
+} // namespace
+
+TEST(Pipeline, TrainingProducesBothLabelings) {
+  auto W = makeWorkload("IS");
+  PipelineConfig Cfg = tinyConfig();
+  IpasPipeline P(*W, Cfg);
+  TrainingArtifacts A = P.collectAndTrain();
+  EXPECT_EQ(A.Campaign.Records.size(), Cfg.TrainSamples);
+  EXPECT_EQ(A.IpasData.size(), Cfg.TrainSamples);
+  EXPECT_EQ(A.BaselineData.size(), Cfg.TrainSamples);
+  // SOC-generating samples are the minority class (class imbalance,
+  // §4.3.1) yet must be present to train at all.
+  size_t Soc = A.IpasData.countLabel(1);
+  EXPECT_GT(Soc, 0u);
+  EXPECT_LT(Soc, Cfg.TrainSamples / 2);
+  EXPECT_GT(A.BaselineData.countLabel(1), 0u);
+  ASSERT_FALSE(A.IpasConfigs.empty());
+  EXPECT_LE(A.IpasConfigs.size(), static_cast<size_t>(Cfg.TopN));
+  EXPECT_GT(A.IpasConfigs.front().FScore, 0.0);
+  EXPECT_GT(A.TrainSeconds, 0.0);
+  // Features cover every instruction of the module.
+  EXPECT_EQ(A.Features.size(),
+            compileWorkload(*W)->numInstructions());
+}
+
+TEST(Pipeline, SelectInstructionsDiffersByTechnique) {
+  auto W = makeWorkload("IS");
+  IpasPipeline P(*W, tinyConfig());
+  TrainingArtifacts A = P.collectAndTrain();
+  auto IpasIds = P.selectInstructions(Technique::Ipas,
+                                      A.IpasConfigs.front().Params, A);
+  auto BaseIds = P.selectInstructions(Technique::Baseline,
+                                      A.BaselineConfigs.front().Params, A);
+  EXPECT_GT(IpasIds.size(), 0u);
+  EXPECT_GT(BaseIds.size(), 0u);
+  // The shoestring-style baseline overprotects relative to IPAS — the
+  // paper's central claim (Figure 7).
+  EXPECT_GT(BaseIds.size(), IpasIds.size());
+}
+
+TEST(Pipeline, FullEvaluationShapesMatchPaper) {
+  const WorkloadEvaluation &WE = isEvaluation();
+  ASSERT_GE(WE.Variants.size(), 4u);
+
+  const VariantEvaluation *Unprot = WE.variant("unprotected");
+  const VariantEvaluation *Full = WE.variant("full");
+  ASSERT_TRUE(Unprot && Full);
+
+  // Unprotected: no checks, slowdown 1, some SOC.
+  EXPECT_EQ(Unprot->Dup.DuplicatedInstructions, 0u);
+  EXPECT_DOUBLE_EQ(Unprot->Slowdown, 1.0);
+  double UnprotSoc = Unprot->Campaign.fraction(Outcome::SOC);
+  EXPECT_GT(UnprotSoc, 0.0);
+  EXPECT_EQ(Unprot->Campaign.count(Outcome::Detected), 0u);
+
+  // Full duplication: detects faults, reduces SOC, costs the most.
+  EXPECT_GT(Full->Campaign.count(Outcome::Detected), 0u);
+  EXPECT_LT(Full->Campaign.fraction(Outcome::SOC), UnprotSoc);
+  EXPECT_GT(Full->Slowdown, 1.2);
+
+  for (const VariantEvaluation &V : WE.Variants) {
+    if (V.Tech != Technique::Ipas && V.Tech != Technique::Baseline)
+      continue;
+    // Every classifier-guided variant must cost less than full
+    // duplication and reduce SOC meaningfully.
+    EXPECT_LT(V.Slowdown, Full->Slowdown) << V.Label;
+    EXPECT_GT(V.SocReductionPct, 20.0) << V.Label;
+    EXPECT_GT(V.Campaign.count(Outcome::Detected), 0u) << V.Label;
+    EXPECT_LT(V.Dup.DuplicatedInstructions,
+              Full->Dup.DuplicatedInstructions)
+        << V.Label;
+  }
+}
+
+TEST(Pipeline, BestVariantUsesIdealPointCriterion) {
+  const WorkloadEvaluation &WE = isEvaluation();
+  const VariantEvaluation *Best = WE.bestVariant(Technique::Ipas);
+  ASSERT_TRUE(Best);
+  double BestDist =
+      euclideanDistance(Best->Slowdown, Best->SocReductionPct, 1.0, 100.0);
+  for (const VariantEvaluation &V : WE.Variants) {
+    if (V.Tech == Technique::Ipas) {
+      EXPECT_LE(BestDist, euclideanDistance(V.Slowdown, V.SocReductionPct,
+                                            1.0, 100.0) +
+                              1e-12);
+    }
+  }
+}
+
+TEST(Pipeline, ScalabilitySlowdownStaysBounded) {
+  auto W = makeWorkload("IS");
+  IpasPipeline P(*W, tinyConfig());
+  auto PM = P.protectAll();
+  double S1 = P.scalabilitySlowdown(PM, 1);
+  double S4 = P.scalabilitySlowdown(PM, 4);
+  EXPECT_GT(S1, 1.0);
+  EXPECT_GT(S4, 1.0);
+  // Duplication instruments computation only (§6.4): scaling up must not
+  // inflate the slowdown.
+  EXPECT_LT(S4, S1 * 1.25);
+}
+
+TEST(Pipeline, TechniqueNames) {
+  EXPECT_STREQ(techniqueName(Technique::Unprotected), "unprotected");
+  EXPECT_STREQ(techniqueName(Technique::FullDup), "full-duplication");
+  EXPECT_STREQ(techniqueName(Technique::Ipas), "ipas");
+  EXPECT_STREQ(techniqueName(Technique::Baseline), "baseline");
+}
+
+//===----------------------------------------------------------------------===//
+// Results cache
+//===----------------------------------------------------------------------===//
+
+TEST(ResultsCache, SerializationRoundTrips) {
+  const WorkloadEvaluation &WE = isEvaluation();
+  std::string Text = serializeEvaluation(WE);
+  auto Back = deserializeEvaluation(Text);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->WorkloadName, WE.WorkloadName);
+  EXPECT_EQ(Back->StaticInstructions, WE.StaticInstructions);
+  EXPECT_EQ(Back->LinesOfCode, WE.LinesOfCode);
+  ASSERT_EQ(Back->Variants.size(), WE.Variants.size());
+  for (size_t I = 0; I != WE.Variants.size(); ++I) {
+    const VariantEvaluation &A = WE.Variants[I];
+    const VariantEvaluation &B = Back->Variants[I];
+    EXPECT_EQ(A.Label, B.Label);
+    EXPECT_EQ(A.Tech, B.Tech);
+    EXPECT_DOUBLE_EQ(A.Slowdown, B.Slowdown);
+    EXPECT_DOUBLE_EQ(A.SocReductionPct, B.SocReductionPct);
+    EXPECT_EQ(A.Campaign.totalRuns(), B.Campaign.totalRuns());
+    for (Outcome O : {Outcome::Crash, Outcome::Hang, Outcome::Detected,
+                      Outcome::Masked, Outcome::SOC})
+      EXPECT_EQ(A.Campaign.count(O), B.Campaign.count(O));
+    EXPECT_EQ(A.Dup.DuplicatedInstructions, B.Dup.DuplicatedInstructions);
+  }
+  EXPECT_EQ(Back->Training.IpasConfigs.size(),
+            WE.Training.IpasConfigs.size());
+}
+
+TEST(ResultsCache, RejectsMalformedInput) {
+  EXPECT_FALSE(deserializeEvaluation("").has_value());
+  EXPECT_FALSE(deserializeEvaluation("garbage").has_value());
+  EXPECT_FALSE(
+      deserializeEvaluation("ipas-cache-v1\nworkload IS\n").has_value());
+  std::string Text = serializeEvaluation(isEvaluation());
+  EXPECT_FALSE(
+      deserializeEvaluation(Text.substr(0, Text.size() / 2)).has_value());
+}
+
+TEST(ResultsCache, ConfigHashDistinguishesConfigs) {
+  PipelineConfig A = PipelineConfig::defaults();
+  PipelineConfig B = A;
+  EXPECT_EQ(pipelineConfigHash(A), pipelineConfigHash(B));
+  B.EvalRuns += 1;
+  EXPECT_NE(pipelineConfigHash(A), pipelineConfigHash(B));
+  B = A;
+  B.Seed ^= 1;
+  EXPECT_NE(pipelineConfigHash(A), pipelineConfigHash(B));
+  B = A;
+  B.Grid.GammaSteps += 1;
+  EXPECT_NE(pipelineConfigHash(A), pipelineConfigHash(B));
+}

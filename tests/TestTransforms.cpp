@@ -1,0 +1,307 @@
+//===- tests/TestTransforms.cpp - mem2reg, SimplifyCFG, duplication -----------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "transform/Duplication.h"
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+//===----------------------------------------------------------------------===//
+// SimplifyCFG
+//===----------------------------------------------------------------------===//
+
+TEST(SimplifyCFG, RemovesDeadBlocksAfterReturn) {
+  Diagnostics D;
+  auto M = compileMiniC("int f() { return 1; int x = 2; x = x + 1; }", "t",
+                        D);
+  ASSERT_TRUE(M);
+  Function *F = M->getFunction("f");
+  size_t Before = F->numBlocks();
+  unsigned Removed = removeUnreachableBlocks(*F);
+  EXPECT_GT(Removed, 0u);
+  EXPECT_EQ(F->numBlocks(), Before - Removed);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+}
+
+TEST(SimplifyCFG, KeepsReachableBlocks) {
+  auto M = compile("int f(int a) { if (a > 0) return 1; return 2; }",
+                   /*RunMem2Reg=*/false);
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(removeUnreachableBlocks(*F), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Mem2Reg
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+size_t countOpcode(const Function &F, Opcode Op) {
+  size_t N = 0;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->opcode() == Op)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Mem2Reg, PromotesScalarsCompletely) {
+  Diagnostics D;
+  auto M = compileMiniC("int f(int n) { int s = 0;\n"
+                        "  for (int i = 0; i < n; i = i + 1) s += i;\n"
+                        "  return s; }",
+                        "t", D);
+  ASSERT_TRUE(M);
+  Function *F = M->getFunction("f");
+  removeUnreachableBlocks(*F);
+  EXPECT_GT(countOpcode(*F, Opcode::Alloca), 0u);
+  unsigned Promoted = promoteAllocasToRegisters(*F);
+  EXPECT_GE(Promoted, 3u); // n.addr, s, i
+  EXPECT_EQ(countOpcode(*F, Opcode::Alloca), 0u);
+  EXPECT_EQ(countOpcode(*F, Opcode::Load), 0u);
+  EXPECT_EQ(countOpcode(*F, Opcode::Store), 0u);
+  EXPECT_GT(countOpcode(*F, Opcode::Phi), 0u);
+  M->renumber();
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(Mem2Reg, LeavesArraysAlone) {
+  auto M = compile("double f(int i) { double a[4]; a[i] = 2.0;\n"
+                   "  return a[i]; }");
+  Function *F = M->getFunction("f");
+  // The array alloca must survive (its address is gep'd).
+  EXPECT_EQ(countOpcode(*F, Opcode::Alloca), 1u);
+  EXPECT_GT(countOpcode(*F, Opcode::Load), 0u);
+}
+
+TEST(Mem2Reg, ReadBeforeWriteBecomesZero) {
+  // C would read indeterminate memory; the pass defines it as zero.
+  Diagnostics D;
+  auto M = compileMiniC("int f(int a) { int x; if (a > 0) x = 5;\n"
+                        "  return x; }",
+                        "t", D);
+  ASSERT_TRUE(M);
+  removeUnreachableBlocks(*M);
+  promoteAllocasToRegisters(*M);
+  M->renumber();
+  ASSERT_TRUE(verifyModule(*M).empty());
+  RunResult R = runFunction(*M, "f", {RtValue::fromI64(-3)});
+  EXPECT_EQ(R.Value.asI64(), 0);
+  R = runFunction(*M, "f", {RtValue::fromI64(3)});
+  EXPECT_EQ(R.Value.asI64(), 5);
+}
+
+/// Property test: mem2reg must preserve program semantics. Each corpus
+/// program is executed with several inputs before and after promotion.
+class Mem2RegEquivalence : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(Mem2RegEquivalence, PreservesSemantics) {
+  const char *Src = GetParam();
+  for (int64_t Arg : {-7, 0, 1, 2, 5, 13, 64}) {
+    Diagnostics D1;
+    auto M1 = compileMiniC(Src, "raw", D1);
+    ASSERT_TRUE(M1) << D1.summary();
+    removeUnreachableBlocks(*M1);
+    M1->renumber();
+    RunResult R1 = runFunction(*M1, "f", {RtValue::fromI64(Arg)});
+
+    auto M2 = compile(Src); // with mem2reg
+    ASSERT_TRUE(M2);
+    RunResult R2 = runFunction(*M2, "f", {RtValue::fromI64(Arg)});
+
+    EXPECT_EQ(R1.Status, R2.Status) << "arg=" << Arg;
+    EXPECT_EQ(R1.Value.Bits, R2.Value.Bits) << "arg=" << Arg;
+    // Promotion must strictly reduce dynamic work (loads/stores vanish).
+    if (R1.Status == RunStatus::Finished) {
+      EXPECT_LT(R2.Steps, R1.Steps) << "arg=" << Arg;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Mem2RegEquivalence,
+    ::testing::Values(
+        "int f(int a) { int s = 0; for (int i = 0; i < a; i = i + 1)"
+        " s += i * i; return s; }",
+        "int f(int a) { int x = 1; if (a > 3) { x = a * 2; } else"
+        " { x = a - 1; } return x + 1; }",
+        "int f(int a) { int i = 0; int s = 1; while (i < a) {"
+        " if (s > 100) break; s = s * 2; i = i + 1; } return s; }",
+        "int f(int a) { double acc = 0.5; for (int i = 0; i < a;"
+        " i = i + 1) { acc = acc * 1.5 + i; } return (int)acc; }",
+        "int g(int x) { return x * 3; } int f(int a) { int t = g(a);"
+        " int u = g(t); return u - a; }",
+        "int f(int a) { int s = 0; for (int i = 0; i < a; i = i + 1)"
+        " { for (int j = i; j < a; j = j + 1) { if ((i + j) % 3 == 0)"
+        " continue; s += i * j; } } return s; }",
+        "int f(int a) { double x[8]; for (int i = 0; i < 8; i = i + 1)"
+        " x[i] = 1.0 * i * a; double s = 0.0; for (int i = 0; i < 8;"
+        " i = i + 1) s += x[i]; return (int)s; }"));
+
+//===----------------------------------------------------------------------===//
+// Duplication
+//===----------------------------------------------------------------------===//
+
+TEST(Duplication, FullDuplicationStats) {
+  auto M = compile("double f(double a, double b) {\n"
+                   "  double c = a * b; double d = c + a;\n"
+                   "  return d / 2.0; }");
+  size_t Before = M->numInstructions();
+  DuplicationStats Stats = duplicateAllInstructions(*M);
+  M->renumber();
+  EXPECT_EQ(Stats.TotalInstructions, Before);
+  EXPECT_EQ(Stats.DuplicatedInstructions, 3u); // mul, add, div
+  EXPECT_GE(Stats.ChecksInserted, 1u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  EXPECT_EQ(M->numInstructions(),
+            Before + Stats.DuplicatedInstructions + Stats.ChecksInserted);
+}
+
+TEST(Duplication, ChecksOnlyAtPathEnds) {
+  // A straight-line chain a -> b -> c within one block forms one
+  // duplication path and must get exactly one check.
+  auto M = compile("double f(double x) {\n"
+                   "  double a = x * 2.0; double b = a + 1.0;\n"
+                   "  double c = b * b; return c; }");
+  DuplicationStats Stats = duplicateAllInstructions(*M);
+  M->renumber();
+  EXPECT_EQ(Stats.DuplicatedInstructions, 3u);
+  EXPECT_EQ(Stats.ChecksInserted, 1u);
+}
+
+TEST(Duplication, SkipsNonDuplicableOpcodes) {
+  auto M = compile("double f(double* p, int i) { return p[i] + 1.0; }");
+  DuplicationStats Stats = duplicateAllInstructions(*M);
+  M->renumber();
+  ASSERT_TRUE(verifyModule(*M).empty());
+  // Loads are never duplicated.
+  for (Instruction *I : M->allInstructions()) {
+    if (I->opcode() != Opcode::Check)
+      continue;
+    for (const Value *Op : I->operands())
+      EXPECT_NE(cast<Instruction>(Op)->opcode(), Opcode::Load);
+  }
+  EXPECT_LT(Stats.DuplicatedInstructions, Stats.TotalInstructions);
+}
+
+TEST(Duplication, SelectivePredicateRespected) {
+  auto M = compile("double f(double a) { double b = a * 2.0;\n"
+                   "  double c = b + 3.0; return c; }");
+  M->renumber();
+  // Protect only the fmul.
+  unsigned MulId = 0;
+  for (Instruction *I : M->allInstructions())
+    if (I->opcode() == Opcode::FMul)
+      MulId = I->id();
+  DuplicationStats Stats = duplicateInstructions(
+      *M, [&](const Instruction &I) { return I.id() == MulId; });
+  EXPECT_EQ(Stats.DuplicatedInstructions, 1u);
+  EXPECT_EQ(Stats.ChecksInserted, 1u);
+  EXPECT_EQ(Stats.SelectedInstructions, 1u);
+}
+
+TEST(Duplication, PreservesSemantics) {
+  const char *Src = "int f(int a) { int s = 0;\n"
+                    "  for (int i = 0; i < a; i = i + 1) s += i * i;\n"
+                    "  return s; }";
+  auto Plain = compile(Src);
+  auto Dup = compile(Src);
+  duplicateAllInstructions(*Dup);
+  Dup->renumber();
+  ASSERT_TRUE(verifyModule(*Dup).empty());
+  for (int64_t Arg : {0, 1, 5, 20}) {
+    RunResult A = runFunction(*Plain, "f", {RtValue::fromI64(Arg)});
+    RunResult B = runFunction(*Dup, "f", {RtValue::fromI64(Arg)});
+    EXPECT_EQ(A.Status, RunStatus::Finished);
+    EXPECT_EQ(B.Status, RunStatus::Finished);
+    EXPECT_EQ(A.Value.asI64(), B.Value.asI64());
+    EXPECT_GT(B.Steps, A.Steps); // duplication costs instructions
+  }
+}
+
+TEST(Duplication, DetectsInjectedFaults) {
+  // Inject a fault into every dynamic value instance of a fully
+  // duplicated arithmetic chain: every fault that lands on a duplicated
+  // instruction (original or shadow) before the check must be Detected.
+  const char *Src = "double f(double a) {\n"
+                    "  double b = a * 3.0; double c = b + 7.0;\n"
+                    "  double d = c * c; return d; }";
+  auto M = compile(Src);
+  duplicateAllInstructions(*M);
+  M->renumber();
+
+  // Count clean value steps first.
+  RunResult Clean = runFunction(*M, "f", {RtValue::fromF64(1.25)});
+  ASSERT_EQ(Clean.Status, RunStatus::Finished);
+
+  ModuleLayout Layout(*M);
+  int Detected = 0, Finished = 0;
+  uint64_t ValueSteps = 0;
+  {
+    ExecutionContext Probe(Layout);
+    Probe.start(M->getFunction("f"), {RtValue::fromF64(1.25)});
+    Probe.run(UINT64_MAX);
+    ValueSteps = Probe.valueSteps();
+  }
+  for (uint64_t Step = 0; Step != ValueSteps; ++Step) {
+    FaultPlan Plan;
+    Plan.TargetValueStep = Step;
+    Plan.BitDraw = 52; // high mantissa bit: a large perturbation
+    RunResult R =
+        runFunction(*M, "f", {RtValue::fromF64(1.25)}, 100000, &Plan);
+    if (R.Status == RunStatus::Detected)
+      ++Detected;
+    else if (R.Status == RunStatus::Finished)
+      ++Finished;
+  }
+  // The duplicated chain dominates the dynamic profile; most injections
+  // must be caught, and nothing may crash.
+  EXPECT_GT(Detected, 0);
+  EXPECT_EQ(Detected + Finished, static_cast<int>(ValueSteps));
+}
+
+TEST(Duplication, IsDuplicableOpcodeTable) {
+  EXPECT_TRUE(isDuplicableOpcode(Opcode::Add));
+  EXPECT_TRUE(isDuplicableOpcode(Opcode::FDiv));
+  EXPECT_TRUE(isDuplicableOpcode(Opcode::ICmp));
+  EXPECT_TRUE(isDuplicableOpcode(Opcode::Gep));
+  EXPECT_TRUE(isDuplicableOpcode(Opcode::Select));
+  EXPECT_TRUE(isDuplicableOpcode(Opcode::SIToFP));
+  EXPECT_FALSE(isDuplicableOpcode(Opcode::Load));
+  EXPECT_FALSE(isDuplicableOpcode(Opcode::Store));
+  EXPECT_FALSE(isDuplicableOpcode(Opcode::Call));
+  EXPECT_FALSE(isDuplicableOpcode(Opcode::Phi));
+  EXPECT_FALSE(isDuplicableOpcode(Opcode::Br));
+  EXPECT_FALSE(isDuplicableOpcode(Opcode::Alloca));
+  EXPECT_FALSE(isDuplicableOpcode(Opcode::Check));
+}
+
+TEST(Duplication, PerInstructionPlacementInsertsMoreChecks) {
+  const char *Src = "double f(double x) {\n"
+                    "  double a = x * 2.0; double b = a + 1.0;\n"
+                    "  double c = b * b; return c; }";
+  auto MPath = compile(Src);
+  DuplicationStats PathStats = duplicateAllInstructions(*MPath);
+  auto MEvery = compile(Src);
+  DuplicationOptions Opts;
+  Opts.Placement = CheckPlacement::EveryInstruction;
+  DuplicationStats EveryStats = duplicateInstructions(
+      *MEvery, [](const Instruction &) { return true; }, Opts);
+  MEvery->renumber();
+  ASSERT_TRUE(verifyModule(*MEvery).empty());
+  EXPECT_EQ(EveryStats.DuplicatedInstructions,
+            PathStats.DuplicatedInstructions);
+  EXPECT_GT(EveryStats.ChecksInserted, PathStats.ChecksInserted);
+  EXPECT_EQ(EveryStats.ChecksInserted, EveryStats.DuplicatedInstructions);
+  // Semantics still preserved.
+  RunResult R = runFunction(*MEvery, "f", {RtValue::fromF64(1.5)});
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_DOUBLE_EQ(R.Value.asF64(), (1.5 * 2.0 + 1.0) * (1.5 * 2.0 + 1.0));
+}

@@ -1,0 +1,98 @@
+//===- tests/TestUtil.h - Shared helpers for the test suite ----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TESTS_TESTUTIL_H
+#define IPAS_TESTS_TESTUTIL_H
+
+#include "frontend/CodeGen.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "transform/Mem2Reg.h"
+#include "transform/SimplifyCFG.h"
+
+#include <gtest/gtest.h>
+
+namespace ipas {
+namespace testutil {
+
+/// Compiles MiniC source, failing the test on diagnostics.
+inline std::unique_ptr<Module> compile(const std::string &Source,
+                                       bool RunMem2Reg = true) {
+  Diagnostics Diags;
+  std::unique_ptr<Module> M = compileMiniC(Source, "test", Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.summary();
+  if (!M)
+    return nullptr;
+  removeUnreachableBlocks(*M);
+  if (RunMem2Reg)
+    promoteAllocasToRegisters(*M);
+  M->renumber();
+  std::vector<std::string> Errs = verifyModule(*M);
+  for (const std::string &E : Errs)
+    ADD_FAILURE() << "verifier: " << E;
+  return M;
+}
+
+/// Runs \p FnName with integer/double arguments and returns the context
+/// for inspection. The caller owns the layout lifetime via the returned
+/// pair.
+struct RunResult {
+  RunStatus Status = RunStatus::Finished;
+  TrapKind Trap = TrapKind::None;
+  RtValue Value;
+  uint64_t Steps = 0;
+};
+
+inline RunResult runFunction(const Module &M, const std::string &FnName,
+                             const std::vector<RtValue> &Args,
+                             uint64_t MaxSteps = 100000000ull,
+                             const FaultPlan *Plan = nullptr) {
+  ModuleLayout Layout(M);
+  ExecutionContext Ctx(Layout);
+  const Function *F = M.getFunction(FnName);
+  EXPECT_NE(F, nullptr) << "no function " << FnName;
+  RunResult R;
+  if (!F) {
+    R.Status = RunStatus::Trapped;
+    return R;
+  }
+  if (Plan)
+    Ctx.setFaultPlan(*Plan);
+  Ctx.start(F, Args);
+  R.Status = Ctx.run(MaxSteps);
+  R.Trap = Ctx.trap();
+  R.Value = Ctx.returnValue();
+  R.Steps = Ctx.steps();
+  return R;
+}
+
+/// Compile + run an int-valued function in one go.
+inline int64_t evalInt(const std::string &Source, const std::string &FnName,
+                       const std::vector<RtValue> &Args = {}) {
+  std::unique_ptr<Module> M = compile(Source);
+  if (!M)
+    return INT64_MIN;
+  RunResult R = runFunction(*M, FnName, Args);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  return R.Value.asI64();
+}
+
+/// Compile + run a double-valued function in one go.
+inline double evalDouble(const std::string &Source,
+                         const std::string &FnName,
+                         const std::vector<RtValue> &Args = {}) {
+  std::unique_ptr<Module> M = compile(Source);
+  if (!M)
+    return -1e308;
+  RunResult R = runFunction(*M, FnName, Args);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  return R.Value.asF64();
+}
+
+} // namespace testutil
+} // namespace ipas
+
+#endif // IPAS_TESTS_TESTUTIL_H

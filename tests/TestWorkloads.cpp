@@ -1,0 +1,205 @@
+//===- tests/TestWorkloads.cpp - The five paper workloads ---------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "workloads/WorkloadHarness.h"
+#include "transform/Duplication.h"
+
+#include <cmath>
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<const char *> {
+protected:
+  std::unique_ptr<Workload> W = makeWorkload(GetParam());
+};
+
+} // namespace
+
+TEST_P(WorkloadSuite, CompilesAndVerifies) {
+  ASSERT_TRUE(W);
+  auto M = compileWorkload(*W);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  EXPECT_GT(M->numInstructions(), 50u);
+  EXPECT_NE(M->getFunction(Workload::EntryName), nullptr);
+}
+
+TEST_P(WorkloadSuite, CleanSerialRunPassesVerification) {
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_TRUE(R.OutputValid);
+  EXPECT_GT(R.ValueSteps, 1000u);
+  EXPECT_FALSE(H.golden().empty());
+}
+
+TEST_P(WorkloadSuite, InputLevelsGrowTheProblem) {
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  uint64_t PrevSteps = 0;
+  for (int Level = 1; Level <= 3; ++Level) {
+    WorkloadHarness H(*W, Level);
+    ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+    ASSERT_EQ(R.Status, RunStatus::Finished) << "level " << Level;
+    EXPECT_TRUE(R.OutputValid) << "level " << Level;
+    EXPECT_GT(R.Steps, PrevSteps) << "level " << Level;
+    PrevSteps = R.Steps;
+  }
+}
+
+TEST_P(WorkloadSuite, ParallelMatchesSerialOutput) {
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness Serial(*W, 1, 1);
+  ExecutionRecord RS = Serial.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(RS.Status, RunStatus::Finished);
+  for (int P : {2, 4}) {
+    WorkloadHarness Par(*W, 1, P);
+    ExecutionRecord RP = Par.execute(Layout, nullptr, UINT64_MAX);
+    ASSERT_EQ(RP.Status, RunStatus::Finished) << "P=" << P;
+    EXPECT_TRUE(RP.OutputValid) << "P=" << P;
+    // Verify the parallel output against the serial golden: it must be an
+    // acceptable outcome of the same computation.
+    EXPECT_TRUE(W->verify(Par.golden(), Serial.golden(), W->inputParams(1)))
+        << "P=" << P;
+  }
+}
+
+TEST_P(WorkloadSuite, ParallelCriticalPathShrinks) {
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness Serial(*W, 1, 1);
+  ExecutionRecord R1 = Serial.execute(Layout, nullptr, UINT64_MAX);
+  WorkloadHarness Par(*W, 1, 4);
+  ExecutionRecord R4 = Par.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(R4.Status, RunStatus::Finished);
+  EXPECT_LT(R4.CriticalPathCycles, R1.CriticalPathCycles);
+}
+
+TEST_P(WorkloadSuite, DuplicationPreservesCleanBehaviour) {
+  auto M = compileWorkload(*W);
+  duplicateAllInstructions(*M);
+  M->renumber();
+  ASSERT_TRUE(verifyModule(*M).empty());
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_TRUE(R.OutputValid);
+}
+
+TEST_P(WorkloadSuite, VerificationRejectsCorruptedOutput) {
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  std::vector<RtValue> Corrupt = H.golden();
+  ASSERT_FALSE(Corrupt.empty());
+  // Large alternating-sign corruption of the whole output must be
+  // rejected by every workload's routine (energy shift, solution error,
+  // unsorted keys, L2 blowup, residual blowup)...
+  for (size_t I = 0; I != Corrupt.size(); ++I)
+    Corrupt[I] = RtValue::fromF64(Corrupt[I].asF64() +
+                                  (I % 2 == 0 ? 1e6 : -1e6));
+  EXPECT_FALSE(W->verify(Corrupt, H.golden(), W->inputParams(1)));
+  // ...while the golden output itself is accepted.
+  EXPECT_TRUE(W->verify(H.golden(), H.golden(), W->inputParams(1)));
+}
+
+TEST_P(WorkloadSuite, DescriptionsAreInformative) {
+  EXPECT_FALSE(W->description().empty());
+  for (int Level = 1; Level <= 4; ++Level) {
+    EXPECT_FALSE(W->inputDescription(Level).empty());
+    EXPECT_FALSE(W->inputParams(Level).empty());
+  }
+  EXPECT_GT(Lexer::countCodeLines(W->source()), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, WorkloadSuite,
+                         ::testing::Values("CoMD", "HPCCG", "AMG", "FFT",
+                                           "IS"));
+
+TEST(Workloads, RegistryIsComplete) {
+  auto All = makeAllWorkloads();
+  ASSERT_EQ(All.size(), 5u);
+  EXPECT_EQ(All[0]->name(), "CoMD");
+  EXPECT_EQ(All[1]->name(), "HPCCG");
+  EXPECT_EQ(All[2]->name(), "AMG");
+  EXPECT_EQ(All[3]->name(), "FFT");
+  EXPECT_EQ(All[4]->name(), "IS");
+  EXPECT_EQ(makeWorkload("nope"), nullptr);
+}
+
+TEST(Workloads, HpccgSolutionIsAllOnes) {
+  auto W = makeWorkload("HPCCG");
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  for (const RtValue &V : H.golden())
+    EXPECT_NEAR(V.asF64(), 1.0, 1e-4);
+}
+
+TEST(Workloads, IsOutputIsSorted) {
+  auto W = makeWorkload("IS");
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  const auto &Out = H.golden();
+  ASSERT_EQ(Out.size(), static_cast<size_t>(W->inputParams(1)[0]));
+  for (size_t I = 1; I != Out.size(); ++I)
+    ASSERT_LE(Out[I - 1].asF64(), Out[I].asF64());
+}
+
+TEST(Workloads, FftRoundTripIsTight) {
+  auto W = makeWorkload("FFT");
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  // The FFT+inverse round trip reproduces the deterministic input, so the
+  // first real-plane entry matches sin/cos of the index function.
+  double Expected = std::sin(0.0) + 0.25 * std::cos(0.0);
+  EXPECT_NEAR(H.golden()[0].asF64(), Expected, 1e-9);
+}
+
+TEST(Workloads, CoMDEnergyTraceIsFlat) {
+  auto W = makeWorkload("CoMD");
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  const auto &E = H.golden();
+  ASSERT_GE(E.size(), 2u);
+  double First = E.front().asF64();
+  double Last = E.back().asF64();
+  EXPECT_LT(std::fabs(Last - First),
+            1e-4 * std::max(1.0, std::fabs(First)));
+}
+
+TEST(Workloads, AmgChecksumGuardsInputIntegrity) {
+  auto W = makeWorkload("AMG");
+  auto M = compileWorkload(*W);
+  ModuleLayout Layout(*M);
+  WorkloadHarness H(*W, 1);
+  ExecutionRecord R = H.execute(Layout, nullptr, UINT64_MAX);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  std::vector<RtValue> Tampered = H.golden();
+  Tampered.back() = RtValue::fromF64(Tampered.back().asF64() + 1.0);
+  EXPECT_FALSE(W->verify(Tampered, H.golden(), W->inputParams(1)));
+}

@@ -1,0 +1,178 @@
+//===- tools/ipas-cc.cpp - MiniC compiler/runner driver -------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A command-line driver in the opt/lli mold: compiles a MiniC source
+/// file, runs the selected passes, optionally protects it by duplication,
+/// and either dumps the IR or executes a function.
+///
+///   ipas-cc prog.mc --emit-ir                         # dump IR
+///   ipas-cc prog.mc --run main --args 10,20           # execute
+///   ipas-cc prog.mc --O --protect --emit-ir           # optimize+protect
+///   ipas-cc prog.mc --run f --args 8 --fault-step 100 --fault-bit 52
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CodeGen.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "support/ArgParser.h"
+#include "transform/ConstantFold.h"
+#include "transform/DCE.h"
+#include "transform/Duplication.h"
+#include "transform/Mem2Reg.h"
+#include "transform/SimplifyCFG.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ipas;
+
+static std::vector<RtValue> parseArgs(const Function *F,
+                                      const std::string &ArgsCsv) {
+  std::vector<RtValue> Args;
+  std::istringstream SS(ArgsCsv);
+  std::string Tok;
+  unsigned Index = 0;
+  while (std::getline(SS, Tok, ',')) {
+    if (Tok.empty())
+      continue;
+    if (Index >= F->numArgs()) {
+      std::fprintf(stderr, "error: too many arguments for @%s\n",
+                   F->name().c_str());
+      std::exit(2);
+    }
+    Type T = F->arg(Index)->type();
+    if (T.isF64())
+      Args.push_back(RtValue::fromF64(std::strtod(Tok.c_str(), nullptr)));
+    else
+      Args.push_back(
+          RtValue::fromI64(std::strtoll(Tok.c_str(), nullptr, 10)));
+    ++Index;
+  }
+  return Args;
+}
+
+int main(int Argc, char **Argv) {
+  bool EmitIr = false, Optimize = false, Protect = false, Verify = false;
+  std::string RunFn, ArgsCsv;
+  int64_t FaultStep = -1, FaultBit = 0, MaxSteps = -1;
+
+  ArgParser P("ipas-cc: compile, transform, protect, and run MiniC");
+  P.addBool("emit-ir", &EmitIr, "print the final IR");
+  P.addBool("O", &Optimize, "run constant folding + DCE");
+  P.addBool("protect", &Protect, "apply full instruction duplication");
+  P.addBool("verify-only", &Verify, "verify the module and exit");
+  P.addString("run", &RunFn, "function to execute");
+  P.addString("args", &ArgsCsv, "comma-separated arguments for --run");
+  P.addInt("fault-step", &FaultStep,
+           "inject a bit flip at this value-producing dynamic step");
+  P.addInt("fault-bit", &FaultBit, "bit to flip (modulo result width)");
+  P.addInt("max-steps", &MaxSteps, "step budget (hang guard)");
+  if (!P.parse(Argc, Argv))
+    return 2;
+  if (P.positionals().size() != 1) {
+    std::fprintf(stderr, "usage: ipas-cc <file.mc> [flags]\n%s",
+                 P.usage().c_str());
+    return 2;
+  }
+
+  std::ifstream In(P.positionals()[0]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n",
+                 P.positionals()[0].c_str());
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  Diagnostics Diags;
+  std::unique_ptr<Module> M =
+      compileMiniC(SS.str(), P.positionals()[0], Diags);
+  if (!M) {
+    std::fprintf(stderr, "%s\n", Diags.summary().c_str());
+    return 1;
+  }
+  removeUnreachableBlocks(*M);
+  promoteAllocasToRegisters(*M);
+  if (Optimize) {
+    foldConstants(*M);
+    eliminateDeadCode(*M);
+  }
+  if (Protect) {
+    DuplicationStats Stats = duplicateAllInstructions(*M);
+    std::fprintf(stderr, "; protected: %zu duplicated, %zu checks\n",
+                 Stats.DuplicatedInstructions, Stats.ChecksInserted);
+  }
+  M->renumber();
+
+  std::vector<std::string> Errs = verifyModule(*M);
+  for (const std::string &E : Errs)
+    std::fprintf(stderr, "verifier: %s\n", E.c_str());
+  if (!Errs.empty())
+    return 1;
+  if (Verify) {
+    std::printf("ok: %zu instructions across %zu functions\n",
+                M->numInstructions(), M->numFunctions());
+    return 0;
+  }
+
+  if (EmitIr)
+    std::fputs(printModule(*M).c_str(), stdout);
+
+  if (RunFn.empty())
+    return 0;
+  const Function *F = M->getFunction(RunFn);
+  if (!F) {
+    std::fprintf(stderr, "error: no function '%s'\n", RunFn.c_str());
+    return 1;
+  }
+  std::vector<RtValue> Args = parseArgs(F, ArgsCsv);
+  if (Args.size() != F->numArgs()) {
+    std::fprintf(stderr, "error: @%s takes %u argument(s), got %zu\n",
+                 F->name().c_str(), F->numArgs(), Args.size());
+    return 2;
+  }
+
+  ModuleLayout Layout(*M);
+  ExecutionContext Ctx(Layout);
+  if (FaultStep >= 0) {
+    FaultPlan Plan;
+    Plan.TargetValueStep = static_cast<uint64_t>(FaultStep);
+    Plan.BitDraw = static_cast<uint64_t>(FaultBit);
+    Ctx.setFaultPlan(Plan);
+  }
+  Ctx.start(F, Args);
+  RunStatus S = Ctx.run(
+      MaxSteps > 0 ? static_cast<uint64_t>(MaxSteps) : UINT64_MAX);
+
+  switch (S) {
+  case RunStatus::Finished: {
+    RtValue V = Ctx.returnValue();
+    if (F->returnType().isF64())
+      std::printf("result: %.17g\n", V.asF64());
+    else if (!F->returnType().isVoid())
+      std::printf("result: %lld\n", static_cast<long long>(V.asI64()));
+    std::printf("executed %llu instructions%s\n",
+                static_cast<unsigned long long>(Ctx.steps()),
+                Ctx.faultWasInjected() ? " (fault injected)" : "");
+    return 0;
+  }
+  case RunStatus::Detected:
+    std::printf("fault detected by a soc.check after %llu instructions\n",
+                static_cast<unsigned long long>(Ctx.steps()));
+    return 3;
+  case RunStatus::Trapped:
+    std::printf("trap: %s\n", trapKindName(Ctx.trap()));
+    return 4;
+  case RunStatus::OutOfSteps:
+    std::printf("step budget exceeded (possible hang)\n");
+    return 5;
+  default:
+    return 1;
+  }
+}
