@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/SocPropagation.h"
 #include "fault/Campaign.h"
 #include "ir/IRPrinter.h"
 #include "support/ArgParser.h"
@@ -27,10 +28,14 @@ using namespace ipas;
 int main(int Argc, char **Argv) {
   std::string WorkloadName = "FFT";
   int64_t Runs = 500, Seed = 0xF417;
+  bool Prune = false;
   ArgParser P("Fault-injection campaign on one workload");
   P.addString("workload", &WorkloadName, "CoMD/HPCCG/AMG/FFT/IS");
   P.addInt("runs", &Runs, "number of injections");
   P.addInt("seed", &Seed, "campaign seed");
+  P.addBool("prune", &Prune,
+            "classify injections at provably-benign sites (static SOC "
+            "propagation) without executing them");
   if (!P.parse(Argc, Argv))
     return 2;
 
@@ -46,6 +51,9 @@ int main(int Argc, char **Argv) {
   CampaignConfig CC;
   CC.NumRuns = static_cast<size_t>(Runs);
   CC.Seed = static_cast<uint64_t>(Seed);
+  SocPropagation Soc(*M);
+  if (Prune)
+    CC.ProvablyBenign = &Soc.provablyBenign();
   std::printf("injecting %lld single-bit faults into %s (%zu static "
               "instructions)...\n\n",
               static_cast<long long>(Runs), W->name().c_str(),
@@ -65,6 +73,12 @@ int main(int Argc, char **Argv) {
                 R.count(O), 100 * F,
                 100 * proportionMarginOfError(F, R.totalRuns()));
   }
+
+  if (Prune)
+    std::printf("\npruning: %zu of %lld runs classified statically at %zu "
+                "provably-benign sites (%zu in the module)\n",
+                R.PrunedRuns, static_cast<long long>(Runs), R.PrunedSites,
+                Soc.numBenign());
 
   // Which static instructions were the worst SOC offenders?
   std::map<unsigned, int> SocHits;

@@ -1,0 +1,246 @@
+//===- analysis/Dataflow.cpp --------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace ipas;
+
+//===----------------------------------------------------------------------===//
+// ValueNumbering
+//===----------------------------------------------------------------------===//
+
+ValueNumbering::ValueNumbering(const Function &F) {
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
+    Index[F.arg(I)] = static_cast<unsigned>(Values.size());
+    Values.push_back(F.arg(I));
+  }
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB) {
+      Index[I] = static_cast<unsigned>(Values.size());
+      Values.push_back(I);
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// DataflowSolver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reverse post-order of the CFG from the entry block. Unreachable blocks
+/// are appended at the end so they still get (vacuous) states.
+std::vector<const BasicBlock *> reversePostOrder(const Function &F) {
+  std::vector<const BasicBlock *> Post;
+  std::set<const BasicBlock *> Visited;
+  // Iterative DFS with an explicit stack of (block, next-successor) pairs.
+  struct Frame {
+    const BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  if (!F.empty()) {
+    std::vector<Frame> Stack;
+    const BasicBlock *Entry = F.entry();
+    Visited.insert(Entry);
+    Stack.push_back({Entry, Entry->successors(), 0});
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      if (Top.Next == Top.Succs.size()) {
+        Post.push_back(Top.BB);
+        Stack.pop_back();
+        continue;
+      }
+      const BasicBlock *Succ = Top.Succs[Top.Next++];
+      if (Visited.insert(Succ).second)
+        Stack.push_back({Succ, Succ->successors(), 0});
+    }
+  }
+  std::reverse(Post.begin(), Post.end());
+  for (const BasicBlock *BB : F)
+    if (!Visited.count(BB))
+      Post.push_back(BB);
+  return Post;
+}
+
+} // namespace
+
+DataflowSolver::DataflowSolver(const Function &F, const DataflowProblem &P)
+    : F(F), P(P) {}
+
+void DataflowSolver::solve() {
+  if (F.empty())
+    return;
+
+  const bool Forward = P.direction() == DataflowDirection::Forward;
+
+  // Iteration order: RPO for forward problems, reverse RPO (≈ post-order)
+  // for backward ones — both make a reducible CFG converge in O(loop
+  // nesting depth) passes.
+  std::vector<const BasicBlock *> Order = reversePostOrder(F);
+  if (!Forward)
+    std::reverse(Order.begin(), Order.end());
+
+  // Boundary blocks: entry for forward problems, exit blocks (those whose
+  // terminator is a return) for backward ones.
+  auto IsBoundary = [&](const BasicBlock *BB) {
+    if (Forward)
+      return BB == F.entry();
+    const Instruction *Term = BB->terminator();
+    return Term && Term->opcode() == Opcode::Ret;
+  };
+
+  for (const BasicBlock *BB : Order) {
+    BlockState S{P.initialState(), P.initialState()};
+    if (IsBoundary(BB)) {
+      if (Forward)
+        S.In = P.boundaryState();
+      else
+        S.Out = P.boundaryState();
+    }
+    States.emplace(BB, std::move(S));
+  }
+
+  std::deque<const BasicBlock *> Worklist(Order.begin(), Order.end());
+  std::set<const BasicBlock *> OnList(Order.begin(), Order.end());
+
+  while (!Worklist.empty()) {
+    const BasicBlock *BB = Worklist.front();
+    Worklist.pop_front();
+    OnList.erase(BB);
+    BlockState &S = States.at(BB);
+
+    // Meet over the incoming edges (predecessors' out for forward
+    // problems, successors' in for backward). Boundary blocks keep their
+    // boundary state — in this IR the entry block has no predecessors and
+    // returning blocks have no successors, so the meet below is a no-op
+    // for them either way.
+    std::vector<BasicBlock *> Incoming =
+        Forward ? F.predecessors(BB) : BB->successors();
+    BitSet &MeetInto = Forward ? S.In : S.Out;
+    bool First = true;
+    for (const BasicBlock *Edge : Incoming) {
+      const BlockState &ES = States.at(Edge);
+      const BitSet &EdgeState = Forward ? ES.Out : ES.In;
+      if (First) {
+        MeetInto = EdgeState;
+        First = false;
+      } else if (P.meet() == MeetKind::Union) {
+        MeetInto.unionWith(EdgeState);
+      } else {
+        MeetInto.intersectWith(EdgeState);
+      }
+    }
+
+    BitSet New = MeetInto;
+    P.transfer(BB, New);
+    ++Transfers;
+
+    BitSet &Result = Forward ? S.Out : S.In;
+    if (New == Result)
+      continue;
+    Result = std::move(New);
+
+    // Push everyone downstream of the changed state.
+    std::vector<BasicBlock *> Dependents =
+        Forward ? BB->successors() : F.predecessors(BB);
+    for (const BasicBlock *Dep : Dependents)
+      if (OnList.insert(Dep).second)
+        Worklist.push_back(Dep);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LivenessAnalysis
+//===----------------------------------------------------------------------===//
+
+LivenessAnalysis::Problem::Problem(const Function &F,
+                                   const ValueNumbering &N)
+    : Width(N.size()) {
+  for (const BasicBlock *BB : F) {
+    BitSet G(Width), K(Width);
+    // Walk in reverse so a use below a same-block def is killed, while an
+    // upward-exposed use (before any def in this block) stays in gen. SSA
+    // means the only def of a value is its instruction, so "kill" is
+    // simply "defined here".
+    for (size_t I = BB->size(); I != 0; --I) {
+      const Instruction *Inst = BB->at(I - 1);
+      if (Inst->producesValue()) {
+        unsigned Idx = N.indexOf(Inst);
+        K.set(Idx);
+        G.reset(Idx);
+      }
+      for (const Value *Op : Inst->operands())
+        if (N.has(Op))
+          G.set(N.indexOf(Op));
+    }
+    Gen.emplace(BB, std::move(G));
+    Kill.emplace(BB, std::move(K));
+  }
+}
+
+LivenessAnalysis::LivenessAnalysis(const Function &F)
+    : Numbering(F), Prob(F, Numbering), Solver(F, Prob) {
+  Solver.solve();
+}
+
+//===----------------------------------------------------------------------===//
+// CheckCoverageAnalysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Values a `soc.check` detects corruption of: its original operand plus,
+/// through the provenance metadata, the original of every shadow that
+/// transitively feeds the check's shadow operand. Shadows recompute the
+/// whole duplication path, so a fault anywhere along it skews the
+/// comparison at the path end.
+void collectCheckedValues(const CheckInst *Check, const ValueNumbering &N,
+                          BitSet &Out) {
+  if (Check->numOperands() != 2)
+    return; // malformed check (verifier reports it); covers nothing
+  if (N.has(Check->original()))
+    Out.set(N.indexOf(Check->original()));
+  std::vector<const Value *> Stack{Check->shadow()};
+  std::set<const Value *> Seen;
+  while (!Stack.empty()) {
+    const Value *V = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(V).second)
+      continue;
+    const auto *Shadow = dyn_cast<Instruction>(V);
+    if (!Shadow || Shadow->dupRole() != DupRole::Shadow)
+      continue;
+    if (const Instruction *Orig = Shadow->dupLink())
+      if (N.has(Orig))
+        Out.set(N.indexOf(Orig));
+    for (const Value *Op : Shadow->operands())
+      Stack.push_back(Op);
+  }
+}
+
+} // namespace
+
+CheckCoverageAnalysis::Problem::Problem(const Function &F,
+                                        const ValueNumbering &N)
+    : Width(N.size()), EmptyKill(N.size()) {
+  for (const BasicBlock *BB : F) {
+    BitSet G(Width);
+    for (const Instruction *I : *BB)
+      if (const auto *Check = dyn_cast<CheckInst>(I))
+        collectCheckedValues(Check, N, G);
+    Gen.emplace(BB, std::move(G));
+    Kill.emplace(BB, EmptyKill);
+  }
+}
+
+CheckCoverageAnalysis::CheckCoverageAnalysis(const Function &F)
+    : Numbering(F), Prob(F, Numbering), Solver(F, Prob) {
+  Solver.solve();
+}

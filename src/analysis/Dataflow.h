@@ -1,0 +1,348 @@
+//===- analysis/Dataflow.h - Worklist dataflow framework ------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic iterative (worklist) dataflow framework over the SSA IR's CFG,
+/// in the textbook mold: a problem declares its direction (forward or
+/// backward), its meet operator (union for may-problems, intersection for
+/// must-problems), boundary and interior initial states, and a per-block
+/// transfer function; the solver iterates block states to a fixpoint in a
+/// reverse-post-order worklist.
+///
+/// Facts are bit sets over a dense per-function value numbering (arguments
+/// first, then instructions in layout order). Two concrete instances ship
+/// with the framework:
+///
+///  - LivenessAnalysis — classic backward may-analysis (gen-kill);
+///  - CheckCoverageAnalysis — forward must-analysis computing, per program
+///    point, the set of values whose corruption a `soc.check` already
+///    executed on every path would have detected (used by ipas-lint and
+///    the dataflow-derived instruction features).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_DATAFLOW_H
+#define IPAS_ANALYSIS_DATAFLOW_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ipas {
+
+/// A fixed-width bit set; the dataflow fact domain.
+class BitSet {
+public:
+  explicit BitSet(unsigned NumBits = 0)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  unsigned size() const { return NumBits; }
+
+  void set(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  }
+  void reset(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+  bool test(unsigned I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// Sets every bit (the top element of must-problems).
+  void fill() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    clearPadding();
+  }
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// This |= Other. Returns true when any bit changed.
+  bool unionWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "bit set width mismatch");
+    bool Changed = false;
+    for (size_t K = 0; K != Words.size(); ++K) {
+      uint64_t New = Words[K] | Other.Words[K];
+      Changed |= New != Words[K];
+      Words[K] = New;
+    }
+    return Changed;
+  }
+
+  /// This &= Other. Returns true when any bit changed.
+  bool intersectWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "bit set width mismatch");
+    bool Changed = false;
+    for (size_t K = 0; K != Words.size(); ++K) {
+      uint64_t New = Words[K] & Other.Words[K];
+      Changed |= New != Words[K];
+      Words[K] = New;
+    }
+    return Changed;
+  }
+
+  /// This &= ~Other.
+  void subtract(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "bit set width mismatch");
+    for (size_t K = 0; K != Words.size(); ++K)
+      Words[K] &= ~Other.Words[K];
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const BitSet &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitSet &Other) const { return !(*this == Other); }
+
+private:
+  /// Keeps bits past NumBits zero so count() and == stay exact after
+  /// fill().
+  void clearPadding() {
+    if (NumBits % 64 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  unsigned NumBits;
+  std::vector<uint64_t> Words;
+};
+
+/// Dense index space for dataflow facts: one index per Value of interest in
+/// a function — arguments first, then every instruction in layout order
+/// (including non-value-producing ones, so indices are stable and cheap).
+class ValueNumbering {
+public:
+  explicit ValueNumbering(const Function &F);
+
+  unsigned size() const { return static_cast<unsigned>(Values.size()); }
+
+  /// True when \p V is an argument or instruction of the function.
+  bool has(const Value *V) const { return Index.count(V) != 0; }
+
+  unsigned indexOf(const Value *V) const {
+    auto It = Index.find(V);
+    assert(It != Index.end() && "value is not numbered in this function");
+    return It->second;
+  }
+
+  const Value *valueAt(unsigned I) const {
+    assert(I < Values.size() && "value index out of range");
+    return Values[I];
+  }
+
+  BitSet makeSet() const { return BitSet(size()); }
+
+private:
+  std::map<const Value *, unsigned> Index;
+  std::vector<const Value *> Values;
+};
+
+enum class DataflowDirection : uint8_t { Forward, Backward };
+enum class MeetKind : uint8_t { Union, Intersection };
+
+/// A dataflow problem at basic-block granularity. The framework makes no
+/// assumption about what the bits mean; instances document their domain.
+class DataflowProblem {
+public:
+  virtual ~DataflowProblem() = default;
+
+  virtual DataflowDirection direction() const = 0;
+  virtual MeetKind meet() const = 0;
+
+  /// State at the CFG boundary: the entry block's in-state for forward
+  /// problems, every exit block's out-state for backward ones.
+  virtual BitSet boundaryState() const = 0;
+
+  /// Initial state of interior blocks: empty for may-problems, the
+  /// universe for must-problems (so unvisited paths do not constrain the
+  /// meet).
+  virtual BitSet initialState() const = 0;
+
+  /// Applies the block's transfer function to \p State, in execution order
+  /// for forward problems and reverse order for backward ones.
+  virtual void transfer(const BasicBlock *BB, BitSet &State) const = 0;
+};
+
+/// Problems expressible with per-block gen/kill sets get the standard
+/// State = Gen ∪ (State − Kill) transfer for free.
+class GenKillProblem : public DataflowProblem {
+public:
+  void transfer(const BasicBlock *BB, BitSet &State) const final {
+    State.subtract(killSet(BB));
+    State.unionWith(genSet(BB));
+  }
+
+  virtual const BitSet &genSet(const BasicBlock *BB) const = 0;
+  virtual const BitSet &killSet(const BasicBlock *BB) const = 0;
+};
+
+/// Iterative worklist solver. Construct with a function and a problem,
+/// call solve(), then query in()/out() (always in *program* order: in() is
+/// the state at the block's entry, out() at its exit, for both
+/// directions).
+class DataflowSolver {
+public:
+  DataflowSolver(const Function &F, const DataflowProblem &P);
+
+  void solve();
+
+  const BitSet &in(const BasicBlock *BB) const {
+    return States.at(BB).In;
+  }
+  const BitSet &out(const BasicBlock *BB) const {
+    return States.at(BB).Out;
+  }
+
+  /// Number of block-transfer applications solve() performed (convergence
+  /// statistic surfaced by tests and benchmarks).
+  unsigned transfersApplied() const { return Transfers; }
+
+private:
+  struct BlockState {
+    BitSet In;
+    BitSet Out;
+  };
+
+  const Function &F;
+  const DataflowProblem &P;
+  std::map<const BasicBlock *, BlockState> States;
+  unsigned Transfers = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Instance: liveness
+//===----------------------------------------------------------------------===//
+
+/// Classic backward may-analysis over values: a value is live at a point
+/// when some path from the point to an exit uses it before redefining it
+/// (SSA: never redefined, so kill = def). Phi operands are conservatively
+/// treated as uses at the head of the phi's block rather than at the tail
+/// of the incoming edge; this over-approximates liveness on the other
+/// incoming edges, which is safe for every consumer in this repository.
+class LivenessAnalysis {
+public:
+  explicit LivenessAnalysis(const Function &F);
+
+  const BitSet &liveIn(const BasicBlock *BB) const { return Solver.in(BB); }
+  const BitSet &liveOut(const BasicBlock *BB) const {
+    return Solver.out(BB);
+  }
+
+  bool isLiveIn(const Value *V, const BasicBlock *BB) const {
+    return Numbering.has(V) && liveIn(BB).test(Numbering.indexOf(V));
+  }
+  bool isLiveOut(const Value *V, const BasicBlock *BB) const {
+    return Numbering.has(V) && liveOut(BB).test(Numbering.indexOf(V));
+  }
+
+  const ValueNumbering &numbering() const { return Numbering; }
+
+private:
+  class Problem : public GenKillProblem {
+  public:
+    Problem(const Function &F, const ValueNumbering &N);
+    DataflowDirection direction() const override {
+      return DataflowDirection::Backward;
+    }
+    MeetKind meet() const override { return MeetKind::Union; }
+    BitSet boundaryState() const override { return BitSet(Width); }
+    BitSet initialState() const override { return BitSet(Width); }
+    const BitSet &genSet(const BasicBlock *BB) const override {
+      return Gen.at(BB);
+    }
+    const BitSet &killSet(const BasicBlock *BB) const override {
+      return Kill.at(BB);
+    }
+
+  private:
+    unsigned Width;
+    std::map<const BasicBlock *, BitSet> Gen;  ///< Upward-exposed uses.
+    std::map<const BasicBlock *, BitSet> Kill; ///< Definitions.
+  };
+
+  ValueNumbering Numbering;
+  Problem Prob;
+  DataflowSolver Solver;
+};
+
+//===----------------------------------------------------------------------===//
+// Instance: reaching soc.check coverage
+//===----------------------------------------------------------------------===//
+
+/// Forward must-analysis: a value is *check-covered* at a program point
+/// when on every path reaching the point a `soc.check` has executed that
+/// would detect a corruption of the value. A check covers its original
+/// operand directly, and — through the duplication-provenance metadata —
+/// every original whose shadow transitively feeds the check's shadow
+/// operand: a fault in any instruction of a duplication path skews the
+/// path-end comparison, because the shadow chain recomputes the whole
+/// path (paper §4.4).
+class CheckCoverageAnalysis {
+public:
+  explicit CheckCoverageAnalysis(const Function &F);
+
+  const BitSet &coveredIn(const BasicBlock *BB) const {
+    return Solver.in(BB);
+  }
+  const BitSet &coveredOut(const BasicBlock *BB) const {
+    return Solver.out(BB);
+  }
+
+  /// True when \p V is covered at the end of block \p BB on every path.
+  bool isCoveredAtBlockEnd(const Value *V, const BasicBlock *BB) const {
+    return Numbering.has(V) && coveredOut(BB).test(Numbering.indexOf(V));
+  }
+
+  const ValueNumbering &numbering() const { return Numbering; }
+
+private:
+  class Problem : public GenKillProblem {
+  public:
+    Problem(const Function &F, const ValueNumbering &N);
+    DataflowDirection direction() const override {
+      return DataflowDirection::Forward;
+    }
+    MeetKind meet() const override { return MeetKind::Intersection; }
+    BitSet boundaryState() const override { return BitSet(Width); }
+    BitSet initialState() const override {
+      BitSet S(Width);
+      S.fill();
+      return S;
+    }
+    const BitSet &genSet(const BasicBlock *BB) const override {
+      return Gen.at(BB);
+    }
+    const BitSet &killSet(const BasicBlock *BB) const override {
+      return Kill.at(BB);
+    }
+
+  private:
+    unsigned Width;
+    std::map<const BasicBlock *, BitSet> Gen;  ///< Values checked here.
+    BitSet EmptyKill;                          ///< SSA: nothing uncovers.
+    std::map<const BasicBlock *, BitSet> Kill; ///< All empty.
+  };
+
+  ValueNumbering Numbering;
+  Problem Prob;
+  DataflowSolver Solver;
+};
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_DATAFLOW_H

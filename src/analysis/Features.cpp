@@ -6,8 +6,10 @@
 
 #include "analysis/Features.h"
 
+#include "analysis/Dataflow.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/SocPropagation.h"
 
 #include <limits>
 #include <map>
@@ -50,6 +52,24 @@ const char *ipas::featureName(unsigned Index) {
   };
   assert(Index < NumInstructionFeatures && "feature index out of range");
   return Names[Index];
+}
+
+const char *ipas::extendedFeatureName(unsigned Index) {
+  if (Index < NumInstructionFeatures)
+    return featureName(Index);
+  static const char *Names[NumDataflowFeatures] = {
+      "soc_reaches_store",
+      "soc_reaches_call",
+      "soc_reaches_return",
+      "soc_reaches_control",
+      "soc_reaches_trap",
+      "soc_sink_count",
+      "soc_min_sink_distance",
+      "live_values_at_entry",
+  };
+  assert(Index < NumInstructionFeatures + NumDataflowFeatures &&
+         "extended feature index out of range");
+  return Names[Index - NumInstructionFeatures];
 }
 
 namespace {
@@ -253,7 +273,7 @@ FeatureVector FeatureExtractor::extract(const Instruction *I) const {
   assert(I->parent() && I->parent()->parent() &&
          "feature extraction requires an attached instruction");
   FunctionContext Ctx(*I->parent()->parent());
-  return extractWithContext(I, Ctx, SliceOpts);
+  return extractWithContext(I, Ctx, Opts.Slice);
 }
 
 std::vector<FeatureVector>
@@ -266,8 +286,49 @@ FeatureExtractor::extractModule(const Module &M) const {
     for (BasicBlock *BB : *F)
       for (Instruction *I : *BB) {
         assert(I->id() < Result.size() && "module numbering is stale");
-        Result[I->id()] = extractWithContext(I, Ctx, SliceOpts);
+        Result[I->id()] = extractWithContext(I, Ctx, Opts.Slice);
       }
   }
   return Result;
+}
+
+std::vector<std::vector<double>>
+FeatureExtractor::extractModuleRows(const Module &M) const {
+  std::vector<FeatureVector> Base = extractModule(M);
+  std::vector<std::vector<double>> Rows(Base.size());
+  if (!Opts.IncludeDataflowFeatures) {
+    for (size_t K = 0; K != Base.size(); ++K)
+      Rows[K].assign(Base[K].begin(), Base[K].end());
+    return Rows;
+  }
+
+  SocPropagation Soc(M);
+  for (Function *F : M) {
+    if (F->empty())
+      continue;
+    LivenessAnalysis Liveness(*F);
+    // No-sink distances use the function size as a large finite sentinel,
+    // matching the convention of remaining_insts_to_return.
+    double DistSentinel = static_cast<double>(F->numInstructions());
+    for (BasicBlock *BB : *F) {
+      double LiveAtEntry =
+          static_cast<double>(Liveness.liveIn(BB).count());
+      for (Instruction *I : *BB) {
+        const SocInstructionInfo &Info = Soc.info(I);
+        std::vector<double> &Row = Rows[I->id()];
+        Row.assign(Base[I->id()].begin(), Base[I->id()].end());
+        Row.push_back(Info.reaches(SocSinkStore) ? 1 : 0);
+        Row.push_back(Info.reaches(SocSinkCallArgument) ? 1 : 0);
+        Row.push_back(Info.reaches(SocSinkReturn) ? 1 : 0);
+        Row.push_back(Info.reaches(SocSinkControlFlow) ? 1 : 0);
+        Row.push_back(Info.reaches(SocSinkTrapCapable) ? 1 : 0);
+        Row.push_back(static_cast<double>(Info.SinkCount));
+        Row.push_back(Info.MinSinkDistance == SocInstructionInfo::NoSink
+                          ? DistSentinel
+                          : static_cast<double>(Info.MinSinkDistance));
+        Row.push_back(LiveAtEntry);
+      }
+    }
+  }
+  return Rows;
 }

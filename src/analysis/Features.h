@@ -9,6 +9,13 @@
 /// four categories: instruction properties, basic-block properties,
 /// function properties, and forward-slice properties.
 ///
+/// An optional fifth category (off by default, so the paper-faithful
+/// 31-column layout is untouched) appends 8 dataflow-derived columns from
+/// analysis/SocPropagation and analysis/Dataflow: which sink kinds a
+/// corruption of the instruction can reach, how many distinct sinks, the
+/// value-flow distance to the nearest one, and the live-value pressure at
+/// the instruction's block entry.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPAS_ANALYSIS_FEATURES_H
@@ -25,29 +32,56 @@ namespace ipas {
 /// Number of features (Table 1).
 inline constexpr unsigned NumInstructionFeatures = 31;
 
+/// Number of optional dataflow-derived feature columns.
+inline constexpr unsigned NumDataflowFeatures = 8;
+
 using FeatureVector = std::array<double, NumInstructionFeatures>;
 
 /// Human-readable feature names, index-aligned with FeatureVector
 /// (index 0 = Table-1 feature 1).
 const char *featureName(unsigned Index);
 
+/// Name of any column in the extended layout: indices below
+/// NumInstructionFeatures alias featureName(); the next
+/// NumDataflowFeatures name the dataflow columns.
+const char *extendedFeatureName(unsigned Index);
+
+struct FeatureOptions {
+  SliceOptions Slice;
+  /// Append the NumDataflowFeatures dataflow-derived columns. Off by
+  /// default: the paper's 31-feature SVM layout stays bit-compatible.
+  bool IncludeDataflowFeatures = false;
+};
+
 /// Extracts all feature vectors for a function in one pass, amortizing the
 /// CFG analyses. Results are index-aligned with the function's instruction
 /// layout order.
 class FeatureExtractor {
 public:
-  explicit FeatureExtractor(const SliceOptions &SliceOpts = {})
-      : SliceOpts(SliceOpts) {}
+  explicit FeatureExtractor(const SliceOptions &SliceOpts)
+      : Opts{SliceOpts, false} {}
+  explicit FeatureExtractor(const FeatureOptions &Opts = {}) : Opts(Opts) {}
 
-  /// Features of a single instruction.
+  /// Width of the rows extractModuleRows() produces (31 or 39).
+  unsigned numFeatures() const {
+    return NumInstructionFeatures +
+           (Opts.IncludeDataflowFeatures ? NumDataflowFeatures : 0);
+  }
+
+  /// Features of a single instruction (Table-1 columns only).
   FeatureVector extract(const Instruction *I) const;
 
   /// Features of every instruction in \p M, indexed by instruction id (the
-  /// module must be renumber()-ed).
+  /// module must be renumber()-ed). Table-1 columns only.
   std::vector<FeatureVector> extractModule(const Module &M) const;
 
+  /// Variable-width rows of numFeatures() columns, indexed by instruction
+  /// id: the Table-1 features, followed by the dataflow columns when
+  /// enabled. Rows feed ml/Dataset directly.
+  std::vector<std::vector<double>> extractModuleRows(const Module &M) const;
+
 private:
-  SliceOptions SliceOpts;
+  FeatureOptions Opts;
 };
 
 } // namespace ipas

@@ -1,0 +1,196 @@
+//===- analysis/ProtectionLint.cpp --------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProtectionLint.h"
+
+#include "analysis/Dataflow.h"
+
+#include <map>
+#include <sstream>
+
+using namespace ipas;
+
+const char *ipas::lintRuleName(LintRule R) {
+  switch (R) {
+  case LintRule::UncoveredOriginal:
+    return "R1";
+  case LintRule::ShadowEscapes:
+    return "R2";
+  case LintRule::Unduplicated:
+    return "R3";
+  case LintRule::BadCheckPairing:
+    return "R4";
+  case LintRule::WrongShadowOperand:
+    return "R5";
+  }
+  return "<bad rule>";
+}
+
+std::string LintViolation::toString() const {
+  std::ostringstream OS;
+  OS << lintRuleName(Rule) << " in " << FunctionName << "/" << BlockName
+     << " at #" << InstructionId << " (" << opcodeName(Op)
+     << "): " << Message;
+  return OS.str();
+}
+
+namespace {
+
+class FunctionLinter {
+public:
+  FunctionLinter(const Function &F, const LintOptions &Opts)
+      : F(F), Opts(Opts) {}
+
+  std::vector<LintViolation> run() {
+    // Pairing map: original -> its shadow. Built from the Shadow stamps so
+    // that a deleted shadow shows up as a missing entry, not a dangle.
+    for (const BasicBlock *BB : F)
+      for (const Instruction *I : *BB)
+        if (I->dupRole() == DupRole::Shadow && I->dupLink())
+          ShadowOf[I->dupLink()] = I;
+
+    for (const BasicBlock *BB : F)
+      for (const Instruction *I : *BB) {
+        checkShadowEscapes(I);                 // R2
+        if (Opts.ExpectFullDuplication)
+          checkFullyDuplicated(I);             // R3
+        if (const auto *Check = dyn_cast<CheckInst>(I))
+          checkPairing(Check);                 // R4
+        if (I->dupRole() == DupRole::Shadow)
+          checkShadowOperands(I);              // R5
+      }
+
+    checkCoverage(); // R1 (needs the whole function's checks)
+    return std::move(Violations);
+  }
+
+private:
+  void report(LintRule Rule, const Instruction *I, std::string Msg) {
+    Violations.push_back({Rule, F.name(),
+                          I->parent() ? I->parent()->name()
+                                      : std::string("<detached>"),
+                          I->id(), I->opcode(), std::move(Msg)});
+  }
+
+  /// R1: every Original must be covered by a check at the end of its own
+  /// block — the paper's duplication paths never cross blocks, so an
+  /// original left uncovered there is uncovered everywhere.
+  void checkCoverage() {
+    CheckCoverageAnalysis Coverage(F);
+    for (const BasicBlock *BB : F)
+      for (const Instruction *I : *BB)
+        if (I->dupRole() == DupRole::Original &&
+            !Coverage.isCoveredAtBlockEnd(I, BB))
+          report(LintRule::UncoveredOriginal, I,
+                 "duplicated instruction is not covered by any soc.check "
+                 "at the end of its block");
+  }
+
+  /// R2: a shadow's consumers must be shadows or checks.
+  void checkShadowEscapes(const Instruction *I) {
+    if (I->dupRole() == DupRole::Shadow || I->opcode() == Opcode::Check)
+      return;
+    for (unsigned K = 0, E = I->numOperands(); K != E; ++K)
+      if (const auto *Op = dyn_cast<Instruction>(I->operand(K)))
+        if (Op->dupRole() == DupRole::Shadow)
+          report(LintRule::ShadowEscapes, I,
+                 "shadow value '" + std::string(opcodeName(Op->opcode())) +
+                     "' #" + std::to_string(Op->id()) +
+                     " flows into a non-shadow instruction (operand " +
+                     std::to_string(K) + ")");
+  }
+
+  /// R3: under full duplication no duplicable instruction may remain
+  /// unstamped, and every Original must still have a live shadow.
+  void checkFullyDuplicated(const Instruction *I) {
+    if (!isDuplicableOpcode(I->opcode()))
+      return;
+    switch (I->dupRole()) {
+    case DupRole::None:
+      report(LintRule::Unduplicated, I,
+             "duplicable instruction was never duplicated");
+      break;
+    case DupRole::Original:
+      if (!ShadowOf.count(I))
+        report(LintRule::Unduplicated, I,
+               "duplicated instruction lost its shadow");
+      break;
+    case DupRole::Shadow:
+    case DupRole::Check:
+      break;
+    }
+  }
+
+  /// R4: check operands must be an (original, its-own-shadow) pair.
+  void checkPairing(const CheckInst *Check) {
+    if (Check->numOperands() != 2)
+      return; // verifier territory
+    const auto *Orig = dyn_cast<Instruction>(Check->original());
+    const auto *Shadow = dyn_cast<Instruction>(Check->shadow());
+    if (Orig && Orig->dupRole() == DupRole::Shadow)
+      report(LintRule::BadCheckPairing, Check,
+             "check's original operand is itself a shadow");
+    if (!Shadow || Shadow->dupRole() != DupRole::Shadow) {
+      report(LintRule::BadCheckPairing, Check,
+             "check's shadow operand is not a shadow value");
+      return;
+    }
+    if (Shadow->dupLink() != Check->original())
+      report(LintRule::BadCheckPairing, Check,
+             "check compares an original against another instruction's "
+             "shadow");
+  }
+
+  /// R5: shadow operand K must mirror the original's operand K — its
+  /// shadow when one exists in the same block, the original operand
+  /// itself otherwise.
+  void checkShadowOperands(const Instruction *Shadow) {
+    const Instruction *Orig = Shadow->dupLink();
+    if (!Orig) {
+      report(LintRule::WrongShadowOperand, Shadow,
+             "shadow carries no link to an original");
+      return;
+    }
+    if (Shadow->numOperands() != Orig->numOperands()) {
+      report(LintRule::WrongShadowOperand, Shadow,
+             "shadow operand count differs from its original");
+      return;
+    }
+    for (unsigned K = 0, E = Shadow->numOperands(); K != E; ++K) {
+      const Value *Expected = Orig->operand(K);
+      auto It = ShadowOf.find(Expected);
+      if (It != ShadowOf.end() &&
+          It->second->parent() == Shadow->parent())
+        Expected = It->second;
+      if (Shadow->operand(K) != Expected)
+        report(LintRule::WrongShadowOperand, Shadow,
+               "shadow operand " + std::to_string(K) +
+                   " does not mirror its original's operand");
+    }
+  }
+
+  const Function &F;
+  const LintOptions &Opts;
+  std::map<const Value *, const Instruction *> ShadowOf;
+  std::vector<LintViolation> Violations;
+};
+
+} // namespace
+
+std::vector<LintViolation>
+ipas::lintProtectedFunction(const Function &F, const LintOptions &Opts) {
+  return FunctionLinter(F, Opts).run();
+}
+
+std::vector<LintViolation> ipas::lintProtectedModule(const Module &M,
+                                                     const LintOptions &Opts) {
+  std::vector<LintViolation> All;
+  for (const Function *F : M) {
+    std::vector<LintViolation> Vs = lintProtectedFunction(*F, Opts);
+    All.insert(All.end(), Vs.begin(), Vs.end());
+  }
+  return All;
+}

@@ -1,0 +1,87 @@
+//===- analysis/ProtectionLint.h - ipas-lint invariant checker ------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ipas-lint`: statically verifies that a module which has been through
+/// the duplication pass (transform/Duplication.h) still satisfies the
+/// protection invariants. The pass stamps provenance on everything it
+/// touches (Instruction::dupRole/dupLink); later transforms, hand edits,
+/// or pass bugs can silently break protection without breaking program
+/// semantics — exactly the failure mode a verifier cannot see and a lint
+/// must.
+///
+/// Rules:
+///
+///  - R1 uncovered-original: every duplication path must terminate in a
+///    `soc.check` — each Original must be check-covered at the end of its
+///    defining block (CheckCoverageAnalysis).
+///  - R2 shadow-escapes: a Shadow value must never flow into an original
+///    computation; its only legal consumers are other Shadows and the
+///    shadow operand of a check.
+///  - R3 unduplicated: with LintOptions::ExpectFullDuplication, every
+///    duplicable instruction must be an Original with a live shadow —
+///    a selected-but-unduplicated instruction is silent unprotection.
+///  - R4 bad-check-pairing: a check must compare an original against its
+///    *own* shadow: operand 1 is a Shadow whose dupLink is operand 0, and
+///    operand 0 is not itself a Shadow.
+///  - R5 wrong-shadow-operand: each shadow operand must mirror its
+///    original's operand — the operand's shadow when the operand was
+///    duplicated in the same block, the operand itself otherwise. A
+///    crossed edge makes the shadow recompute from original data, masking
+///    faults upstream of the crossing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_PROTECTIONLINT_H
+#define IPAS_ANALYSIS_PROTECTIONLINT_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+enum class LintRule : uint8_t {
+  UncoveredOriginal,  ///< R1
+  ShadowEscapes,      ///< R2
+  Unduplicated,       ///< R3
+  BadCheckPairing,    ///< R4
+  WrongShadowOperand, ///< R5
+};
+
+/// Short identifier ("R1".."R5") for a rule.
+const char *lintRuleName(LintRule R);
+
+/// One rule violation, located down to the instruction.
+struct LintViolation {
+  LintRule Rule;
+  std::string FunctionName;
+  std::string BlockName;
+  unsigned InstructionId; ///< Module-wide id of the offending instruction.
+  Opcode Op;              ///< Opcode of the offending instruction.
+  std::string Message;
+
+  /// "R2 in foo/entry at #7 (mul): ..." — the ipas-cc report line.
+  std::string toString() const;
+};
+
+struct LintOptions {
+  /// The module was protected with duplicateAllInstructions(): every
+  /// duplicable instruction must carry an Original stamp (rule R3).
+  /// Leave false for predicate-selected protection, where unstamped
+  /// duplicable instructions are legitimate.
+  bool ExpectFullDuplication = false;
+};
+
+std::vector<LintViolation> lintProtectedFunction(const Function &F,
+                                                 const LintOptions &Opts = {});
+std::vector<LintViolation> lintProtectedModule(const Module &M,
+                                               const LintOptions &Opts = {});
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_PROTECTIONLINT_H

@@ -1,0 +1,222 @@
+//===- analysis/SocPropagation.cpp --------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SocPropagation.h"
+
+#include "analysis/Slicing.h"
+
+#include <deque>
+#include <set>
+
+using namespace ipas;
+
+const char *ipas::socSinkKindName(SocSinkKind K) {
+  switch (K) {
+  case SocSinkNone:
+    return "none";
+  case SocSinkStore:
+    return "store";
+  case SocSinkCallArgument:
+    return "call-argument";
+  case SocSinkReturn:
+    return "return";
+  case SocSinkControlFlow:
+    return "control-flow";
+  case SocSinkCheck:
+    return "check";
+  case SocSinkTrapCapable:
+    return "trap-capable";
+  }
+  return "<bad sink kind>";
+}
+
+namespace {
+
+/// Mutable per-value state during the fixpoint.
+struct NodeState {
+  unsigned Mask = SocSinkNone;
+  BitSet Sinks;          ///< Distinct sink instructions, by value number.
+  unsigned Dist = SocInstructionInfo::NoSink;
+};
+
+/// One value-flow edge target plus the sinks hit directly at the user.
+struct DirectSink {
+  unsigned Kind;
+  const Instruction *At;
+};
+
+} // namespace
+
+void SocPropagation::analyzeFunction(const Function &F) {
+  ValueNumbering N(F);
+
+  // Memory summary: pointer root -> loads that may read it.
+  std::map<const Value *, std::vector<const Instruction *>> LoadsOfRoot;
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (const auto *Load = dyn_cast<LoadInst>(I))
+        if (const Value *Root = pointerRoot(Load->pointer()))
+          LoadsOfRoot[Root].push_back(Load);
+
+  // Value-flow graph: for every value, the values its corruption flows
+  // into (Succs) and the sinks it hits directly at its users (Direct).
+  std::map<const Value *, std::vector<const Value *>> Succs;
+  std::map<const Value *, std::vector<DirectSink>> Direct;
+  std::map<const Value *, std::vector<const Value *>> Preds;
+
+  auto AddEdge = [&](const Value *From, const Value *To) {
+    Succs[From].push_back(To);
+    Preds[To].push_back(From);
+  };
+
+  auto ScanValue = [&](const Value *V) {
+    for (const Instruction *U : V->users()) {
+      switch (U->opcode()) {
+      case Opcode::Store: {
+        const auto *St = cast<StoreInst>(U);
+        Direct[V].push_back({SocSinkStore, U});
+        if (V == St->pointer())
+          Direct[V].push_back({SocSinkTrapCapable, U});
+        // Memory edge: the corrupted value (or a value stored through a
+        // corrupted address) may be observed by any load of the same
+        // base object.
+        if (const Value *Root = pointerRoot(St->pointer())) {
+          auto It = LoadsOfRoot.find(Root);
+          if (It != LoadsOfRoot.end())
+            for (const Instruction *Load : It->second)
+              AddEdge(V, Load);
+        }
+        break;
+      }
+      case Opcode::Call:
+        Direct[V].push_back({SocSinkCallArgument, U});
+        if (U->producesValue())
+          AddEdge(V, U); // corrupted argument -> corrupted result
+        break;
+      case Opcode::Ret:
+        Direct[V].push_back({SocSinkReturn, U});
+        break;
+      case Opcode::CondBr:
+        Direct[V].push_back({SocSinkControlFlow, U});
+        break;
+      case Opcode::Check:
+        Direct[V].push_back({SocSinkCheck, U});
+        break;
+      case Opcode::Load:
+        // V is the pointer: a corrupted address can fault, and the loaded
+        // value is whatever the wild address holds.
+        Direct[V].push_back({SocSinkTrapCapable, U});
+        AddEdge(V, U);
+        break;
+      case Opcode::SDiv:
+      case Opcode::SRem:
+        if (U->numOperands() == 2 && U->operand(1) == V)
+          Direct[V].push_back({SocSinkTrapCapable, U});
+        AddEdge(V, U);
+        break;
+      default:
+        if (U->producesValue())
+          AddEdge(V, U);
+        break;
+      }
+    }
+  };
+
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I)
+    ScanValue(F.arg(I));
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (I->producesValue())
+        ScanValue(I);
+
+  // Backward fixpoint: a node's state is the union of its direct sinks and
+  // its successors' states (distance +1 per hop). All updates are monotone
+  // over a finite lattice, so the worklist terminates.
+  std::map<const Value *, NodeState> State;
+  auto StateOf = [&](const Value *V) -> NodeState & {
+    auto It = State.find(V);
+    if (It == State.end())
+      It = State.emplace(V, NodeState{SocSinkNone, N.makeSet(),
+                                      SocInstructionInfo::NoSink})
+               .first;
+    return It->second;
+  };
+
+  std::deque<const Value *> Worklist;
+  std::set<const Value *> OnList;
+  auto Enqueue = [&](const Value *V) {
+    if (OnList.insert(V).second)
+      Worklist.push_back(V);
+  };
+
+  for (unsigned I = 0, E = N.size(); I != E; ++I)
+    Enqueue(N.valueAt(I));
+
+  while (!Worklist.empty()) {
+    const Value *V = Worklist.front();
+    Worklist.pop_front();
+    OnList.erase(V);
+
+    NodeState New{SocSinkNone, N.makeSet(), SocInstructionInfo::NoSink};
+    auto DirIt = Direct.find(V);
+    if (DirIt != Direct.end())
+      for (const DirectSink &S : DirIt->second) {
+        New.Mask |= S.Kind;
+        New.Sinks.set(N.indexOf(S.At));
+        New.Dist = std::min(New.Dist, 1u);
+      }
+    auto SuccIt = Succs.find(V);
+    if (SuccIt != Succs.end())
+      for (const Value *S : SuccIt->second) {
+        const NodeState &SS = StateOf(S);
+        New.Mask |= SS.Mask;
+        New.Sinks.unionWith(SS.Sinks);
+        if (SS.Dist != SocInstructionInfo::NoSink)
+          New.Dist = std::min(New.Dist, SS.Dist + 1);
+      }
+
+    NodeState &Cur = StateOf(V);
+    if (New.Mask == Cur.Mask && New.Dist == Cur.Dist &&
+        New.Sinks == Cur.Sinks)
+      continue;
+    Cur = std::move(New);
+    auto PredIt = Preds.find(V);
+    if (PredIt != Preds.end())
+      for (const Value *P : PredIt->second)
+        Enqueue(P);
+  }
+
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB) {
+      if (!I->producesValue())
+        continue;
+      const NodeState &S = StateOf(I);
+      SocInstructionInfo &R = Info[I];
+      R.SinkMask = S.Mask;
+      R.SinkCount = S.Sinks.count();
+      R.MinSinkDistance = S.Dist;
+    }
+}
+
+SocPropagation::SocPropagation(const Module &M) {
+  for (const Function *F : M)
+    analyzeFunction(*F);
+
+  BenignById.assign(M.numInstructions(), false);
+  for (const auto &[I, R] : Info) {
+    if (!R.isBenign())
+      continue;
+    assert(I->id() < BenignById.size() &&
+           "SocPropagation requires Module::renumber() before analysis");
+    BenignById[I->id()] = true;
+    ++NumBenign;
+  }
+}
+
+const SocInstructionInfo &SocPropagation::info(const Instruction *I) const {
+  auto It = Info.find(I);
+  return It != Info.end() ? It->second : Default;
+}

@@ -1,0 +1,115 @@
+//===- analysis/SocPropagation.h - Static SOC reachability ----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static SOC-propagation analysis: for every instruction, which *sinks* —
+/// program points where a corrupted value becomes externally observable —
+/// can a corruption of the instruction's result reach? The analysis is a
+/// backward fixpoint over the value-flow graph: def-use edges, plus
+/// conservative memory edges from a store to every load of the same
+/// pointer root (analysis/Slicing.h's base-object approximation of alias
+/// analysis).
+///
+/// Sinks, and why each one matters to the outcome taxonomy:
+///
+///  - Store:        corrupted data (or a corrupted address) reaches memory
+///                   and from there the program's output — the SOC case.
+///  - CallArgument: a corrupted argument escapes into a callee whose body
+///                   this conservative summary does not track.
+///  - Return:       the corruption escapes through the function's result.
+///  - ControlFlow:  a corrupted branch condition changes the path, which
+///                   can change output, steps, or termination.
+///  - Check:        a corrupted `soc.check` operand flips the run's label
+///                   to Detected — not an output change, but a label
+///                   change, so it must block benign classification.
+///  - TrapCapable:  the corruption can trap (corrupted divisor of
+///                   sdiv/srem, corrupted pointer of a load or store),
+///                   turning the run into a Crash.
+///
+/// An instruction whose result reaches *no* sink is **provably benign**:
+/// flipping any bit of its result leaves the program's output, step
+/// counts, and exit status bit-identical. fault/Campaign uses this to
+/// prune injection sites, and analysis/Features exposes the per-sink
+/// reachability bits as extra feature columns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_SOCPROPAGATION_H
+#define IPAS_ANALYSIS_SOCPROPAGATION_H
+
+#include "analysis/Dataflow.h"
+#include "ir/Module.h"
+
+#include <limits>
+#include <map>
+
+namespace ipas {
+
+/// Bit flags naming the kinds of sinks a corrupted value can reach.
+enum SocSinkKind : unsigned {
+  SocSinkNone = 0,
+  SocSinkStore = 1u << 0,
+  SocSinkCallArgument = 1u << 1,
+  SocSinkReturn = 1u << 2,
+  SocSinkControlFlow = 1u << 3,
+  SocSinkCheck = 1u << 4,
+  SocSinkTrapCapable = 1u << 5,
+};
+
+/// Human-readable name of one sink-kind flag (exactly one bit set).
+const char *socSinkKindName(SocSinkKind K);
+
+/// Per-instruction result of the analysis.
+struct SocInstructionInfo {
+  /// No sink reachable: the sentinel distance.
+  static constexpr unsigned NoSink = std::numeric_limits<unsigned>::max();
+
+  unsigned SinkMask = SocSinkNone; ///< Union of reachable SocSinkKind bits.
+  unsigned SinkCount = 0;          ///< Number of distinct sink instructions.
+  unsigned MinSinkDistance = NoSink; ///< Value-flow hops to nearest sink.
+
+  bool reaches(SocSinkKind K) const { return (SinkMask & K) != 0; }
+
+  /// True when a corruption of this value reaches no sink at all.
+  bool isBenign() const { return SinkMask == SocSinkNone; }
+};
+
+/// Runs the propagation analysis for a whole module. Requires a prior
+/// Module::renumber() — results are addressed by instruction id.
+class SocPropagation {
+public:
+  explicit SocPropagation(const Module &M);
+
+  /// Info for \p I; a default (benign, distance NoSink) record when \p I
+  /// does not produce a value.
+  const SocInstructionInfo &info(const Instruction *I) const;
+
+  /// True when \p I produces a value and that value provably reaches no
+  /// sink: injecting any bit flip into its result cannot change output,
+  /// step counts, or exit status.
+  bool isProvablyBenign(const Instruction *I) const {
+    return I->producesValue() && info(I).isBenign();
+  }
+
+  /// Benign flags indexed by instruction id (size = numInstructions()).
+  /// Non-value-producing instructions are never benign-flagged: the fault
+  /// model only targets instruction results.
+  const std::vector<bool> &provablyBenign() const { return BenignById; }
+
+  size_t numBenign() const { return NumBenign; }
+
+private:
+  void analyzeFunction(const Function &F);
+
+  std::map<const Instruction *, SocInstructionInfo> Info;
+  SocInstructionInfo Default;
+  std::vector<bool> BenignById;
+  size_t NumBenign = 0;
+};
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_SOCPROPAGATION_H

@@ -80,9 +80,44 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
     Plan.BitDraw = CampaignRng.next();
   }
 
+  // Injection-site pruning: a clean traced run maps each dynamic value
+  // step to its static instruction. Plans whose target the static
+  // SOC-propagation analysis proved benign are classified Masked without
+  // executing — the outcome the execution would produce, since by
+  // construction the corruption reaches no store, call, return, branch,
+  // check, or trap-capable use. Decisions are made up front so the
+  // threaded loop below stays race-free.
+  std::vector<unsigned> Trace;
+  std::vector<char> Pruned(Cfg.NumRuns, 0);
+  if (Cfg.ProvablyBenign) {
+    Trace = Harness.traceValueSteps(Layout);
+    if (Trace.size() == Clean.ValueSteps) {
+      std::vector<char> SiteSeen(Cfg.ProvablyBenign->size(), 0);
+      for (size_t Run = 0; Run != Cfg.NumRuns; ++Run) {
+        unsigned Id = Trace[Plans[Run].TargetValueStep];
+        if (Id < Cfg.ProvablyBenign->size() && (*Cfg.ProvablyBenign)[Id]) {
+          Pruned[Run] = 1;
+          ++Result.PrunedRuns;
+          if (!SiteSeen[Id]) {
+            SiteSeen[Id] = 1;
+            ++Result.PrunedSites;
+          }
+        }
+      }
+    }
+  }
+
   Result.Records.assign(Cfg.NumRuns, InjectionRecord());
   auto RunOne = [&](size_t Run) {
     const FaultPlan &Plan = Plans[Run];
+    if (Pruned[Run]) {
+      InjectionRecord &Rec = Result.Records[Run];
+      Rec.InstructionId = Trace[Plan.TargetValueStep];
+      Rec.BitIndex = static_cast<unsigned>(Plan.BitDraw % 64);
+      Rec.TargetValueStep = Plan.TargetValueStep;
+      Rec.Result = Outcome::Masked;
+      return;
+    }
     ExecutionRecord R = Harness.execute(Layout, &Plan, Budget);
     assert((R.Status != RunStatus::Finished || R.FaultInjected) &&
            "the clean prefix must always reach the target step");

@@ -38,6 +38,14 @@ struct CampaignConfig {
   /// execute() calls once their golden output is captured (the bundled
   /// WorkloadHarness is).
   unsigned NumThreads = 1;
+  /// Per-instruction-id flags from analysis/SocPropagation: a true entry
+  /// means a corruption of that instruction's result provably reaches no
+  /// sink, so the run's outcome is Masked without executing. Pruning does
+  /// not perturb plan drawing or non-pruned runs in any way — the full
+  /// campaign's per-record (InstructionId, BitIndex, Result) stream stays
+  /// bit-identical. Requires a harness that supports traceValueSteps();
+  /// null (or an unsupported harness) disables pruning.
+  const std::vector<bool> *ProvablyBenign = nullptr;
 };
 
 /// One injection and its classified outcome.
@@ -54,6 +62,9 @@ struct CampaignResult {
   uint64_t CleanCriticalPathCycles = 0;
   std::vector<InjectionRecord> Records;
   std::array<size_t, NumOutcomes> Counts{};
+  /// Injection-site pruning statistics (zero when pruning was disabled).
+  size_t PrunedRuns = 0;  ///< Runs classified without executing.
+  size_t PrunedSites = 0; ///< Distinct benign static instructions hit.
 
   size_t count(Outcome O) const {
     return Counts[static_cast<size_t>(O)];

@@ -43,6 +43,17 @@ public:
   virtual ExecutionRecord execute(const ModuleLayout &Layout,
                                   const FaultPlan *Plan,
                                   uint64_t StepBudget) = 0;
+
+  /// Runs one clean execution and returns, per dynamic value step, the id
+  /// of the static instruction that produced it (so Trace[k] is the
+  /// injection target of a plan with TargetValueStep == k). An empty
+  /// vector means the harness does not support tracing; the campaign
+  /// driver then disables injection-site pruning. The default does exactly
+  /// that.
+  virtual std::vector<unsigned> traceValueSteps(const ModuleLayout &Layout) {
+    (void)Layout;
+    return {};
+  }
 };
 
 } // namespace ipas

@@ -117,6 +117,8 @@ RtValue ExecutionContext::eval(const Frame &F, const Value *V) const {
 
 void ExecutionContext::writeResult(Frame &F, const Instruction *I,
                                    RtValue V) {
+  if (ValueStepTrace)
+    ValueStepTrace->push_back(I->id());
   if (ValueSteps == Plan.TargetValueStep) {
     V.flipBit(static_cast<unsigned>(Plan.BitDraw), I->type());
     FaultInjected = true;

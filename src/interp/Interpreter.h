@@ -134,6 +134,12 @@ public:
   bool faultWasInjected() const { return FaultInjected; }
   unsigned faultedInstructionId() const { return FaultedId; }
 
+  /// When set, every committed value step appends the producing
+  /// instruction's id to \p T, so T[k] is the static instruction behind
+  /// dynamic value step k. The campaign driver uses one traced clean run
+  /// to map fault plans to instructions without executing (site pruning).
+  void setValueStepTrace(std::vector<unsigned> *T) { ValueStepTrace = T; }
+
   // Multi-rank MPI interface (used by the SimMPI scheduler).
   int rank() const { return Cfg.Rank; }
   int numRanks() const { return Cfg.NumRanks; }
@@ -183,6 +189,7 @@ private:
   FaultPlan Plan;
   bool FaultInjected = false;
   unsigned FaultedId = 0;
+  std::vector<unsigned> *ValueStepTrace = nullptr;
   PendingMpi Pending;
   bool Started = false;
 };

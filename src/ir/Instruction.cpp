@@ -81,6 +81,20 @@ const char *ipas::opcodeName(Opcode Op) {
   return "<bad opcode>";
 }
 
+const char *ipas::dupRoleName(DupRole R) {
+  switch (R) {
+  case DupRole::None:
+    return "none";
+  case DupRole::Original:
+    return "original";
+  case DupRole::Shadow:
+    return "shadow";
+  case DupRole::Check:
+    return "check";
+  }
+  return "<bad role>";
+}
+
 const char *ipas::cmpPredicateName(CmpPredicate P) {
   switch (P) {
   case CmpPredicate::EQ:

@@ -92,10 +92,33 @@ inline bool isTerminatorOpcode(Opcode Op) {
   return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
 }
 
+/// True for opcodes the duplication pass knows how to duplicate:
+/// computation instructions only — no loads/stores (ECC-protected memory),
+/// no calls (library code is protected separately, §5.1), no allocas, no
+/// phis (their incoming shadows would cross block boundaries), and no
+/// control flow (covered by control-flow checking techniques, §3). Lives
+/// in the IR layer so both transform/Duplication and the ipas-lint
+/// checker (analysis/ProtectionLint) share one definition.
+inline bool isDuplicableOpcode(Opcode Op) {
+  return isBinaryOpcode(Op) || isCmpOpcode(Op) || isCastOpcode(Op) ||
+         Op == Opcode::Gep || Op == Opcode::Select;
+}
+
 /// Comparison predicate shared by ICmp (signed) and FCmp (ordered).
 enum class CmpPredicate : uint8_t { EQ, NE, LT, LE, GT, GE };
 
 const char *cmpPredicateName(CmpPredicate P);
+
+/// Protection-provenance role recorded by the duplication pass and consumed
+/// by the `ipas-lint` invariant checker (analysis/ProtectionLint.h).
+enum class DupRole : uint8_t {
+  None,     ///< Untouched by the duplication pass.
+  Original, ///< Selected instruction that received a shadow copy.
+  Shadow,   ///< Shadow copy of an Original (dupLink() is the original).
+  Check,    ///< `soc.check` comparing an original against its shadow.
+};
+
+const char *dupRoleName(DupRole R);
 
 /// Base class of all IR instructions. Owns its operand list and keeps the
 /// operands' use lists in sync.
@@ -132,6 +155,18 @@ public:
   unsigned id() const { return Id; }
   void setId(unsigned I) { Id = I; }
 
+  /// Protection provenance. The duplication pass stamps every instruction
+  /// it touches; clone() deliberately does not copy the stamp (a clone of
+  /// a shadow is not itself a shadow).
+  DupRole dupRole() const { return Role; }
+  void setDupRole(DupRole R) { Role = R; }
+
+  /// For a Shadow or Check: the Original instruction it protects; null
+  /// otherwise. The link is a plain pointer — it dangles if the original
+  /// is erased, which is itself a lint violation.
+  Instruction *dupLink() const { return Link; }
+  void setDupLink(Instruction *I) { Link = I; }
+
   /// Creates an unattached copy of this instruction referencing the same
   /// operands. Branch targets and phi incoming blocks are copied verbatim.
   virtual Instruction *clone() const = 0;
@@ -156,6 +191,8 @@ private:
   std::vector<Value *> Operands;
   BasicBlock *Parent = nullptr;
   unsigned Id = 0;
+  DupRole Role = DupRole::None;
+  Instruction *Link = nullptr;
 };
 
 /// Integer or floating-point binary operation.
@@ -412,6 +449,7 @@ public:
   CheckInst(Value *Original, Value *Shadow)
       : Instruction(Opcode::Check, types::Void, {Original, Shadow}) {
     assert(Original->type() == Shadow->type() && "check type mismatch");
+    setDupRole(DupRole::Check);
   }
 
   Value *original() const { return operand(0); }

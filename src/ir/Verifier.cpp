@@ -152,6 +152,23 @@ private:
       if (!I->operand(0)->type().isI1())
         report("zext source must be i1 on " + describe(I));
       break;
+    case Opcode::Check:
+      // The soc.check intrinsic compares a value against its shadow: it
+      // takes exactly two non-void operands of the same type and produces
+      // nothing. Constructor assertions cover debug builds; malformed
+      // checks (e.g. after hand mutation) must still fail verification.
+      if (I->numOperands() != 2) {
+        report("soc.check arity mismatch (expected 2 operands, got " +
+               std::to_string(I->numOperands()) + ") on " + describe(I));
+      } else if (I->operand(0) && I->operand(1)) {
+        if (I->operand(0)->type() != I->operand(1)->type())
+          report("soc.check operand type mismatch on " + describe(I));
+        else if (I->operand(0)->type().isVoid())
+          report("soc.check operand must be non-void on " + describe(I));
+      }
+      if (!I->type().isVoid())
+        report("soc.check must not produce a value on " + describe(I));
+      break;
     default:
       // Constructor assertions cover the remaining opcode/type contracts;
       // binary/cmp type agreement is rechecked here for release builds.

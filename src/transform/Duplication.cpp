@@ -11,15 +11,6 @@
 
 using namespace ipas;
 
-bool ipas::isDuplicableOpcode(Opcode Op) {
-  // Computation instructions only: no loads/stores (ECC-protected memory),
-  // no calls (library code is protected separately, §5.1), no allocas, no
-  // phis (their incoming shadows would cross block boundaries), and no
-  // control flow (covered by control-flow checking techniques, §3).
-  return isBinaryOpcode(Op) || isCmpOpcode(Op) || isCastOpcode(Op) ||
-         Op == Opcode::Gep || Op == Opcode::Select;
-}
-
 namespace {
 
 /// Duplicates the selected instructions of one basic block and inserts the
@@ -47,6 +38,9 @@ void processBlock(BasicBlock *BB, const ProtectionPredicate &Protect,
     Instruction *Shadow = I->clone();
     if (!I->name().empty())
       Shadow->setName(I->name() + ".dup");
+    I->setDupRole(DupRole::Original);
+    Shadow->setDupRole(DupRole::Shadow);
+    Shadow->setDupLink(I);
     for (unsigned OpIdx = 0; OpIdx != Shadow->numOperands(); ++OpIdx) {
       auto It = ShadowOf.find(Shadow->operand(OpIdx));
       if (It != ShadowOf.end())
@@ -65,6 +59,7 @@ void processBlock(BasicBlock *BB, const ProtectionPredicate &Protect,
   for (Instruction *I : Selected) {
     if (Opts.Placement == CheckPlacement::EveryInstruction) {
       auto *Check = new CheckInst(I, ShadowOf[I]);
+      Check->setDupLink(I);
       BB->insertAfter(ShadowOf[I], std::unique_ptr<Instruction>(Check));
       ++Stats.ChecksInserted;
       continue;
@@ -81,6 +76,7 @@ void processBlock(BasicBlock *BB, const ProtectionPredicate &Protect,
     if (HasSelectedUserHere)
       continue;
     auto *Check = new CheckInst(I, ShadowOf[I]);
+    Check->setDupLink(I);
     BB->insertAfter(ShadowOf[I], std::unique_ptr<Instruction>(Check));
     ++Stats.ChecksInserted;
   }

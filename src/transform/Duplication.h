@@ -16,6 +16,11 @@
 /// control flow are never duplicated: memory is assumed ECC-protected and
 /// control-flow faults are out of the fault model.
 ///
+/// The pass stamps protection provenance on every instruction it touches
+/// (Instruction::dupRole/dupLink): originals, shadows, and checks. The
+/// `ipas-lint` checker (analysis/ProtectionLint.h) consumes the stamps to
+/// verify the pass's invariants statically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPAS_TRANSFORM_DUPLICATION_H
@@ -50,9 +55,6 @@ struct DuplicationStats {
                : 0.0;
   }
 };
-
-/// True for opcodes the pass knows how to duplicate.
-bool isDuplicableOpcode(Opcode Op);
 
 /// Where the pass places `soc.check` comparisons.
 enum class CheckPlacement : uint8_t {

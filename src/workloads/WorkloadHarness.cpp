@@ -51,9 +51,21 @@ ExecutionRecord WorkloadHarness::execute(const ModuleLayout &Layout,
   return executeParallel(Layout, StepBudget);
 }
 
+std::vector<unsigned>
+WorkloadHarness::traceValueSteps(const ModuleLayout &Layout) {
+  assert(NumRanks <= 1 &&
+         "value-step tracing is defined for serial runs only");
+  std::vector<unsigned> Trace;
+  ExecutionRecord R = executeSerial(Layout, nullptr, UINT64_MAX, &Trace);
+  if (R.Status != RunStatus::Finished)
+    return {}; // broken program; let the campaign driver notice normally
+  return Trace;
+}
+
 ExecutionRecord WorkloadHarness::executeSerial(const ModuleLayout &Layout,
                                                const FaultPlan *Plan,
-                                               uint64_t StepBudget) {
+                                               uint64_t StepBudget,
+                                               std::vector<unsigned> *Trace) {
   const Function *Entry = Layout.module().getFunction(Workload::EntryName);
   assert(Entry && "workload module lacks its entry function");
 
@@ -76,6 +88,8 @@ ExecutionRecord WorkloadHarness::executeSerial(const ModuleLayout &Layout,
 
   if (Plan)
     Ctx.setFaultPlan(*Plan);
+  if (Trace)
+    Ctx.setValueStepTrace(Trace);
   Ctx.start(Entry, Args);
   RunStatus S = Ctx.run(StepBudget);
 

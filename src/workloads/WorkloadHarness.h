@@ -28,6 +28,9 @@ public:
   ExecutionRecord execute(const ModuleLayout &Layout, const FaultPlan *Plan,
                           uint64_t StepBudget) override;
 
+  /// Clean serial run with value-step tracing (see ProgramHarness).
+  std::vector<unsigned> traceValueSteps(const ModuleLayout &Layout) override;
+
   /// Golden output captured by the first clean run (empty before that).
   const std::vector<RtValue> &golden() const { return Golden; }
 
@@ -35,7 +38,8 @@ public:
 
 private:
   ExecutionRecord executeSerial(const ModuleLayout &Layout,
-                                const FaultPlan *Plan, uint64_t StepBudget);
+                                const FaultPlan *Plan, uint64_t StepBudget,
+                                std::vector<unsigned> *Trace = nullptr);
   ExecutionRecord executeParallel(const ModuleLayout &Layout,
                                   uint64_t StepBudget);
   bool verifyAgainstGolden(const std::vector<RtValue> &Output);

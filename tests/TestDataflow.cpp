@@ -1,0 +1,275 @@
+//===- tests/TestDataflow.cpp - Dataflow framework unit tests -----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipas;
+
+TEST(BitSet, SetTestResetCount) {
+  BitSet S(130); // crosses two word boundaries
+  EXPECT_EQ(S.size(), 130u);
+  EXPECT_EQ(S.count(), 0u);
+  S.set(0);
+  S.set(64);
+  S.set(129);
+  EXPECT_TRUE(S.test(0));
+  EXPECT_TRUE(S.test(64));
+  EXPECT_TRUE(S.test(129));
+  EXPECT_FALSE(S.test(1));
+  EXPECT_EQ(S.count(), 3u);
+  S.reset(64);
+  EXPECT_FALSE(S.test(64));
+  EXPECT_EQ(S.count(), 2u);
+}
+
+TEST(BitSet, FillKeepsPaddingClear) {
+  BitSet S(70);
+  S.fill();
+  EXPECT_EQ(S.count(), 70u);
+  for (unsigned I = 0; I != 70; ++I)
+    EXPECT_TRUE(S.test(I));
+}
+
+TEST(BitSet, UnionIntersectSubtractAndChangeFlags) {
+  BitSet A(10), B(10);
+  A.set(1);
+  A.set(3);
+  B.set(3);
+  B.set(5);
+  EXPECT_TRUE(A.unionWith(B)); // gains bit 5
+  EXPECT_TRUE(A.test(1));
+  EXPECT_TRUE(A.test(5));
+  EXPECT_FALSE(A.unionWith(B)); // already a superset: no change
+
+  BitSet C(10);
+  C.set(3);
+  C.set(5);
+  EXPECT_TRUE(A.intersectWith(C)); // loses bit 1
+  EXPECT_FALSE(A.test(1));
+  EXPECT_TRUE(A.test(3));
+  EXPECT_FALSE(A.intersectWith(C));
+
+  BitSet D(10);
+  D.set(3);
+  A.subtract(D);
+  EXPECT_FALSE(A.test(3));
+  EXPECT_TRUE(A.test(5));
+}
+
+TEST(BitSet, EqualityIncludesWidth) {
+  BitSet A(5), B(5), C(6);
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+  A.set(2);
+  EXPECT_TRUE(A != B);
+  B.set(2);
+  EXPECT_TRUE(A == B);
+}
+
+namespace {
+
+/// entry: x = a + 1; condbr c -> t | e
+/// t:     y = x * 2; br m
+/// e:     z = x + 3; br m
+/// m:     p = phi [y, t], [z, e]; ret p
+struct DiamondFn {
+  Module M{"m"};
+  Function *F;
+  BasicBlock *Entry, *T, *E, *Merge;
+  Instruction *X, *Y, *Z;
+  PhiInst *P;
+
+  DiamondFn() {
+    F = M.createFunction("f", types::I64, {types::I1, types::I64});
+    Entry = F->addBlock("entry");
+    T = F->addBlock("t");
+    E = F->addBlock("e");
+    Merge = F->addBlock("m");
+    IRBuilder B(M);
+    B.setInsertPoint(Entry);
+    X = cast<Instruction>(B.createAdd(F->arg(1), M.getInt64(1)));
+    B.createCondBr(F->arg(0), T, E);
+    B.setInsertPoint(T);
+    Y = cast<Instruction>(B.createMul(X, M.getInt64(2)));
+    B.createBr(Merge);
+    B.setInsertPoint(E);
+    Z = cast<Instruction>(B.createAdd(X, M.getInt64(3)));
+    B.createBr(Merge);
+    B.setInsertPoint(Merge);
+    P = B.createPhi(types::I64, "p");
+    P->addIncoming(Y, T);
+    P->addIncoming(Z, E);
+    B.createRet(P);
+    M.renumber();
+  }
+};
+
+} // namespace
+
+TEST(ValueNumbering, ArgumentsFirstThenLayoutOrder) {
+  DiamondFn D;
+  ValueNumbering N(*D.F);
+  // 2 arguments + 8 instructions.
+  EXPECT_EQ(N.size(), 10u);
+  EXPECT_EQ(N.indexOf(D.F->arg(0)), 0u);
+  EXPECT_EQ(N.indexOf(D.F->arg(1)), 1u);
+  EXPECT_EQ(N.indexOf(D.X), 2u);
+  EXPECT_EQ(N.valueAt(2), D.X);
+  EXPECT_TRUE(N.has(D.P));
+  EXPECT_FALSE(N.has(D.M.getInt64(1))); // constants are not numbered
+}
+
+TEST(Liveness, DiamondFacts) {
+  DiamondFn D;
+  LivenessAnalysis L(*D.F);
+  // Both arguments are upward-exposed in entry.
+  EXPECT_TRUE(L.isLiveIn(D.F->arg(0), D.Entry));
+  EXPECT_TRUE(L.isLiveIn(D.F->arg(1), D.Entry));
+  // x is defined in entry: live out of entry, not live into it.
+  EXPECT_FALSE(L.isLiveIn(D.X, D.Entry));
+  EXPECT_TRUE(L.isLiveOut(D.X, D.Entry));
+  EXPECT_TRUE(L.isLiveIn(D.X, D.T));
+  EXPECT_TRUE(L.isLiveIn(D.X, D.E));
+  // x is dead past the branches; phi operands are conservatively live
+  // into the phi's block.
+  EXPECT_FALSE(L.isLiveIn(D.X, D.Merge));
+  EXPECT_TRUE(L.isLiveIn(D.Y, D.Merge));
+  EXPECT_TRUE(L.isLiveIn(D.Z, D.Merge));
+  // Nothing is live out of the returning block.
+  EXPECT_EQ(L.liveOut(D.Merge).count(), 0u);
+}
+
+TEST(Liveness, LoopCarriedValues) {
+  // entry: br loop
+  // loop:  i = phi [a, entry], [inc, loop]
+  //        inc = i + 1; c = icmp lt inc, b; condbr c -> loop | exit
+  // exit:  ret inc
+  Module M("m");
+  Function *F = M.createFunction("f", types::I64, {types::I64, types::I64});
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Loop = F->addBlock("loop");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  PhiInst *I = B.createPhi(types::I64, "i");
+  Value *Inc = B.createAdd(I, M.getInt64(1));
+  Value *C = B.createICmp(CmpPredicate::LT, Inc, F->arg(1));
+  B.createCondBr(C, Loop, Exit);
+  I->addIncoming(F->arg(0), Entry);
+  I->addIncoming(Inc, Loop);
+  B.setInsertPoint(Exit);
+  B.createRet(Inc);
+  M.renumber();
+
+  LivenessAnalysis L(*F);
+  // The bound b is live around the whole loop.
+  EXPECT_TRUE(L.isLiveIn(F->arg(1), Loop));
+  EXPECT_TRUE(L.isLiveOut(F->arg(1), Entry));
+  // inc is live out of the loop (used by exit and by the backedge phi).
+  EXPECT_TRUE(L.isLiveOut(Inc, Loop));
+  EXPECT_TRUE(L.isLiveIn(Inc, Exit));
+}
+
+TEST(CheckCoverage, MustMeetRequiresChecksOnAllPaths) {
+  // A check on only one branch of a diamond does not cover the merge.
+  Module M("m");
+  Function *F = M.createFunction("f", types::I64, {types::I1, types::I64});
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *T = F->addBlock("t");
+  BasicBlock *E = F->addBlock("e");
+  BasicBlock *Merge = F->addBlock("m");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  Value *V = B.createAdd(F->arg(1), M.getInt64(1));
+  B.createCondBr(F->arg(0), T, E);
+  B.setInsertPoint(T);
+  T->append(std::make_unique<CheckInst>(V, V));
+  B.createBr(Merge);
+  B.setInsertPoint(E);
+  B.createBr(Merge);
+  B.setInsertPoint(Merge);
+  B.createRet(V);
+  M.renumber();
+
+  CheckCoverageAnalysis Cov(*F);
+  EXPECT_TRUE(Cov.isCoveredAtBlockEnd(V, T));
+  EXPECT_FALSE(Cov.isCoveredAtBlockEnd(V, E));
+  EXPECT_FALSE(Cov.isCoveredAtBlockEnd(V, Merge));
+
+  // A second check on the other branch completes the must-coverage.
+  E->insertBefore(E->terminator(), std::make_unique<CheckInst>(V, V));
+  CheckCoverageAnalysis Cov2(*F);
+  EXPECT_TRUE(Cov2.isCoveredAtBlockEnd(V, E));
+  EXPECT_TRUE(Cov2.isCoveredAtBlockEnd(V, Merge));
+}
+
+TEST(CheckCoverage, ShadowChainCoversWholePath) {
+  // add -> mul duplication path with one path-end check: the chain walk
+  // through the shadows covers the un-checked add too.
+  Module M("m");
+  Function *F = M.createFunction("f", types::I64, {types::I64});
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  auto *Add = cast<Instruction>(B.createAdd(F->arg(0), M.getInt64(1)));
+  auto *AddS = cast<Instruction>(B.createAdd(F->arg(0), M.getInt64(1)));
+  auto *Mul = cast<Instruction>(B.createMul(Add, M.getInt64(2)));
+  auto *MulS = cast<Instruction>(B.createMul(AddS, M.getInt64(2)));
+  Add->setDupRole(DupRole::Original);
+  AddS->setDupRole(DupRole::Shadow);
+  AddS->setDupLink(Add);
+  Mul->setDupRole(DupRole::Original);
+  MulS->setDupRole(DupRole::Shadow);
+  MulS->setDupLink(Mul);
+  BB->append(std::make_unique<CheckInst>(Mul, MulS));
+  B.createRet(Mul);
+  M.renumber();
+
+  CheckCoverageAnalysis Cov(*F);
+  EXPECT_TRUE(Cov.isCoveredAtBlockEnd(Mul, BB));
+  EXPECT_TRUE(Cov.isCoveredAtBlockEnd(Add, BB));
+  // The shadows themselves are not covered values.
+  EXPECT_FALSE(Cov.isCoveredAtBlockEnd(AddS, BB));
+}
+
+TEST(DataflowSolver, ReportsTransferCount) {
+  DiamondFn D;
+  LivenessAnalysis L(*D.F);
+  (void)L;
+  ValueNumbering N(*D.F);
+  CheckCoverageAnalysis Cov(*D.F);
+  (void)Cov;
+  // Indirect convergence check: rebuilding the analyses above must not
+  // loop forever; a direct solver probe confirms at least one transfer
+  // per block ran.
+  class CountProbe : public GenKillProblem {
+  public:
+    explicit CountProbe(unsigned W) : Empty(W) {}
+    DataflowDirection direction() const override {
+      return DataflowDirection::Forward;
+    }
+    MeetKind meet() const override { return MeetKind::Union; }
+    BitSet boundaryState() const override { return Empty; }
+    BitSet initialState() const override { return Empty; }
+    const BitSet &genSet(const BasicBlock *) const override { return Empty; }
+    const BitSet &killSet(const BasicBlock *) const override {
+      return Empty;
+    }
+
+  private:
+    BitSet Empty;
+  };
+  CountProbe P(N.size());
+  DataflowSolver S(*D.F, P);
+  S.solve();
+  EXPECT_GE(S.transfersApplied(), D.F->numBlocks());
+}

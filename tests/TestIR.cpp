@@ -282,3 +282,35 @@ TEST(Intrinsics, MpiClassification) {
   EXPECT_FALSE(isMpiIntrinsic(Intrinsic::Sqrt));
   EXPECT_FALSE(isMpiIntrinsic(Intrinsic::MpiRank)); // resolves locally
 }
+
+TEST(Verifier, AcceptsWellFormedSocCheck) {
+  Module M("m");
+  Function *F = M.createFunction("f", types::Void, {types::I64});
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *V = B.createAdd(F->arg(0), M.getInt64(1));
+  Value *V2 = B.createAdd(F->arg(0), M.getInt64(1));
+  BB->append(std::make_unique<CheckInst>(V, V2));
+  B.createRet();
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(Verifier, DetectsSocCheckArityMismatch) {
+  Module M("m");
+  Function *F = M.createFunction("f", types::Void, {types::I64});
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *V = B.createAdd(F->arg(0), M.getInt64(1));
+  auto *Check = static_cast<Instruction *>(
+      BB->append(std::make_unique<CheckInst>(V, V)));
+  B.createRet();
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  // Simulate a broken mutation stripping the operands: release builds
+  // (asserts off) must still catch this in the verifier.
+  Check->dropAllReferences();
+  auto Errs = verifyFunction(*F);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("soc.check arity mismatch"), std::string::npos);
+}

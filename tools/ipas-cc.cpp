@@ -12,9 +12,12 @@
 ///   ipas-cc prog.mc --run main --args 10,20           # execute
 ///   ipas-cc prog.mc --O --protect --emit-ir           # optimize+protect
 ///   ipas-cc prog.mc --run f --args 8 --fault-step 100 --fault-bit 52
+///   ipas-cc prog.mc --protect --lint                  # check invariants
+///   ipas-cc prog.mc --O --protect --verify-each       # bisect pass bugs
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ProtectionLint.h"
 #include "frontend/CodeGen.h"
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
@@ -59,6 +62,7 @@ static std::vector<RtValue> parseArgs(const Function *F,
 
 int main(int Argc, char **Argv) {
   bool EmitIr = false, Optimize = false, Protect = false, Verify = false;
+  bool Lint = false, VerifyEach = false;
   std::string RunFn, ArgsCsv;
   int64_t FaultStep = -1, FaultBit = 0, MaxSteps = -1;
 
@@ -67,6 +71,11 @@ int main(int Argc, char **Argv) {
   P.addBool("O", &Optimize, "run constant folding + DCE");
   P.addBool("protect", &Protect, "apply full instruction duplication");
   P.addBool("verify-only", &Verify, "verify the module and exit");
+  P.addBool("lint", &Lint,
+            "check protection invariants (ipas-lint) after the passes");
+  P.addBool("verify-each", &VerifyEach,
+            "verify the module between every pass and name the first "
+            "failing pass");
   P.addString("run", &RunFn, "function to execute");
   P.addString("args", &ArgsCsv, "comma-separated arguments for --run");
   P.addInt("fault-step", &FaultStep,
@@ -97,17 +106,39 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", Diags.summary().c_str());
     return 1;
   }
-  removeUnreachableBlocks(*M);
-  promoteAllocasToRegisters(*M);
+  // The pass pipeline. With --verify-each, verifyModule runs after every
+  // pass so a verifier failure names the pass that introduced it instead
+  // of surfacing at the end of the pipeline.
+  bool PipelineBroken = false;
+  auto RunPass = [&](const char *Name, auto &&Pass) {
+    if (PipelineBroken)
+      return;
+    Pass();
+    if (!VerifyEach)
+      return;
+    std::vector<std::string> Errs = verifyModule(*M);
+    if (Errs.empty())
+      return;
+    std::fprintf(stderr, "verification failed after pass '%s':\n", Name);
+    for (const std::string &E : Errs)
+      std::fprintf(stderr, "verifier: %s\n", E.c_str());
+    PipelineBroken = true;
+  };
+
+  RunPass("simplifycfg", [&] { removeUnreachableBlocks(*M); });
+  RunPass("mem2reg", [&] { promoteAllocasToRegisters(*M); });
   if (Optimize) {
-    foldConstants(*M);
-    eliminateDeadCode(*M);
+    RunPass("constfold", [&] { foldConstants(*M); });
+    RunPass("dce", [&] { eliminateDeadCode(*M); });
   }
-  if (Protect) {
-    DuplicationStats Stats = duplicateAllInstructions(*M);
-    std::fprintf(stderr, "; protected: %zu duplicated, %zu checks\n",
-                 Stats.DuplicatedInstructions, Stats.ChecksInserted);
-  }
+  if (Protect)
+    RunPass("duplicate", [&] {
+      DuplicationStats Stats = duplicateAllInstructions(*M);
+      std::fprintf(stderr, "; protected: %zu duplicated, %zu checks\n",
+                   Stats.DuplicatedInstructions, Stats.ChecksInserted);
+    });
+  if (PipelineBroken)
+    return 1;
   M->renumber();
 
   std::vector<std::string> Errs = verifyModule(*M);
@@ -119,6 +150,18 @@ int main(int Argc, char **Argv) {
     std::printf("ok: %zu instructions across %zu functions\n",
                 M->numInstructions(), M->numFunctions());
     return 0;
+  }
+
+  if (Lint) {
+    LintOptions LintOpts;
+    LintOpts.ExpectFullDuplication = Protect;
+    std::vector<LintViolation> Violations =
+        lintProtectedModule(*M, LintOpts);
+    for (const LintViolation &V : Violations)
+      std::fprintf(stderr, "lint: %s\n", V.toString().c_str());
+    if (!Violations.empty())
+      return 6;
+    std::printf("lint: no violations\n");
   }
 
   if (EmitIr)
