@@ -23,10 +23,14 @@
 #define IPAS_BENCH_BENCHCOMMON_H
 
 #include "core/ResultsCache.h"
+#include "obs/Json.h"
+#include "obs/Trace.h"
 #include "support/ArgParser.h"
 #include "support/Statistics.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -106,6 +110,73 @@ inline void printHeader(const std::string &Title,
               Opts.Cfg.Grid.GammaSteps, Opts.Cfg.Grid.Folds, Opts.Cfg.TopN,
               static_cast<unsigned long long>(Opts.Cfg.Seed));
 }
+
+/// Machine-readable companion to the stdout tables: on destruction writes
+/// BENCH_<name>.json (benchmark name, pipeline config, the metrics
+/// recorded with metric(), and wall time) into the current directory, or
+/// $IPAS_BENCH_DIR when set. Failures are warnings — a read-only
+/// directory must not fail a benchmark run.
+class BenchReport {
+public:
+  BenchReport(std::string BenchName, const BenchOptions &Opts)
+      : Name(std::move(BenchName)), Opts(Opts),
+        StartUs(obs::monotonicMicros()) {}
+
+  void metric(const std::string &Key, double V) { Doubles[Key] = V; }
+  void metric(const std::string &Key, uint64_t V) { Ints[Key] = V; }
+  void metric(const std::string &Key, int V) {
+    Ints[Key] = static_cast<uint64_t>(V);
+  }
+
+  ~BenchReport() {
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("benchmark").value(Name);
+    W.key("config").beginObject();
+    W.key("train_samples").value(static_cast<uint64_t>(Opts.Cfg.TrainSamples));
+    W.key("eval_runs").value(static_cast<uint64_t>(Opts.Cfg.EvalRuns));
+    W.key("grid_c_steps").value(Opts.Cfg.Grid.CSteps);
+    W.key("grid_gamma_steps").value(Opts.Cfg.Grid.GammaSteps);
+    W.key("folds").value(Opts.Cfg.Grid.Folds);
+    W.key("top").value(Opts.Cfg.TopN);
+    char Seed[24];
+    std::snprintf(Seed, sizeof(Seed), "0x%llx",
+                  static_cast<unsigned long long>(Opts.Cfg.Seed));
+    W.key("seed").value(Seed);
+    if (!Opts.WorkloadFilter.empty())
+      W.key("workload").value(Opts.WorkloadFilter);
+    W.endObject();
+    W.key("metrics").beginObject();
+    for (const auto &[K, V] : Ints)
+      W.key(K).value(V);
+    for (const auto &[K, V] : Doubles)
+      W.key(K).value(V);
+    W.endObject();
+    W.key("wall_seconds")
+        .value(static_cast<double>(obs::monotonicMicros() - StartUs) / 1e6);
+    W.endObject();
+
+    std::string Dir;
+    if (const char *D = std::getenv("IPAS_BENCH_DIR"))
+      Dir = std::string(D) + "/";
+    std::string Path = Dir + "BENCH_" + Name + ".json";
+    FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fputs(W.str().c_str(), F);
+    std::fputc('\n', F);
+    std::fclose(F);
+  }
+
+private:
+  std::string Name;
+  BenchOptions Opts;
+  uint64_t StartUs = 0;
+  std::map<std::string, uint64_t> Ints;
+  std::map<std::string, double> Doubles;
+};
 
 /// One row of the Figure 5 style outcome breakdown.
 inline void printOutcomeRow(const char *Label, const CampaignResult &C) {

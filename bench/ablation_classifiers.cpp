@@ -72,6 +72,7 @@ int main(int Argc, char **Argv) {
       Argc, Argv,
       "Ablation: SVM vs decision tree vs kNN on SOC training data");
   printHeader("Ablation: classifier choice (paper §4.3.1)", Opts);
+  BenchReport Report("ablation_classifiers", Opts);
 
   std::printf("%-10s %8s | %18s %18s %14s %10s %10s\n", "workload",
               "SOC%", "svm (weighted)", "svm (unweighted)", "dtree(d8)",
@@ -122,6 +123,10 @@ int main(int Argc, char **Argv) {
     std::printf("%-10s %7.1f%% | %18.3f %18.3f %14.3f %10.3f %10.3f\n",
                 W->name().c_str(), 100.0 * SocFrac, SvmW, SvmU, Tree, Knn5,
                 Knn1);
+    Report.metric(W->name() + ".fscore_svm_weighted", SvmW);
+    Report.metric(W->name() + ".fscore_svm_unweighted", SvmU);
+    Report.metric(W->name() + ".fscore_dtree", Tree);
+    Report.metric(W->name() + ".fscore_knn5", Knn5);
   }
   std::printf("\n(Paper claim: the weighted C-SVM handles the 3-10%% "
               "positive-class imbalance best;\n trees and nearest "

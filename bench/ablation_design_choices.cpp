@@ -27,7 +27,8 @@ using namespace ipas::bench;
 /// Ablation A: feature quality with and without the slice memory
 /// extension, measured as the best cross-validated F-score reachable on
 /// the same labels.
-static void ablateSliceMemory(const Workload &W, const BenchOptions &Opts) {
+static void ablateSliceMemory(const Workload &W, const BenchOptions &Opts,
+                              BenchReport &Report) {
   // One campaign, two feature extractions.
   auto M = compileWorkload(W);
   ModuleLayout Layout(*M);
@@ -61,12 +62,15 @@ static void ablateSliceMemory(const Workload &W, const BenchOptions &Opts) {
   }
   std::printf("  %-10s def-use-only F=%.3f   through-memory F=%.3f\n",
               W.name().c_str(), Scores[0], Scores[1]);
+  Report.metric(W.name() + ".fscore_defuse_only", Scores[0]);
+  Report.metric(W.name() + ".fscore_through_memory", Scores[1]);
 }
 
 /// Ablation B: rank the same grid by F-score vs by plain accuracy and
 /// report the per-class accuracies of each winner.
 static void ablateSelectionMetric(const Workload &W,
-                                  const BenchOptions &Opts) {
+                                  const BenchOptions &Opts,
+                                  BenchReport &Report) {
   IpasPipeline Pipeline(W, Opts.Cfg);
   TrainingArtifacts A = Pipeline.collectAndTrain(/*RunGridSearch=*/false);
   GridSearchConfig GC = Opts.Cfg.Grid;
@@ -96,12 +100,17 @@ static void ablateSelectionMetric(const Workload &W,
               ByFScore.Accuracies.Accuracy2, ByFScore.FScore,
               ByAccuracy->Accuracies.Accuracy1,
               ByAccuracy->Accuracies.Accuracy2, BestAcc);
+  Report.metric(W.name() + ".soc_acc_by_fscore",
+                ByFScore.Accuracies.Accuracy1);
+  Report.metric(W.name() + ".soc_acc_by_accuracy",
+                ByAccuracy->Accuracies.Accuracy1);
 }
 
 /// Ablation C: path-end checks vs per-instruction checks under full
 /// duplication.
 static void ablateCheckPlacement(const Workload &W,
-                                 const BenchOptions &Opts) {
+                                 const BenchOptions &Opts,
+                                 BenchReport &Report) {
   IpasPipeline Pipeline(W, Opts.Cfg);
   auto Unprot = Pipeline.protectNone();
   CampaignResult Base = Pipeline.evaluate(Unprot, Opts.Cfg.Seed ^ 0xC0);
@@ -134,6 +143,12 @@ static void ablateCheckPlacement(const Workload &W,
                                                       : "per-instruction",
                 Stats.ChecksInserted, Slowdown, Red,
                 100.0 * R.fraction(Outcome::Detected));
+    const char *Tag = Placement == CheckPlacement::PathEnds
+                          ? ".path_ends"
+                          : ".per_instruction";
+    Report.metric(W.name() + Tag + "_checks", Stats.ChecksInserted);
+    Report.metric(W.name() + Tag + "_slowdown", Slowdown);
+    Report.metric(W.name() + Tag + "_soc_reduction_pct", Red);
   }
 }
 
@@ -142,21 +157,22 @@ int main(int Argc, char **Argv) {
       Argc, Argv, "Ablations of the DESIGN.md design decisions");
   printHeader("Ablations: slices, selection metric, check placement",
               Opts);
+  BenchReport Report("ablation_design_choices", Opts);
   auto Workloads = selectedWorkloads(Opts);
 
   std::printf("A. forward-slice memory extension (best CV F-score on SOC "
               "labels)\n");
   for (const auto &W : Workloads)
-    ablateSliceMemory(*W, Opts);
+    ablateSliceMemory(*W, Opts, Report);
 
   std::printf("\nB. model-selection metric (Eq. 1 F-score vs plain "
               "accuracy)\n");
   for (const auto &W : Workloads)
-    ablateSelectionMetric(*W, Opts);
+    ablateSelectionMetric(*W, Opts, Report);
 
   std::printf("\nC. check placement under full duplication\n");
   for (const auto &W : Workloads)
-    ablateCheckPlacement(*W, Opts);
+    ablateCheckPlacement(*W, Opts, Report);
 
   std::printf("\n(Expected: memory-aware slices help or tie; accuracy-"
               "selected models sacrifice the\n minority SOC class; "

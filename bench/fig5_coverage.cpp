@@ -21,6 +21,7 @@ int main(int Argc, char **Argv) {
   BenchOptions Opts =
       parseOptions(Argc, Argv, "Figure 5: coverage results per workload");
   printHeader("Figure 5: coverage results", Opts);
+  BenchReport Report("fig5_coverage", Opts);
 
   for (const auto &W : selectedWorkloads(Opts)) {
     WorkloadEvaluation WE = evaluateWorkloadCached(*W, Opts.Cfg);
@@ -33,6 +34,10 @@ int main(int Argc, char **Argv) {
     for (const VariantEvaluation &V : WE.Variants)
       printOutcomeRow(V.Label.c_str(), V.Campaign);
     std::printf("\n");
+    Report.metric(WE.WorkloadName + ".unprotected_soc_pct", 100.0 * SocP);
+    if (const VariantEvaluation *Best = WE.bestVariant(Technique::Ipas))
+      Report.metric(WE.WorkloadName + ".ipas_best_soc_pct",
+                    100.0 * Best->Campaign.fraction(Outcome::SOC));
   }
   std::printf("(Paper shape: SOC is a small minority of injections; "
               "masking dominates;\n full duplication and the protected "

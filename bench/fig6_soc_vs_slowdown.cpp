@@ -20,6 +20,7 @@ int main(int Argc, char **Argv) {
   BenchOptions Opts = parseOptions(
       Argc, Argv, "Figure 6: SOC reduction vs slowdown per configuration");
   printHeader("Figure 6: SOC reduction vs slowdown", Opts);
+  BenchReport Report("fig6_soc_vs_slowdown", Opts);
 
   for (const auto &W : selectedWorkloads(Opts)) {
     WorkloadEvaluation WE = evaluateWorkloadCached(*W, Opts.Cfg);
@@ -38,6 +39,17 @@ int main(int Argc, char **Argv) {
     if (BI && BB)
       std::printf("  -> ideal-point best: %s (IPAS) vs %s (Baseline)\n\n",
                   BI->Label.c_str(), BB->Label.c_str());
+    if (BI) {
+      Report.metric(WE.WorkloadName + ".ipas_best_slowdown", BI->Slowdown);
+      Report.metric(WE.WorkloadName + ".ipas_best_soc_reduction_pct",
+                    BI->SocReductionPct);
+    }
+    if (BB) {
+      Report.metric(WE.WorkloadName + ".baseline_best_slowdown",
+                    BB->Slowdown);
+      Report.metric(WE.WorkloadName + ".baseline_best_soc_reduction_pct",
+                    BB->SocReductionPct);
+    }
   }
   std::printf("(Paper shape: IPAS always offers a configuration with "
               "comparable SOC reduction\n at lower slowdown than the "

@@ -20,6 +20,7 @@ int main(int Argc, char **Argv) {
   BenchOptions Opts = parseOptions(
       Argc, Argv, "Figure 7: average duplicated instructions");
   printHeader("Figure 7: % duplicated instructions (top-N average)", Opts);
+  BenchReport Report("fig7_duplicated_instructions", Opts);
 
   std::printf("%-10s %12s %12s %12s\n", "workload", "ipas", "baseline",
               "full");
@@ -42,6 +43,10 @@ int main(int Argc, char **Argv) {
                 WE.WorkloadName.c_str(),
                 IpasN ? 100.0 * IpasSum / IpasN : 0.0,
                 BaseN ? 100.0 * BaseSum / BaseN : 0.0, 100.0 * Full);
+    Report.metric(WE.WorkloadName + ".ipas_dup_pct",
+                  IpasN ? 100.0 * IpasSum / IpasN : 0.0);
+    Report.metric(WE.WorkloadName + ".baseline_dup_pct",
+                  BaseN ? 100.0 * BaseSum / BaseN : 0.0);
   }
   std::printf("\n(Paper shape: IPAS duplicates fewer instructions than "
               "Baseline on every code.)\n");

@@ -21,6 +21,7 @@ int main(int Argc, char **Argv) {
       Argc, Argv, "Figure 8: slowdown vs number of MPI processes");
   printHeader("Figure 8: strong-scaling slowdown (best IPAS config)",
               Opts);
+  BenchReport Report("fig8_scalability", Opts);
 
   const int RankCounts[] = {1, 2, 4, 8};
   std::printf("%-10s", "workload");
@@ -46,8 +47,12 @@ int main(int Argc, char **Argv) {
     IpasPipeline::ProtectedModule PM = Pipeline.protect(Ids);
 
     std::printf("%-10s", W->name().c_str());
-    for (int P : RankCounts)
-      std::printf("   %-7.3f", Pipeline.scalabilitySlowdown(PM, P));
+    for (int P : RankCounts) {
+      double Slowdown = Pipeline.scalabilitySlowdown(PM, P);
+      std::printf("   %-7.3f", Slowdown);
+      Report.metric(W->name() + ".slowdown_p" + std::to_string(P),
+                    Slowdown);
+    }
     std::printf("   (config %s)\n", Best->Label.c_str());
   }
   std::printf("\n(Paper shape: the slowdown stays essentially constant "

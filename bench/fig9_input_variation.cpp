@@ -20,6 +20,7 @@ int main(int Argc, char **Argv) {
       Argc, Argv,
       "Figure 9: SOC reduction when varying the input (trained on 1)");
   printHeader("Figure 9: SOC reduction across inputs", Opts);
+  BenchReport Report("fig9_input_variation", Opts);
 
   std::printf("%-10s %10s %10s %10s %10s %9s\n", "workload", "input1",
               "input2", "input3", "input4", "average");
@@ -51,8 +52,12 @@ int main(int Argc, char **Argv) {
               : 0.0;
       Sum += Reduction;
       std::printf(" %9.1f%%", Reduction);
+      Report.metric(W->name() + ".soc_reduction_input" +
+                        std::to_string(Level),
+                    Reduction);
     }
     std::printf(" %8.1f%%\n", Sum / 4.0);
+    Report.metric(W->name() + ".soc_reduction_avg", Sum / 4.0);
   }
   std::printf("\n(Paper shape: SOC reduction on inputs 2-4 is comparable "
               "to the training input;\n the paper saw extra variability "

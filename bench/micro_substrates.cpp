@@ -14,11 +14,18 @@
 #include "analysis/Features.h"
 #include "core/Pipeline.h"
 #include "mpi/SimMpi.h"
+#include "obs/Json.h"
+#include "obs/Trace.h"
 #include "transform/Duplication.h"
 #include "transform/Mem2Reg.h"
 #include "transform/SimplifyCFG.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
 
 using namespace ipas;
 
@@ -208,4 +215,63 @@ static void BM_FaultInjectedRun(benchmark::State &State) {
 }
 BENCHMARK(BM_FaultInjectedRun);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Normal console output, plus a capture of per-benchmark real time so
+/// the run can be written out as BENCH_micro_substrates.json alongside
+/// the other harnesses' reports.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      if (R.run_type == Run::RT_Iteration && !R.error_occurred)
+        RealNs[R.benchmark_name()] = R.GetAdjustedRealTime();
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+  std::map<std::string, double> RealNs;
+};
+
+void writeReport(const CapturingReporter &Rep, double WallSeconds) {
+  ipas::obs::JsonWriter W;
+  W.beginObject();
+  W.key("benchmark").value("micro_substrates");
+  W.key("config").beginObject();
+  W.key("time_unit").value("ns_per_iteration");
+  W.endObject();
+  W.key("metrics").beginObject();
+  for (const auto &[Name, Ns] : Rep.RealNs)
+    W.key(Name).value(Ns);
+  W.endObject();
+  W.key("wall_seconds").value(WallSeconds);
+  W.endObject();
+
+  std::string Dir;
+  if (const char *D = std::getenv("IPAS_BENCH_DIR"))
+    Dir = std::string(D) + "/";
+  std::string Path = Dir + "BENCH_micro_substrates.json";
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fputs(W.str().c_str(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  uint64_t Start = ipas::obs::monotonicMicros();
+  CapturingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  writeReport(Reporter, static_cast<double>(
+                            ipas::obs::monotonicMicros() - Start) /
+                            1e6);
+  benchmark::Shutdown();
+  return 0;
+}

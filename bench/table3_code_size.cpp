@@ -22,6 +22,7 @@ int main(int Argc, char **Argv) {
       Argc, Argv, "Table 3: static instructions and lines of code");
   std::printf("== Table 3: number of static instructions and lines of "
               "code ==\n\n");
+  BenchReport Report("table3_code_size", Opts);
   std::printf("%-22s", "");
   auto Workloads = selectedWorkloads(Opts);
   for (const auto &W : Workloads)
@@ -30,10 +31,14 @@ int main(int Argc, char **Argv) {
   for (const auto &W : Workloads) {
     auto M = compileWorkload(*W);
     std::printf("%10zu", M->numInstructions());
+    Report.metric(W->name() + ".static_instructions", M->numInstructions());
   }
   std::printf("\n%-22s", "Lines of code");
-  for (const auto &W : Workloads)
-    std::printf("%10zu", Lexer::countCodeLines(W->source()));
+  for (const auto &W : Workloads) {
+    size_t Loc = Lexer::countCodeLines(W->source());
+    std::printf("%10zu", Loc);
+    Report.metric(W->name() + ".lines_of_code", Loc);
+  }
   std::printf("\n\n(Paper, for reference: CoMD 12240/3036, HPCCG 5107/1313,"
               " AMG 4478/952,\n FFT 566/249, IS 1457/701 — the MiniC "
               "workloads are laptop-scale analogues.)\n");

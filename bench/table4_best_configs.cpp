@@ -19,6 +19,7 @@ int main(int Argc, char **Argv) {
   BenchOptions Opts = parseOptions(
       Argc, Argv, "Table 4: best configurations (ideal-point criterion)");
   printHeader("Table 4: best configurations", Opts);
+  BenchReport Report("table4_best_configs", Opts);
 
   std::printf("%-10s | %14s %14s | %10s %10s\n", "Code", "SOC red. IPAS",
               "SOC red. Base", "Slow IPAS", "Slow Base");
@@ -34,6 +35,12 @@ int main(int Argc, char **Argv) {
     std::printf("%-10s | %13.2f%% %13.2f%% | %10.2f %10.2f\n",
                 WE.WorkloadName.c_str(), BI->SocReductionPct,
                 BB->SocReductionPct, BI->Slowdown, BB->Slowdown);
+    Report.metric(WE.WorkloadName + ".ipas_soc_reduction_pct",
+                  BI->SocReductionPct);
+    Report.metric(WE.WorkloadName + ".ipas_slowdown", BI->Slowdown);
+    Report.metric(WE.WorkloadName + ".baseline_soc_reduction_pct",
+                  BB->SocReductionPct);
+    Report.metric(WE.WorkloadName + ".baseline_slowdown", BB->Slowdown);
   }
   std::printf("\n(Paper, for reference: CoMD 67.6/62.7 at 1.17/2.09, HPCCG "
               "81.4/91.0 at 1.18/1.66,\n AMG 76.9/73.9 at 1.10/2.10, FFT "

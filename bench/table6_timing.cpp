@@ -21,6 +21,7 @@ int main(int Argc, char **Argv) {
   BenchOptions Opts =
       parseOptions(Argc, Argv, "Table 6: training and duplication time");
   printHeader("Table 6: training and duplication time", Opts);
+  BenchReport Report("table6_timing", Opts);
 
   std::printf("%-26s", "");
   auto Workloads = selectedWorkloads(Opts);
@@ -28,6 +29,10 @@ int main(int Argc, char **Argv) {
   for (const auto &W : Workloads) {
     Evals.push_back(evaluateWorkloadCached(*W, Opts.Cfg));
     std::printf("%10s", W->name().c_str());
+    Report.metric(W->name() + ".train_seconds",
+                  Evals.back().Training.TrainSeconds);
+    Report.metric(W->name() + ".duplicate_seconds",
+                  Evals.back().DuplicateSeconds);
   }
   std::printf("\n%-26s", "Training time (sec)");
   for (const auto &WE : Evals)

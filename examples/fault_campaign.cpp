@@ -15,6 +15,7 @@
 #include "analysis/SocPropagation.h"
 #include "fault/Campaign.h"
 #include "ir/IRPrinter.h"
+#include "obs/CliOptions.h"
 #include "support/ArgParser.h"
 #include "support/Statistics.h"
 #include "workloads/WorkloadHarness.h"
@@ -36,6 +37,8 @@ int main(int Argc, char **Argv) {
   P.addBool("prune", &Prune,
             "classify injections at provably-benign sites (static SOC "
             "propagation) without executing them");
+  obs::CliOptions Obs;
+  obs::addCliFlags(P, Obs);
   if (!P.parse(Argc, Argv))
     return 2;
 
@@ -44,6 +47,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
     return 2;
   }
+  if (!obs::applyCliFlags(Obs, "fault_campaign",
+                          obs::AttrSet()
+                              .add("workload", WorkloadName)
+                              .addHex("seed", static_cast<uint64_t>(Seed))
+                              .add("runs", static_cast<uint64_t>(Runs))
+                              .add("prune", Prune)))
+    return 2;
   std::unique_ptr<Module> M = compileWorkload(*W);
   ModuleLayout Layout(*M);
   WorkloadHarness Harness(*W, 1);
@@ -51,6 +61,7 @@ int main(int Argc, char **Argv) {
   CampaignConfig CC;
   CC.NumRuns = static_cast<size_t>(Runs);
   CC.Seed = static_cast<uint64_t>(Seed);
+  CC.Label = WorkloadName;
   SocPropagation Soc(*M);
   if (Prune)
     CC.ProvablyBenign = &Soc.provablyBenign();

@@ -7,9 +7,8 @@
 #include "core/Pipeline.h"
 
 #include "frontend/Lexer.h"
+#include "obs/Trace.h"
 #include "support/Statistics.h"
-
-#include <chrono>
 
 using namespace ipas;
 
@@ -107,34 +106,40 @@ IpasPipeline::ProtectedModule IpasPipeline::protectNone() const {
 }
 
 CampaignResult IpasPipeline::evaluate(const ProtectedModule &PM,
-                                      uint64_t Seed, int InputLevel) const {
+                                      uint64_t Seed, int InputLevel,
+                                      const std::string &Label) const {
   WorkloadHarness Harness(W, InputLevel ? InputLevel : Cfg.InputLevel);
   CampaignConfig CC;
   CC.NumRuns = Cfg.EvalRuns;
   CC.HangFactor = Cfg.HangFactor;
   CC.Seed = Seed;
+  CC.Label = Label;
   return runCampaign(Harness, *PM.Layout, CC);
 }
 
 TrainingArtifacts IpasPipeline::collectAndTrain(bool RunGridSearch) {
-  auto T0 = std::chrono::steady_clock::now();
+  obs::PhaseSpan Training("pipeline.training",
+                          obs::AttrSet().add("workload", W.name()));
   TrainingArtifacts A;
 
   // Step 2: data collection on the unprotected code.
   ProtectedModule Unprot = protectNone();
   {
+    obs::PhaseSpan Span("training.campaign");
     WorkloadHarness Harness(W, Cfg.InputLevel);
     CampaignConfig CC;
     CC.NumRuns = Cfg.TrainSamples;
     CC.HangFactor = Cfg.HangFactor;
     CC.Seed = Cfg.Seed ^ 0x7121117;
+    CC.Label = "training";
     A.Campaign = runCampaign(Harness, *Unprot.Layout, CC);
   }
 
   // Instruction features (Table 1) over the unprotected module.
-  FeatureExtractor Extractor;
-  A.Features = Extractor.extractModule(*Unprot.M);
   {
+    obs::PhaseSpan Span("training.features");
+    FeatureExtractor Extractor;
+    A.Features = Extractor.extractModule(*Unprot.M);
     std::vector<std::vector<double>> Raw;
     Raw.reserve(A.Features.size());
     for (const FeatureVector &FV : A.Features)
@@ -143,16 +148,20 @@ TrainingArtifacts IpasPipeline::collectAndTrain(bool RunGridSearch) {
   }
 
   // Labeling: IPAS (SOC vs non-SOC) and Baseline (symptom vs non-symptom).
-  for (const InjectionRecord &Rec : A.Campaign.Records) {
-    const FeatureVector &FV = A.Features.at(Rec.InstructionId);
-    std::vector<double> X =
-        A.Scaler.transform(std::vector<double>(FV.begin(), FV.end()));
-    A.IpasData.add(X, Rec.Result == Outcome::SOC ? 1 : -1);
-    A.BaselineData.add(std::move(X), isSymptom(Rec.Result) ? 1 : -1);
+  {
+    obs::PhaseSpan Span("training.labeling");
+    for (const InjectionRecord &Rec : A.Campaign.Records) {
+      const FeatureVector &FV = A.Features.at(Rec.InstructionId);
+      std::vector<double> X =
+          A.Scaler.transform(std::vector<double>(FV.begin(), FV.end()));
+      A.IpasData.add(X, Rec.Result == Outcome::SOC ? 1 : -1);
+      A.BaselineData.add(std::move(X), isSymptom(Rec.Result) ? 1 : -1);
+    }
   }
 
   // Step 3: grid search ranked by F-score (Eq. 1).
   if (RunGridSearch) {
+    obs::PhaseSpan Span("training.grid_search");
     GridSearchConfig GC = Cfg.Grid;
     GC.Seed = Cfg.Seed ^ 0x62d5;
     auto TruncateTopN = [&](std::vector<RankedConfig> All) {
@@ -164,9 +173,7 @@ TrainingArtifacts IpasPipeline::collectAndTrain(bool RunGridSearch) {
     A.BaselineConfigs = TruncateTopN(gridSearch(A.BaselineData, GC));
   }
 
-  A.TrainSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
-          .count();
+  A.TrainSeconds = Training.seconds();
   return A;
 }
 
@@ -194,19 +201,33 @@ IpasPipeline::selectInstructions(Technique T, const SvmParams &P,
 }
 
 WorkloadEvaluation IpasPipeline::run() {
+  obs::PhaseSpan Pipeline("pipeline",
+                          obs::AttrSet().add("workload", W.name()));
+  obs::TraceSink::event("pipeline.begin",
+                        obs::AttrSet()
+                            .add("workload", W.name())
+                            .addHex("seed", Cfg.Seed)
+                            .add("train_samples",
+                                 static_cast<uint64_t>(Cfg.TrainSamples))
+                            .add("eval_runs",
+                                 static_cast<uint64_t>(Cfg.EvalRuns)));
   WorkloadEvaluation WE;
   WE.WorkloadName = W.name();
-  WE.LinesOfCode = Lexer::countCodeLines(W.source());
   {
+    obs::PhaseSpan Setup("pipeline.setup");
+    WE.LinesOfCode = Lexer::countCodeLines(W.source());
     ProtectedModule Unprot = protectNone();
     WE.StaticInstructions = Unprot.M->numInstructions();
   }
 
   WE.Training = collectAndTrain();
 
+  obs::PhaseSpan Evaluation("pipeline.evaluation");
+
   // Reference variants.
   ProtectedModule Unprot = protectNone();
-  CampaignResult UnprotCampaign = evaluate(Unprot, Cfg.Seed ^ 0xE0);
+  CampaignResult UnprotCampaign =
+      evaluate(Unprot, Cfg.Seed ^ 0xE0, 0, "unprotected");
   double UnprotSoc = UnprotCampaign.fraction(Outcome::SOC);
   double UnprotCleanSteps =
       static_cast<double>(UnprotCampaign.CleanSteps);
@@ -214,6 +235,10 @@ WorkloadEvaluation IpasPipeline::run() {
   auto MakeVariant = [&](std::string Label, Technique T,
                          const RankedConfig &RC, ProtectedModule PM,
                          uint64_t Seed) {
+    obs::PhaseSpan Span("pipeline.variant",
+                        obs::AttrSet()
+                            .add("label", Label)
+                            .add("technique", techniqueName(T)));
     VariantEvaluation V;
     V.Label = std::move(Label);
     V.Tech = T;
@@ -221,12 +246,15 @@ WorkloadEvaluation IpasPipeline::run() {
     V.Dup = PM.Stats;
     V.Campaign = T == Technique::Unprotected
                      ? UnprotCampaign
-                     : evaluate(PM, Seed);
+                     : evaluate(PM, Seed, 0, V.Label);
     V.Slowdown = static_cast<double>(V.Campaign.CleanSteps) /
                  UnprotCleanSteps;
     double Soc = V.Campaign.fraction(Outcome::SOC);
     V.SocReductionPct =
         UnprotSoc > 0.0 ? 100.0 * (UnprotSoc - Soc) / UnprotSoc : 0.0;
+    Span.addAttr(obs::AttrSet()
+                     .add("slowdown", V.Slowdown)
+                     .add("soc_reduction_pct", V.SocReductionPct));
     WE.Variants.push_back(std::move(V));
   };
 
@@ -239,12 +267,11 @@ WorkloadEvaluation IpasPipeline::run() {
   // application and the transform, not the evaluation campaigns (which in
   // the paper run as separate parallel fault-injection jobs).
   auto TimedProtect = [&](Technique T, const RankedConfig &RC) {
-    auto T0 = std::chrono::steady_clock::now();
+    obs::PhaseSpan Span("pipeline.protect",
+                        obs::AttrSet().add("technique", techniqueName(T)));
     std::set<unsigned> Ids = selectInstructions(T, RC.Params, WE.Training);
     ProtectedModule PM = protect(Ids);
-    WE.DuplicateSeconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
-            .count();
+    WE.DuplicateSeconds += Span.seconds();
     return PM;
   };
   for (unsigned K = 0; K != WE.Training.IpasConfigs.size(); ++K) {
@@ -258,6 +285,13 @@ WorkloadEvaluation IpasPipeline::run() {
                 RC, TimedProtect(Technique::Baseline, RC),
                 Cfg.Seed ^ (0x200 + K));
   }
+  obs::TraceSink::event(
+      "pipeline.done",
+      obs::AttrSet()
+          .add("workload", WE.WorkloadName)
+          .add("variants", static_cast<uint64_t>(WE.Variants.size()))
+          .add("train_seconds", WE.Training.TrainSeconds)
+          .add("duplicate_seconds", WE.DuplicateSeconds));
   return WE;
 }
 

@@ -127,9 +127,11 @@ public:
   ProtectedModule protectAll() const;
   ProtectedModule protectNone() const;
 
-  /// Campaign over a (protected) module at the configured scale.
+  /// Campaign over a (protected) module at the configured scale. \p Label
+  /// names the campaign in trace records and progress lines.
   CampaignResult evaluate(const ProtectedModule &PM, uint64_t Seed,
-                          int InputLevel = 0) const;
+                          int InputLevel = 0,
+                          const std::string &Label = std::string()) const;
 
   /// Clean-run slowdown of \p PM versus the unprotected module with
   /// \p NumRanks MPI ranks (critical-path cycle ratio). Figure 8.

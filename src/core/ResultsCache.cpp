@@ -6,6 +6,9 @@
 
 #include "core/ResultsCache.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -208,10 +211,19 @@ void ipas::storeCachedEvaluation(const WorkloadEvaluation &WE,
 
 WorkloadEvaluation ipas::evaluateWorkloadCached(const Workload &W,
                                                 const PipelineConfig &Cfg) {
-  if (auto Cached = loadCachedEvaluation(W.name(), Cfg))
+  auto &Reg = obs::MetricsRegistry::global();
+  if (auto Cached = loadCachedEvaluation(W.name(), Cfg)) {
+    Reg.counter("cache.hits").inc();
+    obs::TraceSink::event("cache.hit",
+                          obs::AttrSet().add("workload", W.name()));
     return *Cached;
+  }
+  Reg.counter("cache.misses").inc();
+  obs::TraceSink::event("cache.miss",
+                        obs::AttrSet().add("workload", W.name()));
   IpasPipeline Pipeline(W, Cfg);
   WorkloadEvaluation WE = Pipeline.run();
   storeCachedEvaluation(WE, Cfg);
+  Reg.counter("cache.stores").inc();
   return WE;
 }

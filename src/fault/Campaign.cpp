@@ -6,6 +6,10 @@
 
 #include "fault/Campaign.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -47,19 +51,54 @@ Outcome ipas::classifyOutcome(const ExecutionRecord &R) {
   return Outcome::Crash;
 }
 
+namespace {
+
+/// Pre-resolved metric handles (name lookup once per process).
+struct FaultMetrics {
+  obs::Counter &Campaigns;
+  obs::Counter &Runs;
+  obs::Counter &PrunedRuns;
+  obs::Counter *ByOutcome[NumOutcomes];
+  obs::Histogram &RunMicros;
+
+  static FaultMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static FaultMetrics M{
+        Reg.counter("fault.campaigns"),
+        Reg.counter("fault.runs"),
+        Reg.counter("fault.pruned_runs"),
+        {
+            &Reg.counter("fault.outcome.crash"),
+            &Reg.counter("fault.outcome.hang"),
+            &Reg.counter("fault.outcome.detected"),
+            &Reg.counter("fault.outcome.masked"),
+            &Reg.counter("fault.outcome.soc"),
+        },
+        Reg.histogram("fault.run_micros"),
+    };
+    return M;
+  }
+};
+
+} // namespace
+
 CampaignResult ipas::runCampaign(ProgramHarness &Harness,
                                  const ModuleLayout &Layout,
                                  const CampaignConfig &Cfg) {
   CampaignResult Result;
 
+  const char *Label = Cfg.Label.empty() ? "campaign" : Cfg.Label.c_str();
+  obs::PhaseSpan Span("campaign",
+                      obs::AttrSet().add("label", Label));
+
   // Clean profiling run: establishes the golden step counts and checks the
   // program is correct to begin with.
   ExecutionRecord Clean = Harness.execute(Layout, nullptr, UINT64_MAX);
   if (Clean.Status != RunStatus::Finished || !Clean.OutputValid) {
-    std::fprintf(stderr,
-                 "fatal: clean run failed (%s) — refusing to inject faults "
-                 "into a broken program\n",
-                 runStatusName(Clean.Status));
+    obs::logMessage(obs::Severity::Error,
+                    "fatal: clean run failed (%s) — refusing to inject "
+                    "faults into a broken program",
+                    runStatusName(Clean.Status));
     std::abort();
   }
   Result.CleanSteps = Clean.Steps;
@@ -70,6 +109,21 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
       Cfg.HangFactor * static_cast<double>(Clean.Steps));
   if (Budget < Clean.Steps + 1000)
     Budget = Clean.Steps + 1000;
+
+  // Everything needed to re-run this campaign bit-identically lives in
+  // this one event (plus the harness identity the driver records in the
+  // trace header): seed, run count, hang budget, and the prune decision.
+  obs::TraceSink::event(
+      "campaign.begin",
+      obs::AttrSet()
+          .add("label", Label)
+          .addHex("seed", Cfg.Seed)
+          .add("runs", static_cast<uint64_t>(Cfg.NumRuns))
+          .add("hang_factor", Cfg.HangFactor)
+          .add("threads", Cfg.NumThreads)
+          .add("prune", Cfg.ProvablyBenign != nullptr)
+          .add("clean_steps", Clean.Steps)
+          .add("clean_value_steps", Clean.ValueSteps));
 
   // Draw every plan up front so results do not depend on the thread
   // count or scheduling.
@@ -107,25 +161,57 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
     }
   }
 
+  const bool Stats = obs::statsEnabled();
+  const bool TraceRuns = Cfg.TraceRuns && obs::TraceSink::enabled();
+  size_t Every = Cfg.ProgressEvery ? Cfg.ProgressEvery : Cfg.NumRuns / 10;
+  if (Every == 0)
+    Every = 1;
+  std::atomic<size_t> Done{0};
+
   Result.Records.assign(Cfg.NumRuns, InjectionRecord());
   auto RunOne = [&](size_t Run) {
     const FaultPlan &Plan = Plans[Run];
+    InjectionRecord &Rec = Result.Records[Run];
     if (Pruned[Run]) {
-      InjectionRecord &Rec = Result.Records[Run];
       Rec.InstructionId = Trace[Plan.TargetValueStep];
       Rec.BitIndex = static_cast<unsigned>(Plan.BitDraw % 64);
       Rec.TargetValueStep = Plan.TargetValueStep;
       Rec.Result = Outcome::Masked;
-      return;
+    } else {
+      uint64_t T0 = Stats ? obs::monotonicMicros() : 0;
+      ExecutionRecord R = Harness.execute(Layout, &Plan, Budget);
+      assert((R.Status != RunStatus::Finished || R.FaultInjected) &&
+             "the clean prefix must always reach the target step");
+      Rec.InstructionId = R.FaultedInstructionId;
+      Rec.BitIndex = static_cast<unsigned>(Plan.BitDraw % 64);
+      Rec.TargetValueStep = Plan.TargetValueStep;
+      Rec.Result = classifyOutcome(R);
+      if (Stats) {
+        uint64_t Us = obs::monotonicMicros() - T0;
+        FaultMetrics::get().RunMicros.observe(Us);
+        if (TraceRuns)
+          obs::TraceSink::event(
+              "campaign.run",
+              obs::AttrSet()
+                  .add("label", Label)
+                  .add("run", static_cast<uint64_t>(Run))
+                  .add("inst", Rec.InstructionId)
+                  .add("bit", Rec.BitIndex)
+                  .add("outcome", outcomeName(Rec.Result))
+                  .add("us", Us));
+      }
     }
-    ExecutionRecord R = Harness.execute(Layout, &Plan, Budget);
-    assert((R.Status != RunStatus::Finished || R.FaultInjected) &&
-           "the clean prefix must always reach the target step");
-    InjectionRecord &Rec = Result.Records[Run];
-    Rec.InstructionId = R.FaultedInstructionId;
-    Rec.BitIndex = static_cast<unsigned>(Plan.BitDraw % 64);
-    Rec.TargetValueStep = Plan.TargetValueStep;
-    Rec.Result = classifyOutcome(R);
+    size_t Finished = Done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Finished % Every == 0 && Finished != Cfg.NumRuns) {
+      obs::logMessage(obs::Severity::Info, "%s: %zu/%zu runs", Label,
+                      Finished, Cfg.NumRuns);
+      obs::TraceSink::event("campaign.progress",
+                            obs::AttrSet()
+                                .add("label", Label)
+                                .add("done", static_cast<uint64_t>(Finished))
+                                .add("runs",
+                                     static_cast<uint64_t>(Cfg.NumRuns)));
+    }
   };
 
   unsigned Threads = Cfg.NumThreads;
@@ -146,5 +232,25 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
 
   for (const InjectionRecord &Rec : Result.Records)
     ++Result.Counts[static_cast<size_t>(Rec.Result)];
+  Result.WallSeconds = Span.seconds();
+
+  if (Stats) {
+    FaultMetrics &M = FaultMetrics::get();
+    M.Campaigns.inc();
+    M.Runs.inc(Cfg.NumRuns);
+    M.PrunedRuns.inc(Result.PrunedRuns);
+    for (size_t O = 0; O != NumOutcomes; ++O)
+      M.ByOutcome[O]->inc(Result.Counts[O]);
+  }
+  obs::AttrSet DoneAttrs;
+  DoneAttrs.add("label", Label)
+      .add("runs", static_cast<uint64_t>(Cfg.NumRuns))
+      .add("pruned", static_cast<uint64_t>(Result.PrunedRuns))
+      .add("seconds", Result.WallSeconds);
+  for (size_t O = 0; O != NumOutcomes; ++O)
+    DoneAttrs.add(outcomeName(static_cast<Outcome>(O)),
+                  static_cast<uint64_t>(Result.Counts[O]));
+  obs::TraceSink::event("campaign.done", DoneAttrs);
+  Span.addAttr(DoneAttrs);
   return Result;
 }

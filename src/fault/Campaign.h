@@ -46,6 +46,19 @@ struct CampaignConfig {
   /// bit-identical. Requires a harness that supports traceValueSteps();
   /// null (or an unsupported harness) disables pruning.
   const std::vector<bool> *ProvablyBenign = nullptr;
+  /// Telemetry label carried on every trace record and progress line —
+  /// drivers pass the technique/variant name (empty means "campaign").
+  /// Together with Seed and ProvablyBenign it is recorded in the
+  /// `campaign.begin` trace event, so a campaign is reproducible from
+  /// its trace file alone.
+  std::string Label;
+  /// Emit a progress log line (Info severity, so -q silences it) and
+  /// trace event every N completed runs; 0 picks one tenth of the
+  /// campaign.
+  size_t ProgressEvery = 0;
+  /// Emit one `campaign.run` trace record (outcome + latency) per
+  /// injection when a trace sink is open.
+  bool TraceRuns = true;
 };
 
 /// One injection and its classified outcome.
@@ -65,6 +78,9 @@ struct CampaignResult {
   /// Injection-site pruning statistics (zero when pruning was disabled).
   size_t PrunedRuns = 0;  ///< Runs classified without executing.
   size_t PrunedSites = 0; ///< Distinct benign static instructions hit.
+  /// Wall-clock duration of the whole campaign, including the clean
+  /// profiling run (not serialized by the results cache).
+  double WallSeconds = 0.0;
 
   size_t count(Outcome O) const {
     return Counts[static_cast<size_t>(O)];

@@ -6,9 +6,48 @@
 
 #include "interp/Interpreter.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cmath>
 
 using namespace ipas;
+
+namespace {
+
+/// Pre-resolved global metric handles so the per-context flush costs a
+/// handful of relaxed atomic adds instead of name lookups.
+struct InterpMetrics {
+  obs::Counter *Op[NumOpcodeKinds];
+  obs::Counter *Steps;
+  obs::Counter *ValueSteps;
+  obs::Counter *Runs;
+  obs::Counter *ExecMicros;
+  obs::Counter *MemLoads;
+  obs::Counter *MemStores;
+  obs::Gauge *StepRate;
+
+  InterpMetrics() {
+    auto &R = obs::MetricsRegistry::global();
+    for (unsigned K = 0; K != NumOpcodeKinds; ++K)
+      Op[K] = &R.counter(std::string("interp.op.") +
+                         opcodeName(static_cast<Opcode>(K)));
+    Steps = &R.counter("interp.steps");
+    ValueSteps = &R.counter("interp.value_steps");
+    Runs = &R.counter("interp.runs");
+    ExecMicros = &R.counter("interp.exec_micros");
+    MemLoads = &R.counter("interp.mem.loads");
+    MemStores = &R.counter("interp.mem.stores");
+    StepRate = &R.gauge("interp.steps_per_sec");
+  }
+
+  static InterpMetrics &get() {
+    static InterpMetrics M;
+    return M;
+  }
+};
+
+} // namespace
 
 const char *ipas::runStatusName(RunStatus S) {
   switch (S) {
@@ -74,10 +113,31 @@ ModuleLayout::ModuleLayout(const Module &M) : M(M) {
 ExecutionContext::ExecutionContext(const ModuleLayout &Layout,
                                    const Config &Cfg)
     : Layout(Layout), Cfg(Cfg), Mem(Cfg.Mem),
-      WorkloadRng(Cfg.WorkloadRngSeed) {}
+      WorkloadRng(Cfg.WorkloadRngSeed),
+      CollectStats(obs::statsEnabled()) {}
 
 ExecutionContext::ExecutionContext(const ModuleLayout &Layout)
     : ExecutionContext(Layout, Config()) {}
+
+ExecutionContext::~ExecutionContext() {
+  if (!CollectStats || !Steps)
+    return;
+  InterpMetrics &M = InterpMetrics::get();
+  for (unsigned K = 0; K != NumOpcodeKinds; ++K)
+    if (OpCount[K])
+      M.Op[K]->inc(OpCount[K]);
+  M.Steps->inc(Steps);
+  M.ValueSteps->inc(ValueSteps);
+  M.Runs->inc(1);
+  M.MemLoads->inc(opcodeCount(Opcode::Load));
+  M.MemStores->inc(opcodeCount(Opcode::Store));
+  if (ExecMicros) {
+    M.ExecMicros->inc(ExecMicros);
+    double Secs = static_cast<double>(M.ExecMicros->value()) / 1e6;
+    if (Secs > 0.0)
+      M.StepRate->set(static_cast<double>(M.Steps->value()) / Secs);
+  }
+}
 
 void ExecutionContext::start(const Function *Entry,
                              const std::vector<RtValue> &Args) {
@@ -129,12 +189,22 @@ void ExecutionContext::writeResult(Frame &F, const Instruction *I,
 }
 
 RunStatus ExecutionContext::run(uint64_t MaxSteps) {
-  while (Status == RunStatus::Running) {
-    if (Steps >= MaxSteps)
-      return RunStatus::OutOfSteps;
+  uint64_t T0 = CollectStats ? obs::monotonicMicros() : 0;
+  RunStatus Result;
+  while (true) {
+    if (Status != RunStatus::Running) {
+      Result = Status;
+      break;
+    }
+    if (Steps >= MaxSteps) {
+      Result = RunStatus::OutOfSteps;
+      break;
+    }
     stepOnce();
   }
-  return Status;
+  if (CollectStats)
+    ExecMicros += obs::monotonicMicros() - T0;
+  return Result;
 }
 
 void ExecutionContext::returnFromFrame(bool HasValue, RtValue V) {
@@ -168,6 +238,7 @@ void ExecutionContext::execPhis(Frame &F) {
   }
   for (size_t K = 0; K != NumPhis; ++K) {
     ++Steps;
+    countOp(Opcode::Phi);
     writeResult(F, BB->at(K), Incoming[K]);
   }
   F.InstIdx = NumPhis;
@@ -190,6 +261,7 @@ void ExecutionContext::stepOnce() {
   }
 
   ++Steps;
+  countOp(I->opcode());
   switch (I->opcode()) {
   case Opcode::Add:
   case Opcode::Sub:
@@ -486,6 +558,7 @@ void ExecutionContext::execCall(Frame &F, const CallInst *Call) {
       return;
     }
     ++Steps;
+    countOp(Opcode::Call);
     std::vector<RtValue> Args(Call->numArgs());
     for (unsigned K = 0; K != Call->numArgs(); ++K)
       Args[K] = eval(F, Call->arg(K));
@@ -551,6 +624,7 @@ void ExecutionContext::execIntrinsic(Frame &F, const CallInst *Call) {
       Id == Intrinsic::MpiSize) {
     if (Cfg.NumRanks <= 1) {
       ++Steps;
+      countOp(Opcode::Call);
       if (execMpiSingleRank(F, Call))
         ++F.InstIdx;
       return;
@@ -558,6 +632,7 @@ void ExecutionContext::execIntrinsic(Frame &F, const CallInst *Call) {
     // Rank and size resolve locally even in multi-rank mode.
     if (Id == Intrinsic::MpiRank || Id == Intrinsic::MpiSize) {
       ++Steps;
+      countOp(Opcode::Call);
       writeResult(F, Call,
                   RtValue::fromI64(Id == Intrinsic::MpiRank ? Cfg.Rank
                                                             : Cfg.NumRanks));
@@ -574,6 +649,7 @@ void ExecutionContext::execIntrinsic(Frame &F, const CallInst *Call) {
   }
 
   ++Steps;
+  countOp(Opcode::Call);
   auto Ret = [&](RtValue V) {
     writeResult(F, Call, V);
     ++F.InstIdx;
@@ -663,6 +739,7 @@ void ExecutionContext::completePendingCall(RtValue Result) {
   Frame &F = CallStack.back();
   const auto *Call = cast<CallInst>(F.Block->at(F.InstIdx));
   ++Steps;
+  countOp(Opcode::Call);
   if (Call->producesValue())
     writeResult(F, Call, Result);
   ++F.InstIdx;

@@ -26,6 +26,7 @@
 #include "ir/Module.h"
 #include "support/Random.h"
 
+#include <array>
 #include <map>
 #include <memory>
 #include <vector>
@@ -53,6 +54,9 @@ enum class TrapKind : uint8_t {
 
 const char *runStatusName(RunStatus S);
 const char *trapKindName(TrapKind K);
+
+/// Number of distinct opcodes (for per-opcode execution counters).
+constexpr unsigned NumOpcodeKinds = static_cast<unsigned>(Opcode::Ret) + 1;
 
 /// One planned bit flip: when the running context is about to commit the
 /// result of its TargetValueStep-th value-producing dynamic instruction,
@@ -105,6 +109,11 @@ public:
 
   ExecutionContext(const ModuleLayout &Layout, const Config &Cfg);
   explicit ExecutionContext(const ModuleLayout &Layout);
+  /// Flushes locally collected telemetry (opcode counts, step totals,
+  /// execution time) into the global obs::MetricsRegistry. Collection is
+  /// armed at construction when obs::statsEnabled() is true; otherwise
+  /// the interpreter pays only a dead branch per step.
+  ~ExecutionContext();
 
   /// Prepares execution of \p Entry with the given arguments. The context
   /// must be freshly constructed.
@@ -120,6 +129,11 @@ public:
 
   uint64_t steps() const { return Steps; }
   uint64_t valueSteps() const { return ValueSteps; }
+  /// Dynamic executions of \p Op in this context (all zero unless stats
+  /// collection was enabled when the context was constructed).
+  uint64_t opcodeCount(Opcode Op) const {
+    return OpCount[static_cast<unsigned>(Op)];
+  }
   uint64_t commCost() const { return CommCost; }
   void addCommCost(uint64_t C) { CommCost += C; }
 
@@ -159,6 +173,14 @@ private:
     std::vector<RtValue> Slots;
   };
 
+  /// Per-opcode accounting: a well-predicted dead branch when stats
+  /// collection is off (measured within noise of no instrumentation on
+  /// the campaign workloads).
+  void countOp(Opcode Op) {
+    if (CollectStats)
+      ++OpCount[static_cast<unsigned>(Op)];
+  }
+
   RtValue eval(const Frame &F, const Value *V) const;
   /// Commits a value-producing instruction's result, applying the fault
   /// plan when this is the targeted dynamic instance.
@@ -192,6 +214,10 @@ private:
   std::vector<unsigned> *ValueStepTrace = nullptr;
   PendingMpi Pending;
   bool Started = false;
+  // Telemetry (see ~ExecutionContext).
+  bool CollectStats = false;
+  std::array<uint64_t, NumOpcodeKinds> OpCount{};
+  uint64_t ExecMicros = 0;
 };
 
 } // namespace ipas

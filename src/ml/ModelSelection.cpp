@@ -6,6 +6,9 @@
 
 #include "ml/ModelSelection.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -127,6 +130,16 @@ std::vector<RankedConfig> ipas::gridSearch(const Dataset &D,
   std::vector<double> Gammas =
       logSpace(Cfg.GammaMin, Cfg.GammaMax, Cfg.GammaSteps);
 
+  obs::PhaseSpan Span(
+      "grid_search",
+      obs::AttrSet()
+          .add("configs", static_cast<uint64_t>(Cs.size() * Gammas.size()))
+          .add("folds", Cfg.Folds)
+          .add("samples", static_cast<uint64_t>(D.size())));
+  obs::MetricsRegistry::global()
+      .counter("ml.grid.configs")
+      .inc(Cs.size() * Gammas.size());
+
   std::vector<RankedConfig> Results;
   Results.reserve(Cs.size() * Gammas.size());
   Rng R(Cfg.Seed);
@@ -149,5 +162,10 @@ std::vector<RankedConfig> ipas::gridSearch(const Dataset &D,
                    [](const RankedConfig &A, const RankedConfig &B) {
                      return A.FScore > B.FScore;
                    });
+  if (!Results.empty())
+    Span.addAttr(obs::AttrSet()
+                     .add("best_fscore", Results.front().FScore)
+                     .add("best_c", Results.front().Params.C)
+                     .add("best_gamma", Results.front().Params.Gamma));
   return Results;
 }

@@ -13,6 +13,9 @@
 
 #include "ml/Svm.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -151,15 +154,44 @@ SvmModel ipas::trainCSvc(const Dataset &D, const SvmParams &P) {
   double Bias = FreeCount ? BiasSum / static_cast<double>(FreeCount)
                           : (UpBound + LowBound) / 2.0;
 
+  // Dual objective from the maintained gradient: G = Q alpha - e, so
+  // f(alpha) = 0.5 alpha'Q alpha - e'alpha = 0.5 (alpha'G - e'alpha).
+  double AlphaDotG = 0.0, AlphaSum = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    AlphaDotG += Alpha[I] * G[I];
+    AlphaSum += Alpha[I];
+  }
+  double Objective = 0.5 * (AlphaDotG - AlphaSum);
+
   SvmModel Model;
   Model.Gamma = P.Gamma;
   Model.Bias = Bias;
   Model.Iterations = Iter;
+  Model.FinalObjective = Objective;
   for (size_t I = 0; I != N; ++I)
     if (Alpha[I] > 1e-12) {
       Model.SupportVectors.push_back(D.X[I]);
       Model.Coefficients.push_back(Alpha[I] *
                                    static_cast<double>(D.Y[I]));
     }
+
+  auto &Reg = obs::MetricsRegistry::global();
+  static obs::Counter &Trainings = Reg.counter("ml.svm.trainings");
+  static obs::Counter &Iterations = Reg.counter("ml.svm.iterations");
+  static obs::Histogram &IterHist = Reg.histogram("ml.svm.iterations_hist");
+  Trainings.inc();
+  Iterations.inc(Iter);
+  IterHist.observe(Iter);
+  if (obs::logEnabled(obs::Severity::Debug))
+    obs::TraceSink::event("svm.train",
+                          obs::AttrSet()
+                              .add("samples", static_cast<uint64_t>(N))
+                              .add("c", P.C)
+                              .add("gamma", P.Gamma)
+                              .add("iterations", static_cast<uint64_t>(Iter))
+                              .add("objective", Objective)
+                              .add("support_vectors",
+                                   static_cast<uint64_t>(
+                                       Model.SupportVectors.size())));
   return Model;
 }

@@ -47,6 +47,9 @@ public:
   double bias() const { return Bias; }
   /// Number of SMO iterations the training run used.
   size_t iterationsUsed() const { return Iterations; }
+  /// Final dual objective f(alpha) = 0.5 alpha'Q alpha - e'alpha reached
+  /// by SMO (lower is better; telemetry/diagnostics only).
+  double objective() const { return FinalObjective; }
 
 private:
   friend SvmModel trainCSvc(const Dataset &D, const SvmParams &P);
@@ -56,6 +59,7 @@ private:
   double Bias = 0.0;
   double Gamma = 0.1;
   size_t Iterations = 0;
+  double FinalObjective = 0.0;
 };
 
 /// Trains on \p D (features should be pre-scaled). Requires at least one

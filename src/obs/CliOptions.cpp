@@ -1,0 +1,54 @@
+//===- obs/CliOptions.cpp -------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/CliOptions.h"
+
+#include "obs/Metrics.h"
+#include "support/ArgParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+void obs::addCliFlags(ArgParser &P, CliOptions &O) {
+  P.addString("trace", &O.TracePath,
+              "write a structured JSONL trace to this file");
+  P.addBool("metrics", &O.DumpMetrics,
+            "dump the metrics registry to stderr at exit");
+  P.addBool("v", &O.Verbose, "verbose (Info-level) logging");
+  P.addBool("q", &O.Quiet, "quiet: only Error-level logging");
+}
+
+static void dumpMetricsAtExit() {
+  std::string Text = MetricsRegistry::global().renderText();
+  std::fputs("--- metrics ---\n", stderr);
+  std::fputs(Text.c_str(), stderr);
+}
+
+bool obs::applyCliFlags(const CliOptions &O, const char *ToolName,
+                        AttrSet HeaderAttrs) {
+  if (O.Verbose)
+    setLogLevel(Severity::Info);
+  if (O.Quiet)
+    setLogLevel(Severity::Error);
+  if (O.DumpMetrics) {
+    setStatsEnabled(true);
+    std::atexit(dumpMetricsAtExit);
+  }
+  if (!O.TracePath.empty()) {
+    AttrSet Attrs;
+    Attrs.add("tool", ToolName);
+    Attrs.merge(HeaderAttrs);
+    if (!TraceSink::open(O.TracePath, Attrs)) {
+      std::fprintf(stderr, "error: cannot open trace file '%s'\n",
+                   O.TracePath.c_str());
+      return false;
+    }
+  }
+  return true;
+}

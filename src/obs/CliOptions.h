@@ -1,0 +1,55 @@
+//===- obs/CliOptions.h - Shared telemetry command-line flags -------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard telemetry flag set shared by every driver (ipas-cc, the
+/// campaign examples, benches):
+///
+///   --trace <file>   write a structured JSONL trace (see
+///                    docs/OBSERVABILITY.md); implies stats collection
+///   --metrics        dump the metrics registry to stderr at exit
+///   -v               verbose (Info-level) logging on stderr
+///   -q               quiet: only Error-level logging
+///
+/// Usage: register with addCliFlags() before ArgParser::parse(), then call
+/// applyCliFlags() once parsing succeeded. Teardown (closing the sink,
+/// dumping metrics) is registered with atexit, so early returns are fine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_OBS_CLIOPTIONS_H
+#define IPAS_OBS_CLIOPTIONS_H
+
+#include "obs/Trace.h"
+
+#include <string>
+
+namespace ipas {
+
+class ArgParser;
+
+namespace obs {
+
+struct CliOptions {
+  std::string TracePath;
+  bool DumpMetrics = false;
+  bool Verbose = false;
+  bool Quiet = false;
+};
+
+/// Registers --trace, --metrics, -v, and -q on \p P, bound to \p O.
+void addCliFlags(ArgParser &P, CliOptions &O);
+
+/// Applies parsed flags: sets the log level, enables stats, and opens the
+/// trace sink with \p HeaderAttrs (augmented with \p ToolName). Returns
+/// false (with a message) when the trace file cannot be created.
+bool applyCliFlags(const CliOptions &O, const char *ToolName,
+                   AttrSet HeaderAttrs = AttrSet());
+
+} // namespace obs
+} // namespace ipas
+
+#endif // IPAS_OBS_CLIOPTIONS_H

@@ -1,0 +1,437 @@
+//===- obs/Json.cpp ------------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+void ipas::obs::appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::beforeValue() {
+  if (Stack.empty())
+    return;
+  char &Top = Stack.back();
+  if (Top == 'A') {
+    if (Out.back() != '[')
+      Out += ',';
+  } else {
+    assert(Top == 'o' && "value emitted without a key inside an object");
+    Top = 'O';
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  Out += '{';
+  Stack.push_back('O');
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == 'O' && "unbalanced endObject");
+  Stack.pop_back();
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  Out += '[';
+  Stack.push_back('A');
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == 'A' && "unbalanced endArray");
+  Stack.pop_back();
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back() == 'O' &&
+         "key() outside an object or after a dangling key");
+  if (Out.back() != '{')
+    Out += ',';
+  Out += '"';
+  appendJsonEscaped(Out, K);
+  Out += "\":";
+  Stack.back() = 'o';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view S) {
+  beforeValue();
+  Out += '"';
+  appendJsonEscaped(Out, S);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  beforeValue();
+  char Buf[40];
+  // %.17g round-trips doubles; JSON has no inf/nan, emit null for those.
+  if (V != V || V > 1.7976931348623157e308 || V < -1.7976931348623157e308) {
+    Out += "null";
+    return *this;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  beforeValue();
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::nullValue() {
+  beforeValue();
+  Out += "null";
+  return *this;
+}
+
+JsonWriter &JsonWriter::rawValue(std::string_view Json) {
+  beforeValue();
+  Out += Json;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Members)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+double JsonValue::asNumber() const {
+  if (K != Kind::Number)
+    return 0.0;
+  return IsInt ? static_cast<double>(Int) : Num;
+}
+
+int64_t JsonValue::asI64() const {
+  if (K != Kind::Number)
+    return 0;
+  return IsInt ? Int : static_cast<int64_t>(Num);
+}
+
+uint64_t JsonValue::asU64() const {
+  if (K != Kind::Number)
+    return 0;
+  return IsInt ? UInt : static_cast<uint64_t>(Num);
+}
+
+const std::string &JsonValue::asString() const {
+  static const std::string Empty;
+  return K == Kind::String ? Str : Empty;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : T(Text) {}
+
+  bool parseDocument(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return Pos == T.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < T.size() && (T[Pos] == ' ' || T[Pos] == '\t' ||
+                              T[Pos] == '\n' || T[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < T.size() && T[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Lit) {
+    size_t Len = std::strlen(Lit);
+    if (T.size() - Pos < Len || T.compare(Pos, Len, Lit) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    while (Pos < T.size()) {
+      char C = T[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= T.size())
+        return false;
+      char E = T[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (T.size() - Pos < 4)
+          return false;
+        unsigned Code = 0;
+        for (int K = 0; K != 4; ++K) {
+          char H = T[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return false;
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // produced by our writer; decode them as-is if present).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false; // unterminated string
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos < T.size() &&
+           (std::isdigit(static_cast<unsigned char>(T[Pos])) ||
+            T[Pos] == '.' || T[Pos] == 'e' || T[Pos] == 'E' ||
+            T[Pos] == '+' || T[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    std::string Lit(T.substr(Start, Pos - Start));
+    Out.K = JsonValue::Kind::Number;
+    bool Integral =
+        Lit.find('.') == std::string::npos &&
+        Lit.find('e') == std::string::npos &&
+        Lit.find('E') == std::string::npos;
+    char *End = nullptr;
+    if (Integral) {
+      errno = 0;
+      if (Lit[0] == '-') {
+        long long V = std::strtoll(Lit.c_str(), &End, 10);
+        if (*End == '\0' && errno != ERANGE) {
+          Out.IsInt = true;
+          Out.Int = V;
+          Out.UInt = static_cast<uint64_t>(V);
+          Out.Num = static_cast<double>(V);
+          return true;
+        }
+      } else {
+        unsigned long long V = std::strtoull(Lit.c_str(), &End, 10);
+        if (*End == '\0' && errno != ERANGE) {
+          Out.IsInt = true;
+          Out.UInt = V;
+          Out.Int = static_cast<int64_t>(V);
+          Out.Num = static_cast<double>(V);
+          return true;
+        }
+      }
+    }
+    Out.Num = std::strtod(Lit.c_str(), &End);
+    return End && *End == '\0';
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (++Depth > 128)
+      return false; // nesting bomb guard
+    bool Ok = parseValueImpl(Out);
+    --Depth;
+    return Ok;
+  }
+
+  bool parseValueImpl(JsonValue &Out) {
+    skipWs();
+    if (Pos >= T.size())
+      return false;
+    char C = T[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = JsonValue::Kind::Object;
+      skipWs();
+      if (consume('}'))
+        return true;
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!consume(':'))
+          return false;
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Out.Members.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (consume('}'))
+          return true;
+        if (!consume(','))
+          return false;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = JsonValue::Kind::Array;
+      skipWs();
+      if (consume(']'))
+        return true;
+      while (true) {
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (consume(']'))
+          return true;
+        if (!consume(','))
+          return false;
+      }
+    }
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (literal("true")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return true;
+    }
+    if (literal("false")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return true;
+    }
+    if (literal("null")) {
+      Out.K = JsonValue::Kind::Null;
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  std::string_view T;
+  size_t Pos = 0;
+  int Depth = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> ipas::obs::parseJson(std::string_view Text) {
+  JsonValue V;
+  Parser P(Text);
+  if (!P.parseDocument(V))
+    return std::nullopt;
+  return V;
+}

@@ -1,0 +1,104 @@
+//===- obs/Json.h - Minimal JSON writer and parser ------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON layer sized for the telemetry subsystem: a
+/// streaming writer used to emit JSONL trace records and BENCH_*.json
+/// result files, and a recursive-descent parser used by `ipas-report` to
+/// read them back. Integers up to 64 bits round-trip exactly (they are
+/// written as bare decimal literals and re-parsed with strtoull/strtoll,
+/// never through a double), which matters for RNG seeds recorded in trace
+/// headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_OBS_JSON_H
+#define IPAS_OBS_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ipas {
+namespace obs {
+
+/// Appends \p S to \p Out with JSON string escaping (no surrounding
+/// quotes).
+void appendJsonEscaped(std::string &Out, std::string_view S);
+
+/// A push-style JSON writer. Commas and nesting are managed internally;
+/// callers interleave beginObject()/key()/value()/endObject() calls.
+/// Misuse (e.g. a value without a key inside an object) asserts.
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+  JsonWriter &key(std::string_view K);
+  JsonWriter &value(std::string_view S);
+  JsonWriter &value(const char *S) { return value(std::string_view(S)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(bool V);
+  JsonWriter &nullValue();
+  /// Splices a pre-rendered JSON fragment as the next value.
+  JsonWriter &rawValue(std::string_view Json);
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void beforeValue();
+  std::string Out;
+  /// One frame per open container: 'O' object (expects key), 'o' object
+  /// (expects value), 'A' array.
+  std::vector<char> Stack;
+};
+
+/// A parsed JSON document node. Numbers remember whether the source was
+/// an integral literal so 64-bit values survive the round trip.
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  int64_t Int = 0;     ///< Valid when IsInt (signed view).
+  uint64_t UInt = 0;   ///< Valid when IsInt (unsigned view).
+  bool IsInt = false;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue *get(std::string_view Key) const;
+  /// Numeric coercions (0 on kind mismatch).
+  double asNumber() const;
+  int64_t asI64() const;
+  uint64_t asU64() const;
+  /// String value, or "" on kind mismatch.
+  const std::string &asString() const;
+};
+
+/// Parses one JSON document; nullopt on malformed input or trailing
+/// garbage (surrounding whitespace is allowed).
+std::optional<JsonValue> parseJson(std::string_view Text);
+
+} // namespace obs
+} // namespace ipas
+
+#endif // IPAS_OBS_JSON_H

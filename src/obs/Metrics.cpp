@@ -1,0 +1,153 @@
+//===- obs/Metrics.cpp ---------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+uint64_t Histogram::count() const {
+  uint64_t N = 0;
+  for (const auto &B : Bins)
+    N += B.load(std::memory_order_relaxed);
+  return N;
+}
+
+double Histogram::mean() const {
+  uint64_t N = count();
+  return N ? static_cast<double>(sum()) / static_cast<double>(N) : 0.0;
+}
+
+uint64_t Histogram::approxQuantile(double Q) const {
+  uint64_t N = count();
+  if (!N)
+    return 0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N - 1));
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBins; ++B) {
+    Seen += binCount(B);
+    if (Seen > Rank)
+      return binUpperEdge(B);
+  }
+  return binUpperEdge(NumBins - 1);
+}
+
+void Histogram::reset() {
+  for (auto &B : Bins)
+    B.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Intentionally leaked: trace sinks snapshot the registry from atexit
+  // handlers and subsystem destructors flush into it during static
+  // teardown, so it must outlive every other static.
+  static MetricsRegistry *R = new MetricsRegistry;
+  return *R;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+std::string MetricsRegistry::renderText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  for (const auto &[Name, C] : Counters)
+    OS << Name << " " << C->value() << "\n";
+  OS.precision(6);
+  for (const auto &[Name, G] : Gauges)
+    OS << Name << " " << G->value() << "\n";
+  for (const auto &[Name, H] : Histograms)
+    OS << Name << " count=" << H->count() << " sum=" << H->sum()
+       << " mean=" << H->mean() << " p50~" << H->approxQuantile(0.5)
+       << " p95~" << H->approxQuantile(0.95) << "\n";
+  return OS.str();
+}
+
+void MetricsRegistry::writeJson(JsonWriter &W) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  W.beginObject();
+  W.key("counters").beginObject();
+  for (const auto &[Name, C] : Counters)
+    W.key(Name).value(C->value());
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const auto &[Name, G] : Gauges)
+    W.key(Name).value(G->value());
+  W.endObject();
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name).beginObject();
+    W.key("count").value(H->count());
+    W.key("sum").value(H->sum());
+    W.key("mean").value(H->mean());
+    W.key("bins").beginArray();
+    for (unsigned B = 0; B != Histogram::NumBins; ++B) {
+      uint64_t N = H->binCount(B);
+      if (!N)
+        continue;
+      W.beginArray()
+          .value(Histogram::binLowerEdge(B))
+          .value(Histogram::binUpperEdge(B))
+          .value(N)
+          .endArray();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+static std::atomic<bool> StatsOn{false};
+
+bool ipas::obs::statsEnabled() {
+  return StatsOn.load(std::memory_order_relaxed);
+}
+
+void ipas::obs::setStatsEnabled(bool On) {
+  StatsOn.store(On, std::memory_order_relaxed);
+}

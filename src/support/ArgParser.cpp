@@ -6,6 +6,7 @@
 
 #include "support/ArgParser.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -85,6 +86,25 @@ bool ArgParser::parse(int Argc, const char *const *Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--", 0) != 0) {
+      // Short flags: `-v` matches a registered one-character flag. The
+      // alpha guard keeps negative-number positionals (e.g. `-3`) intact.
+      if (Arg.size() == 2 && Arg[0] == '-' &&
+          std::isalpha(static_cast<unsigned char>(Arg[1])) &&
+          findFlag(Arg.substr(1))) {
+        Flag *F = findFlag(Arg.substr(1));
+        if (F->Kind == FlagKind::Bool) {
+          *static_cast<bool *>(F->Storage) = true;
+          continue;
+        }
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "error: flag -%s requires a value\n",
+                       F->Name.c_str());
+          return false;
+        }
+        if (!assign(*F, Argv[++I]))
+          return false;
+        continue;
+      }
       Positionals.push_back(Arg);
       continue;
     }
@@ -132,7 +152,7 @@ std::string ArgParser::usage() const {
   std::ostringstream OS;
   OS << Description << "\n\nFlags:\n";
   for (const Flag &F : Flags) {
-    OS << "  --" << F.Name;
+    OS << (F.Name.size() == 1 ? "  -" : "  --") << F.Name;
     switch (F.Kind) {
     case FlagKind::Int:
       OS << " <int>";

@@ -6,7 +6,8 @@
 ///
 /// \file
 /// A small `--flag value` / `--flag=value` / `--switch` parser shared by the
-/// benchmark harnesses and example tools. Unknown flags are reported and
+/// benchmark harnesses and example tools. One-character flags also match
+/// with a single dash (`-v`, `-q`). Unknown flags are reported and
 /// cause parse() to fail so that typos do not silently change experiments.
 ///
 //===----------------------------------------------------------------------===//

@@ -22,6 +22,7 @@
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "obs/CliOptions.h"
 #include "support/ArgParser.h"
 #include "transform/ConstantFold.h"
 #include "transform/DCE.h"
@@ -82,6 +83,8 @@ int main(int Argc, char **Argv) {
            "inject a bit flip at this value-producing dynamic step");
   P.addInt("fault-bit", &FaultBit, "bit to flip (modulo result width)");
   P.addInt("max-steps", &MaxSteps, "step budget (hang guard)");
+  obs::CliOptions Obs;
+  obs::addCliFlags(P, Obs);
   if (!P.parse(Argc, Argv))
     return 2;
   if (P.positionals().size() != 1) {
@@ -89,6 +92,9 @@ int main(int Argc, char **Argv) {
                  P.usage().c_str());
     return 2;
   }
+  if (!obs::applyCliFlags(Obs, "ipas-cc",
+                          obs::AttrSet().add("input", P.positionals()[0])))
+    return 2;
 
   std::ifstream In(P.positionals()[0]);
   if (!In) {
@@ -99,12 +105,15 @@ int main(int Argc, char **Argv) {
   std::ostringstream SS;
   SS << In.rdbuf();
 
-  Diagnostics Diags;
-  std::unique_ptr<Module> M =
-      compileMiniC(SS.str(), P.positionals()[0], Diags);
-  if (!M) {
-    std::fprintf(stderr, "%s\n", Diags.summary().c_str());
-    return 1;
+  std::unique_ptr<Module> M;
+  {
+    obs::PhaseSpan Span("cc.compile");
+    Diagnostics Diags;
+    M = compileMiniC(SS.str(), P.positionals()[0], Diags);
+    if (!M) {
+      std::fprintf(stderr, "%s\n", Diags.summary().c_str());
+      return 1;
+    }
   }
   // The pass pipeline. With --verify-each, verifyModule runs after every
   // pass so a verifier failure names the pass that introduced it instead
@@ -113,7 +122,10 @@ int main(int Argc, char **Argv) {
   auto RunPass = [&](const char *Name, auto &&Pass) {
     if (PipelineBroken)
       return;
-    Pass();
+    {
+      obs::PhaseSpan Span("cc.pass", obs::AttrSet().add("pass", Name));
+      Pass();
+    }
     if (!VerifyEach)
       return;
     std::vector<std::string> Errs = verifyModule(*M);
@@ -189,9 +201,16 @@ int main(int Argc, char **Argv) {
     Plan.BitDraw = static_cast<uint64_t>(FaultBit);
     Ctx.setFaultPlan(Plan);
   }
-  Ctx.start(F, Args);
-  RunStatus S = Ctx.run(
-      MaxSteps > 0 ? static_cast<uint64_t>(MaxSteps) : UINT64_MAX);
+  RunStatus S;
+  {
+    obs::PhaseSpan Span("cc.run", obs::AttrSet().add("function", RunFn));
+    Ctx.start(F, Args);
+    S = Ctx.run(MaxSteps > 0 ? static_cast<uint64_t>(MaxSteps)
+                             : UINT64_MAX);
+    Span.addAttr(obs::AttrSet()
+                     .add("status", runStatusName(S))
+                     .add("steps", Ctx.steps()));
+  }
 
   switch (S) {
   case RunStatus::Finished: {

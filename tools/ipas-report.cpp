@@ -1,0 +1,380 @@
+//===- tools/ipas-report.cpp - Render and validate JSONL traces -----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Renders an IPAS telemetry trace (docs/OBSERVABILITY.md) as a terminal
+/// report, or validates it structurally:
+///
+///   ipas-report trace.jsonl              # phase times, outcomes, opcodes
+///   ipas-report trace.jsonl --check      # well-formedness + span nesting
+///   ipas-report trace.jsonl --top 20     # more rows in the opcode table
+///
+/// The report shows the phase-time breakdown (top-level spans aggregated
+/// by name with min/mean/max), the campaign outcome histogram, and the
+/// hottest interpreter opcodes — everything derived from the trace file
+/// alone, so it works on traces from any machine.
+///
+/// --check exits nonzero when any line fails to parse, the header is
+/// missing or out of place, span intervals partially overlap on a thread
+/// (spans must nest), or a span's duration is inconsistent with its
+/// endpoints. The CTest suite runs it over a fresh ipas-cc trace.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "support/ArgParser.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+namespace {
+
+struct SpanRec {
+  std::string Name;
+  std::string Parent;
+  int Tid = 0;
+  unsigned Depth = 0;
+  uint64_t StartUs = 0;
+  uint64_t EndUs = 0;
+  uint64_t DurUs = 0;
+};
+
+struct TraceData {
+  bool HaveHeader = false;
+  JsonValue Header;
+  std::vector<SpanRec> Spans;
+  std::map<std::string, uint64_t> EventCounts;
+  /// Flattened counters from the final `metrics` record.
+  std::map<std::string, uint64_t> Counters;
+  size_t Records = 0;
+  uint64_t FirstTs = UINT64_MAX;
+  uint64_t LastTs = 0;
+};
+
+struct Checker {
+  int Violations = 0;
+
+  void fail(size_t Line, const char *Fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+      __attribute__((format(printf, 3, 4)))
+#endif
+      ;
+};
+
+void Checker::fail(size_t Line, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  std::fprintf(stderr, "ipas-report: line %zu: %s\n", Line, Buf);
+  ++Violations;
+}
+
+uint64_t tsOf(const JsonValue &R) {
+  const JsonValue *Ts = R.get("ts_us");
+  return Ts ? Ts->asU64() : 0;
+}
+
+bool loadTrace(const std::string &Path, TraceData &T, Checker &C) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "ipas-report: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::optional<JsonValue> Parsed = parseJson(Line);
+    if (!Parsed) {
+      C.fail(LineNo, "malformed JSON");
+      continue;
+    }
+    if (!Parsed->isObject()) {
+      C.fail(LineNo, "record is not a JSON object");
+      continue;
+    }
+    ++T.Records;
+    const JsonValue *Type = Parsed->get("type");
+    if (!Type || !Type->isString()) {
+      C.fail(LineNo, "record has no string 'type'");
+      continue;
+    }
+    const std::string &Kind = Type->asString();
+
+    if (Kind == "header") {
+      if (T.HaveHeader)
+        C.fail(LineNo, "duplicate header record");
+      else if (T.Records != 1)
+        C.fail(LineNo, "header is not the first record");
+      T.HaveHeader = true;
+      T.Header = *Parsed;
+    } else if (Kind == "span") {
+      SpanRec S;
+      if (const JsonValue *V = Parsed->get("name"))
+        S.Name = V->asString();
+      if (const JsonValue *V = Parsed->get("parent"))
+        S.Parent = V->asString();
+      if (const JsonValue *V = Parsed->get("tid"))
+        S.Tid = static_cast<int>(V->asI64());
+      if (const JsonValue *V = Parsed->get("depth"))
+        S.Depth = static_cast<unsigned>(V->asU64());
+      if (const JsonValue *V = Parsed->get("start_us"))
+        S.StartUs = V->asU64();
+      if (const JsonValue *V = Parsed->get("end_us"))
+        S.EndUs = V->asU64();
+      if (const JsonValue *V = Parsed->get("dur_us"))
+        S.DurUs = V->asU64();
+      if (S.Name.empty())
+        C.fail(LineNo, "span without a name");
+      if (S.EndUs < S.StartUs)
+        C.fail(LineNo, "span '%s' ends before it starts", S.Name.c_str());
+      else if (S.DurUs != S.EndUs - S.StartUs)
+        C.fail(LineNo, "span '%s' duration %" PRIu64
+                       " != end-start %" PRIu64,
+               S.Name.c_str(), S.DurUs, S.EndUs - S.StartUs);
+      T.FirstTs = std::min(T.FirstTs, S.StartUs);
+      T.LastTs = std::max(T.LastTs, S.EndUs);
+      T.Spans.push_back(std::move(S));
+      continue; // span timestamps handled above
+    } else if (Kind == "event") {
+      const JsonValue *Name = Parsed->get("name");
+      if (!Name || !Name->isString())
+        C.fail(LineNo, "event without a name");
+      else
+        ++T.EventCounts[Name->asString()];
+    } else if (Kind == "log") {
+      if (!Parsed->get("msg"))
+        C.fail(LineNo, "log record without 'msg'");
+    } else if (Kind == "metrics") {
+      const JsonValue *M = Parsed->get("metrics");
+      const JsonValue *Counters = M ? M->get("counters") : nullptr;
+      if (!Counters)
+        C.fail(LineNo, "metrics record without counters");
+      else
+        for (const auto &[Name, V] : Counters->Members)
+          T.Counters[Name] = V.asU64();
+    } else {
+      C.fail(LineNo, "unknown record type '%s'", Kind.c_str());
+    }
+    uint64_t Ts = tsOf(*Parsed);
+    if (Ts) {
+      T.FirstTs = std::min(T.FirstTs, Ts);
+      T.LastTs = std::max(T.LastTs, Ts);
+    }
+  }
+  if (!T.HaveHeader)
+    C.fail(0, "trace has no header record");
+  return true;
+}
+
+/// Spans on one thread must form a laminar family: any two intervals are
+/// either disjoint or one contains the other. Sort by (start asc, end
+/// desc) and sweep with a stack of enclosing intervals.
+void checkNesting(const TraceData &T, Checker &C) {
+  std::map<int, std::vector<const SpanRec *>> ByTid;
+  for (const SpanRec &S : T.Spans)
+    ByTid[S.Tid].push_back(&S);
+  for (auto &[Tid, Spans] : ByTid) {
+    std::stable_sort(Spans.begin(), Spans.end(),
+                     [](const SpanRec *A, const SpanRec *B) {
+                       if (A->StartUs != B->StartUs)
+                         return A->StartUs < B->StartUs;
+                       return A->EndUs > B->EndUs;
+                     });
+    std::vector<const SpanRec *> Open;
+    for (const SpanRec *S : Spans) {
+      while (!Open.empty() && Open.back()->EndUs <= S->StartUs)
+        Open.pop_back();
+      if (!Open.empty() && S->EndUs > Open.back()->EndUs)
+        C.fail(0,
+               "tid %d: span '%s' [%" PRIu64 ", %" PRIu64
+               "] partially overlaps '%s' [%" PRIu64 ", %" PRIu64 "]",
+               Tid, S->Name.c_str(), S->StartUs, S->EndUs,
+               Open.back()->Name.c_str(), Open.back()->StartUs,
+               Open.back()->EndUs);
+      Open.push_back(S);
+    }
+  }
+}
+
+std::string formatUs(uint64_t Us) {
+  char Buf[32];
+  if (Us >= 1000000)
+    std::snprintf(Buf, sizeof(Buf), "%.2fs", static_cast<double>(Us) / 1e6);
+  else if (Us >= 1000)
+    std::snprintf(Buf, sizeof(Buf), "%.2fms",
+                  static_cast<double>(Us) / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64 "us", Us);
+  return Buf;
+}
+
+void printReport(const TraceData &T, int64_t TopN) {
+  if (T.HaveHeader) {
+    std::printf("trace header:\n");
+    if (const JsonValue *Attrs = T.Header.get("attrs"))
+      for (const auto &[K, V] : Attrs->Members) {
+        std::string Rendered;
+        if (V.isString())
+          Rendered = V.asString();
+        else if (V.K == JsonValue::Kind::Bool)
+          Rendered = V.B ? "true" : "false";
+        else if (V.IsInt)
+          Rendered = std::to_string(V.UInt);
+        else if (V.isNumber())
+          Rendered = std::to_string(V.Num);
+        else
+          Rendered = "<value>";
+        std::printf("  %-18s %s\n", K.c_str(), Rendered.c_str());
+      }
+    std::printf("\n");
+  }
+
+  uint64_t Wall = T.LastTs > T.FirstTs ? T.LastTs - T.FirstTs : 0;
+
+  // Phase breakdown: aggregate spans by name. Percentages are of wall
+  // time and only meaningful for non-overlapping phases, so the table is
+  // sorted by total time with nested spans indented by minimum depth.
+  struct Agg {
+    uint64_t Total = 0, Min = UINT64_MAX, Max = 0;
+    size_t Count = 0;
+    unsigned MinDepth = UINT32_MAX;
+  };
+  std::map<std::string, Agg> Phases;
+  for (const SpanRec &S : T.Spans) {
+    Agg &A = Phases[S.Name];
+    A.Total += S.DurUs;
+    A.Min = std::min(A.Min, S.DurUs);
+    A.Max = std::max(A.Max, S.DurUs);
+    A.MinDepth = std::min(A.MinDepth, S.Depth);
+    ++A.Count;
+  }
+  if (!Phases.empty()) {
+    std::vector<std::pair<std::string, Agg>> Rows(Phases.begin(),
+                                                  Phases.end());
+    std::stable_sort(Rows.begin(), Rows.end(),
+                     [](const auto &A, const auto &B) {
+                       if (A.second.MinDepth != B.second.MinDepth)
+                         return A.second.MinDepth < B.second.MinDepth;
+                       return A.second.Total > B.second.Total;
+                     });
+    std::printf("phase breakdown (wall %s):\n", formatUs(Wall).c_str());
+    std::printf("  %-28s %6s %10s %10s %10s %7s\n", "phase", "count",
+                "total", "mean", "max", "% wall");
+    for (const auto &[Name, A] : Rows) {
+      std::string Indented(2 * (A.MinDepth > 0 ? A.MinDepth - 1 : 0), ' ');
+      Indented += Name;
+      std::printf("  %-28s %6zu %10s %10s %10s %6.1f%%\n",
+                  Indented.c_str(), A.Count, formatUs(A.Total).c_str(),
+                  formatUs(A.Total / A.Count).c_str(),
+                  formatUs(A.Max).c_str(),
+                  Wall ? 100.0 * static_cast<double>(A.Total) /
+                             static_cast<double>(Wall)
+                       : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  // Outcome histogram from the final metrics snapshot.
+  static const char *const Outcomes[] = {"crash", "hang", "detected",
+                                         "masked", "soc"};
+  uint64_t OutcomeTotal = 0;
+  for (const char *O : Outcomes) {
+    auto It = T.Counters.find(std::string("fault.outcome.") + O);
+    if (It != T.Counters.end())
+      OutcomeTotal += It->second;
+  }
+  if (OutcomeTotal) {
+    std::printf("campaign outcomes (%" PRIu64 " runs):\n", OutcomeTotal);
+    for (const char *O : Outcomes) {
+      auto It = T.Counters.find(std::string("fault.outcome.") + O);
+      uint64_t N = It != T.Counters.end() ? It->second : 0;
+      int Bar = static_cast<int>(
+          50.0 * static_cast<double>(N) / static_cast<double>(OutcomeTotal));
+      std::printf("  %-10s %8" PRIu64 " %6.2f%% %s\n", O, N,
+                  100.0 * static_cast<double>(N) /
+                      static_cast<double>(OutcomeTotal),
+                  std::string(static_cast<size_t>(Bar), '#').c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Hottest opcodes from interp.op.* counters.
+  std::vector<std::pair<uint64_t, std::string>> Ops;
+  for (const auto &[Name, V] : T.Counters)
+    if (Name.rfind("interp.op.", 0) == 0)
+      Ops.push_back({V, Name.substr(10)});
+  if (!Ops.empty()) {
+    std::sort(Ops.rbegin(), Ops.rend());
+    uint64_t Total = 0;
+    for (const auto &[N, Op] : Ops)
+      Total += N;
+    std::printf("hottest opcodes (%" PRIu64 " executed):\n", Total);
+    size_t Limit = TopN > 0 ? static_cast<size_t>(TopN) : Ops.size();
+    for (size_t K = 0; K != std::min(Limit, Ops.size()); ++K)
+      std::printf("  %-12s %14" PRIu64 " %6.2f%%\n", Ops[K].second.c_str(),
+                  Ops[K].first,
+                  100.0 * static_cast<double>(Ops[K].first) /
+                      static_cast<double>(Total));
+    std::printf("\n");
+  }
+
+  if (!T.EventCounts.empty()) {
+    std::printf("events:\n");
+    for (const auto &[Name, N] : T.EventCounts)
+      std::printf("  %-28s %8" PRIu64 "\n", Name.c_str(), N);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Check = false;
+  int64_t TopN = 10;
+  ArgParser P("ipas-report: render or validate an IPAS JSONL trace");
+  P.addBool("check", &Check,
+            "validate structure (parse, header, span nesting); exit "
+            "nonzero on any violation");
+  P.addInt("top", &TopN, "rows in the hottest-opcode table (default 10)");
+  if (!P.parse(Argc, Argv))
+    return 2;
+  if (P.positionals().size() != 1) {
+    std::fprintf(stderr, "usage: ipas-report <trace.jsonl> [flags]\n%s",
+                 P.usage().c_str());
+    return 2;
+  }
+
+  TraceData T;
+  Checker C;
+  if (!loadTrace(P.positionals()[0], T, C))
+    return 1;
+  checkNesting(T, C);
+
+  if (Check) {
+    if (C.Violations) {
+      std::fprintf(stderr, "ipas-report: %d violation(s)\n", C.Violations);
+      return 1;
+    }
+    std::printf("ok: %zu records, %zu spans, %zu event kinds\n", T.Records,
+                T.Spans.size(), T.EventCounts.size());
+    return 0;
+  }
+
+  printReport(T, TopN);
+  return C.Violations ? 1 : 0;
+}
