@@ -1,0 +1,79 @@
+//===- testing/Fuzzer.cpp ------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Fuzzer.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+using namespace ipas;
+using namespace ipas::testing;
+
+uint64_t ipas::testing::programSeed(uint64_t BaseSeed, uint64_t Index) {
+  // splitmix64 step over (BaseSeed, Index); the constant offset keeps
+  // programSeed(s, 0) distinct from s itself.
+  uint64_t Z = BaseSeed + (Index + 1) * 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+FuzzReport ipas::testing::runFuzzCampaign(const FuzzConfig &Cfg) {
+  obs::PhaseSpan Span("fuzz.campaign", obs::AttrSet()
+                                           .addHex("seed", Cfg.Seed)
+                                           .add("count", Cfg.Count));
+  obs::Counter &Programs =
+      obs::MetricsRegistry::global().counter("fuzz.programs");
+  obs::Counter &Checks = obs::MetricsRegistry::global().counter("fuzz.oracles");
+  obs::Counter &Failed = obs::MetricsRegistry::global().counter("fuzz.failures");
+
+  static const OracleKind AllOracles[] = {
+      OracleKind::RoundTrip, OracleKind::Optimizer, OracleKind::Protection,
+      OracleKind::Lint};
+
+  FuzzReport Report;
+  for (uint64_t I = 0; I != Cfg.Count; ++I) {
+    GenConfig GC = Cfg.Gen;
+    GC.Seed = programSeed(Cfg.Seed, I);
+    GeneratedProgram P = generateProgram(GC);
+    ++Report.ProgramsRun;
+    Programs.inc();
+
+    const OracleKind *Kinds = Cfg.RunAll ? AllOracles : &Cfg.Oracle;
+    size_t NumKinds = Cfg.RunAll ? NumOracles : 1;
+    for (size_t K = 0; K != NumKinds; ++K) {
+      OracleResult R = runOracle(Kinds[K], P.Source, Cfg.Oracles);
+      ++Report.OraclesRun;
+      Checks.inc();
+      if (R.Passed)
+        continue;
+
+      Failed.inc();
+      FuzzFailure F;
+      F.Index = I;
+      F.Seed = GC.Seed;
+      F.Oracle = Kinds[K];
+      F.Detail = R.Detail;
+      F.Source = P.Source;
+      F.Shrunk = P.Source;
+      obs::logMessage(obs::Severity::Warn,
+                      "fuzz: %s failed on program %llu (seed 0x%llx): %s",
+                      oracleName(Kinds[K]),
+                      static_cast<unsigned long long>(I),
+                      static_cast<unsigned long long>(GC.Seed),
+                      R.Detail.c_str());
+      if (Cfg.Shrink) {
+        obs::PhaseSpan ShrinkSpan(
+            "fuzz.shrink", obs::AttrSet().addHex("seed", GC.Seed));
+        F.ShrinkInfo = shrinkFailure(P.Source, Kinds[K], Cfg.Oracles);
+        F.Shrunk = F.ShrinkInfo.Source;
+      }
+      Report.Failures.push_back(std::move(F));
+      break; // remaining oracles on this program add noise, not signal
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,69 @@
+//===- testing/Fuzzer.h - Differential fuzzing campaign driver ------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the subsystem together: generate N programs from a base seed, run
+/// the selected oracles on each, shrink any failure, and report. Both the
+/// `ipas-fuzz` CLI and the ctest smoke suite sit on top of this driver.
+///
+/// Determinism contract: program K of a campaign is generated from
+/// programSeed(BaseSeed, K) only — no global state, no wall clock — so a
+/// campaign report is byte-identical across runs and any failing program
+/// can be regenerated from (BaseSeed, K) alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TESTING_FUZZER_H
+#define IPAS_TESTING_FUZZER_H
+
+#include "testing/Oracles.h"
+#include "testing/ProgramGen.h"
+#include "testing/Shrinker.h"
+
+#include <vector>
+
+namespace ipas {
+namespace testing {
+
+/// Derives the per-program generator seed. Splitmix-style mixing keeps
+/// neighboring campaign indices uncorrelated.
+uint64_t programSeed(uint64_t BaseSeed, uint64_t Index);
+
+struct FuzzConfig {
+  uint64_t Seed = 1;        ///< Campaign base seed.
+  uint64_t Count = 200;     ///< Programs to generate.
+  bool RunAll = true;       ///< All four oracles (ignore Oracle below).
+  OracleKind Oracle = OracleKind::RoundTrip; ///< When RunAll is false.
+  bool Shrink = true;       ///< Minimize failures before reporting.
+  OracleOptions Oracles;    ///< Step budget / miscompile injection.
+  GenConfig Gen;            ///< Program-shape knobs (Seed overridden).
+};
+
+struct FuzzFailure {
+  uint64_t Index = 0;       ///< Campaign index of the failing program.
+  uint64_t Seed = 0;        ///< programSeed(BaseSeed, Index).
+  OracleKind Oracle = OracleKind::RoundTrip;
+  std::string Detail;       ///< Oracle failure description.
+  std::string Source;       ///< The failing program as generated.
+  std::string Shrunk;       ///< Minimized repro (== Source if !Shrink).
+  ShrinkResult ShrinkInfo;
+};
+
+struct FuzzReport {
+  uint64_t ProgramsRun = 0;
+  uint64_t OraclesRun = 0;  ///< Total (program, oracle) evaluations.
+  std::vector<FuzzFailure> Failures;
+  bool allPassed() const { return Failures.empty(); }
+};
+
+/// Runs the campaign. Failures carry everything needed to reproduce and
+/// report; the caller decides how to surface them (CLI, gtest, ...).
+FuzzReport runFuzzCampaign(const FuzzConfig &Cfg);
+
+} // namespace testing
+} // namespace ipas
+
+#endif // IPAS_TESTING_FUZZER_H

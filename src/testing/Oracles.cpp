@@ -1,0 +1,399 @@
+//===- testing/Oracles.cpp -----------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Oracles.h"
+
+#include "analysis/ProtectionLint.h"
+#include "frontend/CodeGen.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "testing/ProgramGen.h"
+#include "testing/SourcePrinter.h"
+#include "transform/ConstantFold.h"
+#include "transform/DCE.h"
+#include "transform/Duplication.h"
+#include "transform/Mem2Reg.h"
+#include "transform/SimplifyCFG.h"
+
+#include <sstream>
+
+using namespace ipas;
+using namespace ipas::testing;
+
+namespace {
+
+/// Entry arguments each oracle executes under. Two fixed pairs: one
+/// small/positive, one mixed-sign, so argument-dependent paths get some
+/// exercise while runs stay deterministic.
+const int64_t ArgSets[][2] = {{3, 5}, {250, -9}};
+constexpr size_t NumArgSets = sizeof(ArgSets) / sizeof(ArgSets[0]);
+
+/// Compiles Source through the standard frontend pipeline (parse,
+/// codegen, unreachable-block cleanup, mem2reg, renumber, verify).
+/// On any error returns null and fills \p Error.
+std::unique_ptr<Module> compilePipeline(const std::string &Source,
+                                        std::string &Error) {
+  Diagnostics Diags;
+  std::unique_ptr<Module> M = compileMiniC(Source, "fuzz", Diags);
+  if (!M || Diags.hasErrors()) {
+    Error = "compile failed: " + Diags.summary();
+    return nullptr;
+  }
+  removeUnreachableBlocks(*M);
+  promoteAllocasToRegisters(*M);
+  M->renumber();
+  std::vector<std::string> Errs = verifyModule(*M);
+  if (!Errs.empty()) {
+    Error = "verifier rejected frontend output: " + Errs.front();
+    return nullptr;
+  }
+  return M;
+}
+
+struct RunOutcome {
+  RunStatus Status = RunStatus::Finished;
+  TrapKind Trap = TrapKind::None;
+  uint64_t Bits = 0; ///< Raw return-value bits.
+};
+
+bool runEntry(const Module &M, int64_t A, int64_t B, uint64_t MaxSteps,
+              RunOutcome &Out, std::string &Error) {
+  const Function *F = M.getFunction(GenEntryName);
+  if (!F) {
+    Error = std::string("no entry function '") + GenEntryName + "'";
+    return false;
+  }
+  ModuleLayout Layout(M);
+  ExecutionContext Ctx(Layout);
+  Ctx.start(F, {RtValue::fromI64(A), RtValue::fromI64(B)});
+  Out.Status = Ctx.run(MaxSteps);
+  Out.Trap = Ctx.trap();
+  Out.Bits = Ctx.returnValue().Bits;
+  return true;
+}
+
+std::string describeOutcome(const RunOutcome &O) {
+  std::ostringstream S;
+  S << runStatusName(O.Status);
+  if (O.Status == RunStatus::Trapped)
+    S << "(" << trapKindName(O.Trap) << ")";
+  if (O.Status == RunStatus::Finished)
+    S << " value=0x" << std::hex << O.Bits;
+  return S.str();
+}
+
+/// Runs the entry of \p Base and \p Variant under every argument set and
+/// demands identical status and bit-identical return values.
+OracleResult compareModules(const Module &Base, const Module &Variant,
+                            const char *VariantName, uint64_t MaxSteps) {
+  OracleResult R;
+  for (size_t I = 0; I != NumArgSets; ++I) {
+    RunOutcome OB, OV;
+    std::string Error;
+    if (!runEntry(Base, ArgSets[I][0], ArgSets[I][1], MaxSteps, OB, Error)) {
+      R.Passed = false;
+      R.InvalidProgram = true;
+      R.Detail = Error;
+      return R;
+    }
+    if (OB.Status != RunStatus::Finished) {
+      // The generator promises bounded, trap-free programs; a baseline
+      // that does not finish is itself a bug worth minimizing.
+      R.Passed = false;
+      R.Detail = "baseline run did not finish: " + describeOutcome(OB);
+      return R;
+    }
+    if (!runEntry(Variant, ArgSets[I][0], ArgSets[I][1], MaxSteps, OV,
+                  Error)) {
+      R.Passed = false;
+      R.Detail = Error;
+      return R;
+    }
+    if (OV.Status != OB.Status || OV.Bits != OB.Bits) {
+      std::ostringstream S;
+      S << VariantName << " diverges on run(" << ArgSets[I][0] << ", "
+        << ArgSets[I][1] << "): baseline " << describeOutcome(OB) << ", "
+        << VariantName << " " << describeOutcome(OV);
+      R.Passed = false;
+      R.Detail = S.str();
+      return R;
+    }
+  }
+  return R;
+}
+
+std::unique_ptr<TranslationUnit> parseOnly(const std::string &Source,
+                                           std::string &Error) {
+  Diagnostics Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.tokens(), Diags);
+  std::unique_ptr<TranslationUnit> TU = P.parseTranslationUnit();
+  if (!TU || Diags.hasErrors()) {
+    Error = "parse failed: " + Diags.summary();
+    return nullptr;
+  }
+  return TU;
+}
+
+//===----------------------------------------------------------------------===//
+// O1: printer/parser round trip
+//===----------------------------------------------------------------------===//
+
+OracleResult oracleRoundTrip(const std::string &Source,
+                             const OracleOptions &Opts) {
+  OracleResult R;
+  std::string Error;
+  std::unique_ptr<TranslationUnit> TU = parseOnly(Source, Error);
+  if (!TU) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  std::string Printed = printTranslationUnit(*TU);
+
+  // Byte fixpoint: the canonical form must reprint to itself.
+  std::unique_ptr<TranslationUnit> TU2 = parseOnly(Printed, Error);
+  if (!TU2) {
+    R.Passed = false;
+    R.Detail = "printed source does not re-parse: " + Error;
+    return R;
+  }
+  std::string Printed2 = printTranslationUnit(*TU2);
+  if (Printed2 != Printed) {
+    R.Passed = false;
+    R.Detail = "printer/parser fixpoint violated: print(parse(print(AST))) "
+               "differs from print(AST)";
+    return R;
+  }
+
+  // Behavioral equality: the original text and its printed form must
+  // compile to modules with identical interpreted behavior.
+  std::unique_ptr<Module> MBase = compilePipeline(Source, Error);
+  if (!MBase) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  std::unique_ptr<Module> MPrinted = compilePipeline(Printed, Error);
+  if (!MPrinted) {
+    R.Passed = false;
+    R.Detail = "printed source fails to compile: " + Error;
+    return R;
+  }
+  return compareModules(*MBase, *MPrinted, "reprinted program",
+                        Opts.MaxSteps);
+}
+
+//===----------------------------------------------------------------------===//
+// O2: optimizer soundness
+//===----------------------------------------------------------------------===//
+
+OracleResult oracleOptimizer(const std::string &Source,
+                             const OracleOptions &Opts) {
+  OracleResult R;
+  std::string Error;
+  std::unique_ptr<Module> MBase = compilePipeline(Source, Error);
+  if (!MBase) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  std::unique_ptr<Module> MOpt = compilePipeline(Source, Error);
+  if (!MOpt) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  foldConstants(*MOpt);
+  eliminateDeadCode(*MOpt);
+  removeUnreachableBlocks(*MOpt);
+  if (Opts.InjectMiscompile)
+    injectSubSwapMiscompile(*MOpt);
+  MOpt->renumber();
+  std::vector<std::string> Errs = verifyModule(*MOpt);
+  if (!Errs.empty()) {
+    R.Passed = false;
+    R.Detail = "verifier rejected optimized module: " + Errs.front();
+    return R;
+  }
+  return compareModules(*MBase, *MOpt, "optimized program", Opts.MaxSteps);
+}
+
+//===----------------------------------------------------------------------===//
+// O3: protection transparency (paper §4.3)
+//===----------------------------------------------------------------------===//
+
+OracleResult oracleProtection(const std::string &Source,
+                              const OracleOptions &Opts) {
+  OracleResult R;
+  std::string Error;
+  std::unique_ptr<Module> MBase = compilePipeline(Source, Error);
+  if (!MBase) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  std::unique_ptr<Module> MProt = compilePipeline(Source, Error);
+  if (!MProt) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  duplicateAllInstructions(*MProt);
+  MProt->renumber();
+  std::vector<std::string> Errs = verifyModule(*MProt);
+  if (!Errs.empty()) {
+    R.Passed = false;
+    R.Detail = "verifier rejected protected module: " + Errs.front();
+    return R;
+  }
+  // Fault-free execution must finish with the same value; a Detected
+  // status here is a spuriously firing soc.check, the exact failure the
+  // paper's transparency invariant forbids. Duplication roughly triples
+  // dynamic steps, so the budget scales accordingly.
+  OracleResult C = compareModules(*MBase, *MProt, "protected program",
+                                  4 * Opts.MaxSteps);
+  if (!C.Passed && C.Detail.find("Detected") != std::string::npos)
+    C.Detail += " [a duplication check fired under fault-free execution]";
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// O4: verifier + ipas-lint acceptance
+//===----------------------------------------------------------------------===//
+
+OracleResult oracleLint(const std::string &Source, const OracleOptions &) {
+  OracleResult R;
+  std::string Error;
+  std::unique_ptr<Module> M = compilePipeline(Source, Error);
+  if (!M) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  foldConstants(*M);
+  eliminateDeadCode(*M);
+  removeUnreachableBlocks(*M);
+  M->renumber();
+  std::vector<std::string> Errs = verifyModule(*M);
+  if (!Errs.empty()) {
+    R.Passed = false;
+    R.Detail = "verifier rejected optimized module: " + Errs.front();
+    return R;
+  }
+  duplicateAllInstructions(*M);
+  M->renumber();
+  Errs = verifyModule(*M);
+  if (!Errs.empty()) {
+    R.Passed = false;
+    R.Detail = "verifier rejected protected module: " + Errs.front();
+    return R;
+  }
+  LintOptions LO;
+  LO.ExpectFullDuplication = true;
+  std::vector<LintViolation> Violations = lintProtectedModule(*M, LO);
+  if (!Violations.empty()) {
+    R.Passed = false;
+    R.Detail = "ipas-lint rejected protected module: " +
+               Violations.front().toString();
+    return R;
+  }
+  return R;
+}
+
+} // namespace
+
+const char *ipas::testing::oracleName(OracleKind K) {
+  switch (K) {
+  case OracleKind::RoundTrip:
+    return "O1-roundtrip";
+  case OracleKind::Optimizer:
+    return "O2-optimizer";
+  case OracleKind::Protection:
+    return "O3-protection";
+  case OracleKind::Lint:
+    return "O4-lint";
+  }
+  return "<bad oracle>";
+}
+
+bool ipas::testing::parseOracleName(const std::string &Name, OracleKind &K,
+                                    bool &IsAll) {
+  IsAll = false;
+  if (Name == "all") {
+    IsAll = true;
+    return false;
+  }
+  static const OracleKind All[] = {OracleKind::RoundTrip,
+                                   OracleKind::Optimizer,
+                                   OracleKind::Protection, OracleKind::Lint};
+  for (OracleKind O : All) {
+    std::string Full = oracleName(O);
+    if (Name == Full || Name == Full.substr(0, 2)) {
+      K = O;
+      return true;
+    }
+  }
+  return false;
+}
+
+OracleResult ipas::testing::runOracle(OracleKind K, const std::string &Source,
+                                      const OracleOptions &Opts) {
+  switch (K) {
+  case OracleKind::RoundTrip:
+    return oracleRoundTrip(Source, Opts);
+  case OracleKind::Optimizer:
+    return oracleOptimizer(Source, Opts);
+  case OracleKind::Protection:
+    return oracleProtection(Source, Opts);
+  case OracleKind::Lint:
+    return oracleLint(Source, Opts);
+  }
+  OracleResult R;
+  R.Passed = false;
+  R.Detail = "unknown oracle";
+  return R;
+}
+
+OracleResult ipas::testing::runAllOracles(const std::string &Source,
+                                          const OracleOptions &Opts) {
+  static const OracleKind All[] = {OracleKind::RoundTrip,
+                                   OracleKind::Optimizer,
+                                   OracleKind::Protection, OracleKind::Lint};
+  for (OracleKind K : All) {
+    OracleResult R = runOracle(K, Source, Opts);
+    if (!R.Passed) {
+      R.Detail = std::string(oracleName(K)) + ": " + R.Detail;
+      return R;
+    }
+  }
+  return OracleResult{};
+}
+
+bool ipas::testing::injectSubSwapMiscompile(Module &M) {
+  for (Function *F : M)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB) {
+        if (I->opcode() != Opcode::Sub)
+          continue;
+        Value *L = I->operand(0);
+        Value *R = I->operand(1);
+        if (L == R)
+          continue; // a - a swaps to itself; keep looking
+        I->setOperand(0, R);
+        I->setOperand(1, L);
+        return true;
+      }
+  return false;
+}

@@ -1,0 +1,92 @@
+//===- testing/Oracles.h - Differential-testing oracles -------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four semantic oracles of the differential-testing subsystem. Each
+/// takes MiniC source (typically from testing/ProgramGen.h, which makes it
+/// UB-free by construction) and decides whether one layer of the pipeline
+/// preserved its semantics:
+///
+///  - O1 round-trip: print(parse(Source)) is a printer/parser fixpoint and
+///    compiles to a module with the same behavior as Source itself.
+///  - O2 optimizer: ConstantFold + DCE + CFG cleanup preserve the
+///    interpreted result bit for bit.
+///  - O3 protection: a Duplication-protected module is observationally
+///    identical under fault-free execution — same status, same return
+///    value, and no spuriously firing `soc.check` (paper §4.3).
+///  - O4 static acceptance: the verifier accepts every transformed module
+///    and ipas-lint R1-R5 accept the protected one.
+///
+/// Outputs are compared bitwise (RtValue::Bits), so NaN payloads and
+/// signed zeros count — the strictest notion of "same result" the
+/// interpreter can express.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TESTING_ORACLES_H
+#define IPAS_TESTING_ORACLES_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace ipas {
+namespace testing {
+
+enum class OracleKind : uint8_t {
+  RoundTrip, ///< O1
+  Optimizer, ///< O2
+  Protection,///< O3
+  Lint,      ///< O4
+};
+
+constexpr unsigned NumOracles = 4;
+
+/// Stable short name ("O1-roundtrip", ...) used by the CLI and reports.
+const char *oracleName(OracleKind K);
+
+/// Parses an oracle selector: "O1".."O4", a full name, or "all" (returns
+/// false and leaves \p K untouched for "all"/unknown; \p IsAll reports
+/// which).
+bool parseOracleName(const std::string &Name, OracleKind &K, bool &IsAll);
+
+struct OracleOptions {
+  /// Step budget per interpreter run. Generated programs are bounded by
+  /// construction; this is a backstop, not a tuning knob.
+  uint64_t MaxSteps = 20000000;
+  /// Deliberately miscompile the optimized module in O2 (operand swap on
+  /// the first integer subtraction). Used by the shrinker self-test and
+  /// `ipas-fuzz --inject-miscompile` to prove the harness can see and
+  /// minimize a real bug.
+  bool InjectMiscompile = false;
+};
+
+struct OracleResult {
+  bool Passed = true;
+  /// The input failed to compile or verify *before* any transform under
+  /// test ran. Generated programs never hit this; shrinker mutants can,
+  /// and the shrinker must not count it as reproducing a failure.
+  bool InvalidProgram = false;
+  std::string Detail; ///< Human-readable failure description.
+};
+
+/// Runs one oracle against \p Source.
+OracleResult runOracle(OracleKind K, const std::string &Source,
+                       const OracleOptions &Opts = {});
+
+/// Runs all four oracles, stopping at the first failure.
+OracleResult runAllOracles(const std::string &Source,
+                           const OracleOptions &Opts = {});
+
+/// Swaps the operands of the first integer `sub` whose operands differ —
+/// a canned miscompilation (a - b becomes b - a) for harness self-tests.
+/// Returns false if the module has no such instruction.
+bool injectSubSwapMiscompile(Module &M);
+
+} // namespace testing
+} // namespace ipas
+
+#endif // IPAS_TESTING_ORACLES_H

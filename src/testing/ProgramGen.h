@@ -1,0 +1,78 @@
+//===- testing/ProgramGen.h - Random UB-free MiniC programs ---------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic random-program generator for MiniC, in the
+/// Csmith tradition but scoped to this repo's language: every generated
+/// program is well defined by construction, so any behavioral divergence
+/// between two compilations of it is a compiler bug, never an artifact of
+/// the input.
+///
+/// The guarantees, and how each is enforced:
+///
+///  - No trapping division: integer `/` and `%` divisors are always
+///    generated in the guarded form `(e % K) + (K + 2)` for a small
+///    positive constant K, which lies in [3, 2K+1] for every value of e —
+///    never zero, never -1 (so INT64_MIN / -1 cannot trap either).
+///    Floating division uses `fabs(e) + c` with c >= 1.
+///  - Bounded execution: the only loop forms are canonical counted
+///    `for` loops with a constant trip count and a loop variable the body
+///    never assigns; `break`/`continue` appear only inside them.
+///  - In-bounds indexing: every array subscript is generated as
+///    `((e % Len) + Len) % Len`, which lies in [0, Len) for every e.
+///  - No indeterminate reads: every scalar declaration carries an
+///    initializer and every local array is filled by a generated loop
+///    before its first use.
+///
+/// Integer overflow wraps and FP follows IEEE-754 in MiniC (docs/MINIC.md),
+/// so neither needs avoiding. Each program ends by folding every live
+/// local into a returned checksum, which makes almost all computation
+/// observable to the differential oracles (testing/Oracles.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TESTING_PROGRAMGEN_H
+#define IPAS_TESTING_PROGRAMGEN_H
+
+#include "frontend/AST.h"
+
+#include <memory>
+#include <string>
+
+namespace ipas {
+namespace testing {
+
+/// Name and signature of the generated entry point: `int run(int a, int b)`.
+/// Fixed so the differential harness can execute every program the same way.
+constexpr const char *GenEntryName = "run";
+
+struct GenConfig {
+  uint64_t Seed = 1;
+  unsigned MaxHelpers = 2;       ///< Helper functions before `run` (0..N).
+  unsigned MaxTopStmts = 6;      ///< Statement budget at function top level.
+  unsigned MaxNestedStmts = 4;   ///< Statement budget inside if/loop bodies.
+  unsigned MaxExprDepth = 4;     ///< Recursion budget for expressions.
+  unsigned MaxBlockNest = 2;     ///< if/loop nesting depth.
+  unsigned MaxLoopNest = 2;      ///< Loop-in-loop depth (trip counts multiply).
+  int64_t MaxTripCount = 8;      ///< Constant `for` trip counts in [1, N].
+  unsigned MaxArrays = 2;        ///< Local arrays in the entry function.
+  int64_t MaxArrayLen = 12;      ///< Array lengths in [2, N].
+};
+
+struct GeneratedProgram {
+  uint64_t Seed = 0;
+  std::unique_ptr<TranslationUnit> TU;
+  std::string Source; ///< printTranslationUnit(*TU).
+};
+
+/// Generates one program. Deterministic: equal configs (including Seed)
+/// yield byte-identical Source on every platform.
+GeneratedProgram generateProgram(const GenConfig &Cfg);
+
+} // namespace testing
+} // namespace ipas
+
+#endif // IPAS_TESTING_PROGRAMGEN_H

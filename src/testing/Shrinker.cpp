@@ -1,0 +1,343 @@
+//===- testing/Shrinker.cpp ----------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Shrinker.h"
+
+#include "frontend/Parser.h"
+#include "testing/ProgramGen.h"
+#include "testing/SourcePrinter.h"
+
+#include <limits>
+
+using namespace ipas;
+using namespace ipas::testing;
+
+namespace {
+
+std::unique_ptr<TranslationUnit> parseSource(const std::string &Source) {
+  Diagnostics Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.tokens(), Diags);
+  std::unique_ptr<TranslationUnit> TU = P.parseTranslationUnit();
+  if (!TU || Diags.hasErrors())
+    return nullptr;
+  return TU;
+}
+
+/// Coarse failure classification. A mutant only counts as reproducing the
+/// original failure when its category matches; without this, shrinking an
+/// optimizer divergence could wander into a program that merely traps at
+/// baseline (e.g. a guarded divisor reduced to its unguarded half) and
+/// "minimize" the wrong bug.
+enum class FailCat : uint8_t {
+  Divergence,
+  NoFinish,
+  Verifier,
+  Lint,
+  RoundTrip,
+  Other,
+};
+
+FailCat categorize(const OracleResult &R) {
+  if (R.Detail.find("diverges") != std::string::npos)
+    return FailCat::Divergence;
+  if (R.Detail.find("did not finish") != std::string::npos)
+    return FailCat::NoFinish;
+  if (R.Detail.find("ipas-lint") != std::string::npos)
+    return FailCat::Lint;
+  if (R.Detail.find("verifier") != std::string::npos)
+    return FailCat::Verifier;
+  if (R.Detail.find("fixpoint") != std::string::npos ||
+      R.Detail.find("re-parse") != std::string::npos ||
+      R.Detail.find("printed source") != std::string::npos)
+    return FailCat::RoundTrip;
+  return FailCat::Other;
+}
+
+/// Enumerates and applies structural mutations over an AST. Visiting
+/// order is deterministic, so slot N denotes the same mutation on every
+/// walk of the same tree. In counting mode (no target) nothing is
+/// mutated; in apply mode the walk stops at the target slot.
+class MutationWalker {
+public:
+  explicit MutationWalker(
+      unsigned Target = std::numeric_limits<unsigned>::max())
+      : Target(Target) {}
+
+  bool applied() const { return Applied; }
+  unsigned count() const { return Counter; }
+
+  void walkTU(TranslationUnit &TU) {
+    // Drop droppable (non-entry) functions whole.
+    for (size_t I = 0; I != TU.Functions.size(); ++I) {
+      if (Applied)
+        return;
+      if (TU.Functions[I]->Name != GenEntryName && at()) {
+        TU.Functions.erase(TU.Functions.begin() + I);
+        return;
+      }
+    }
+    for (auto &F : TU.Functions) {
+      if (Applied)
+        return;
+      walkStmts(F->Body->Stmts);
+    }
+  }
+
+private:
+  bool at() {
+    if (Counter++ == Target) {
+      Applied = true;
+      return true;
+    }
+    return false;
+  }
+
+  void walkBody(StmtPtr &Body) {
+    if (!Body || Applied)
+      return;
+    if (Body->Kind == StmtKind::Block)
+      walkStmts(static_cast<BlockStmt *>(Body.get())->Stmts);
+    else
+      walkOwnExprs(*Body);
+  }
+
+  /// Replaces the statement slot with the statement's own body.
+  void hoistBody(StmtPtr &Slot, StmtPtr &Body) {
+    StmtPtr Tmp = std::move(Body);
+    Slot = std::move(Tmp);
+  }
+
+  void walkStmts(std::vector<StmtPtr> &Stmts) {
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      if (Applied)
+        return;
+      if (at()) {
+        Stmts.erase(Stmts.begin() + I);
+        return;
+      }
+      Stmt &S = *Stmts[I];
+      switch (S.Kind) {
+      case StmtKind::Block:
+        walkStmts(static_cast<BlockStmt &>(S).Stmts);
+        break;
+      case StmtKind::If: {
+        auto &If = static_cast<IfStmt &>(S);
+        if (at()) {
+          hoistBody(Stmts[I], If.Then);
+          return;
+        }
+        if (If.Else && at()) {
+          hoistBody(Stmts[I], If.Else);
+          return;
+        }
+        walkExpr(If.Cond);
+        walkBody(If.Then);
+        walkBody(If.Else);
+        break;
+      }
+      case StmtKind::For: {
+        auto &For = static_cast<ForStmt &>(S);
+        if (at()) {
+          hoistBody(Stmts[I], For.Body);
+          return;
+        }
+        // Init/Cond/Inc are deliberately off limits: the generator's loop
+        // headers are what bound execution, and a mutated header could
+        // turn a miscompile repro into a nonterminating one.
+        walkBody(For.Body);
+        break;
+      }
+      case StmtKind::While: {
+        auto &W = static_cast<WhileStmt &>(S);
+        if (at()) {
+          hoistBody(Stmts[I], W.Body);
+          return;
+        }
+        walkBody(W.Body);
+        break;
+      }
+      default:
+        walkOwnExprs(S);
+        break;
+      }
+    }
+  }
+
+  void walkOwnExprs(Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Decl: {
+      auto &D = static_cast<DeclStmt &>(S);
+      if (D.Init)
+        walkExpr(D.Init);
+      return;
+    }
+    case StmtKind::Expr:
+      walkExpr(static_cast<ExprStmt &>(S).E);
+      return;
+    case StmtKind::Return: {
+      auto &R = static_cast<ReturnStmt &>(S);
+      if (R.Value)
+        walkExpr(R.Value);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void replaceWith(ExprPtr &Slot, ExprPtr &Child) {
+    ExprPtr Tmp = std::move(Child);
+    Slot = std::move(Tmp);
+  }
+
+  void walkExpr(ExprPtr &E) {
+    if (Applied)
+      return;
+    switch (E->Kind) {
+    case ExprKind::Binary: {
+      auto *B = static_cast<BinaryExpr *>(E.get());
+      if (at()) {
+        replaceWith(E, B->LHS);
+        return;
+      }
+      if (at()) {
+        replaceWith(E, B->RHS);
+        return;
+      }
+      walkExpr(B->LHS);
+      walkExpr(B->RHS);
+      return;
+    }
+    case ExprKind::Unary: {
+      auto *U = static_cast<UnaryExpr *>(E.get());
+      if (at()) {
+        replaceWith(E, U->Sub);
+        return;
+      }
+      walkExpr(U->Sub);
+      return;
+    }
+    case ExprKind::Cast: {
+      auto *C = static_cast<CastExpr *>(E.get());
+      if (at()) {
+        replaceWith(E, C->Sub);
+        return;
+      }
+      walkExpr(C->Sub);
+      return;
+    }
+    case ExprKind::Call: {
+      auto *C = static_cast<CallExpr *>(E.get());
+      for (ExprPtr &A : C->Args) {
+        if (at()) {
+          replaceWith(E, A);
+          return;
+        }
+      }
+      for (ExprPtr &A : C->Args) {
+        if (Applied)
+          return;
+        walkExpr(A);
+      }
+      return;
+    }
+    case ExprKind::Index:
+      // Keep the base (it must stay an array lvalue); shrink the index.
+      walkExpr(static_cast<IndexExpr *>(E.get())->Index);
+      return;
+    case ExprKind::Assign: {
+      auto *A = static_cast<AssignExpr *>(E.get());
+      if (at()) {
+        replaceWith(E, A->Value);
+        return;
+      }
+      walkExpr(A->Value);
+      return;
+    }
+    case ExprKind::VarRef:
+      // Zeroing a use lets the defining declaration die in a later sweep.
+      if (at())
+        E = std::make_unique<IntLitExpr>(0, SourceLoc{0, 0});
+      return;
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+      return; // never reduces the line count
+    }
+  }
+
+  unsigned Target;
+  unsigned Counter = 0;
+  bool Applied = false;
+};
+
+/// Applies mutation \p Index to a fresh parse of \p Source; empty string
+/// when the index is out of range (walk exhausted without applying).
+std::string mutate(const std::string &Source, unsigned Index) {
+  std::unique_ptr<TranslationUnit> TU = parseSource(Source);
+  if (!TU)
+    return std::string();
+  MutationWalker W(Index);
+  W.walkTU(*TU);
+  if (!W.applied())
+    return std::string();
+  return printTranslationUnit(*TU);
+}
+
+unsigned countMutations(const std::string &Source) {
+  std::unique_ptr<TranslationUnit> TU = parseSource(Source);
+  if (!TU)
+    return 0;
+  MutationWalker W;
+  W.walkTU(*TU);
+  return W.count();
+}
+
+} // namespace
+
+ShrinkResult ipas::testing::shrinkFailure(const std::string &Source,
+                                          OracleKind K,
+                                          const OracleOptions &Opts) {
+  ShrinkResult SR;
+  SR.Source = Source;
+  SR.OriginalLines = countLines(Source);
+  SR.FinalLines = SR.OriginalLines;
+
+  // Canonicalize first so the line metric and mutation enumeration work
+  // on printer output; keep the raw source if canonicalization changes
+  // the verdict (it should not for generated programs).
+  std::string Best = Source;
+  if (std::unique_ptr<TranslationUnit> TU = parseSource(Source))
+    Best = printTranslationUnit(*TU);
+
+  OracleResult Baseline = runOracle(K, Best, Opts);
+  if (Baseline.Passed || Baseline.InvalidProgram)
+    return SR; // nothing to shrink against
+  FailCat Cat = categorize(Baseline);
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    unsigned N = countMutations(Best);
+    for (unsigned I = 0; I != N; ++I) {
+      std::string Cand = mutate(Best, I);
+      if (Cand.empty() || Cand == Best)
+        continue;
+      ++SR.Attempts;
+      OracleResult R = runOracle(K, Cand, Opts);
+      if (!R.Passed && !R.InvalidProgram && categorize(R) == Cat) {
+        Best = std::move(Cand);
+        ++SR.Accepted;
+        Progress = true;
+        break; // re-enumerate against the smaller program
+      }
+    }
+  }
+
+  SR.Source = Best;
+  SR.FinalLines = countLines(Best);
+  return SR;
+}

@@ -1,0 +1,50 @@
+//===- testing/Shrinker.h - Delta-debugging program minimizer -------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimizes a failing MiniC program before it is reported. Classic
+/// delta debugging at the AST level: repeatedly try structure-removing
+/// mutations (drop a statement, unwrap a loop or if body, drop a helper
+/// function, replace a subexpression with a leaf) and keep any mutant on
+/// which the failing oracle still fails, until a full sweep produces no
+/// further progress.
+///
+/// Mutating the AST rather than source lines keeps nearly every candidate
+/// syntactically valid; candidates that nevertheless fail to compile (a
+/// dropped declaration, say) report OracleResult::InvalidProgram and are
+/// rejected, never mistaken for a reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TESTING_SHRINKER_H
+#define IPAS_TESTING_SHRINKER_H
+
+#include "testing/Oracles.h"
+
+#include <string>
+
+namespace ipas {
+namespace testing {
+
+struct ShrinkResult {
+  std::string Source;     ///< Minimized program (canonical print).
+  size_t OriginalLines = 0;
+  size_t FinalLines = 0;
+  unsigned Attempts = 0;  ///< Candidate mutants evaluated.
+  unsigned Accepted = 0;  ///< Mutants that kept the failure.
+};
+
+/// Shrinks \p Source with respect to oracle \p K: the result is the
+/// smallest program found on which the oracle still fails (with
+/// InvalidProgram excluded). \p Source itself must fail the oracle;
+/// otherwise it is returned unchanged.
+ShrinkResult shrinkFailure(const std::string &Source, OracleKind K,
+                           const OracleOptions &Opts = {});
+
+} // namespace testing
+} // namespace ipas
+
+#endif // IPAS_TESTING_SHRINKER_H

@@ -1,0 +1,347 @@
+//===- testing/SourcePrinter.cpp -----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/SourcePrinter.h"
+
+#include <cstdio>
+
+using namespace ipas;
+using namespace ipas::testing;
+
+namespace {
+
+const char *operatorSpelling(TokenKind K) {
+  switch (K) {
+  case TokenKind::Assign:
+    return "=";
+  case TokenKind::Plus:
+    return "+";
+  case TokenKind::Minus:
+    return "-";
+  case TokenKind::Star:
+    return "*";
+  case TokenKind::Slash:
+    return "/";
+  case TokenKind::Percent:
+    return "%";
+  case TokenKind::Less:
+    return "<";
+  case TokenKind::LessEqual:
+    return "<=";
+  case TokenKind::Greater:
+    return ">";
+  case TokenKind::GreaterEqual:
+    return ">=";
+  case TokenKind::EqualEqual:
+    return "==";
+  case TokenKind::NotEqual:
+    return "!=";
+  case TokenKind::AmpAmp:
+    return "&&";
+  case TokenKind::PipePipe:
+    return "||";
+  case TokenKind::Bang:
+    return "!";
+  case TokenKind::PlusAssign:
+    return "+=";
+  case TokenKind::MinusAssign:
+    return "-=";
+  case TokenKind::StarAssign:
+    return "*=";
+  case TokenKind::SlashAssign:
+    return "/=";
+  default:
+    assert(false && "not an operator token");
+    return "?";
+  }
+}
+
+/// %.17g is a lossless double rendering; force a '.' or exponent so the
+/// lexer re-reads it as a FloatLiteral, not an IntLiteral.
+std::string floatLiteral(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  std::string S(Buf);
+  if (S.find('.') == std::string::npos &&
+      S.find('e') == std::string::npos &&
+      S.find('E') == std::string::npos &&
+      S.find("inf") == std::string::npos &&
+      S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+void emitExpr(const Expr &E, std::string &Out);
+
+void emitParenthesized(const Expr &E, std::string &Out) {
+  // Leaves never need parens; everything compound always gets them, which
+  // makes printing canonical without tracking precedence.
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::VarRef:
+  case ExprKind::Call:
+  case ExprKind::Index:
+    emitExpr(E, Out);
+    return;
+  default:
+    Out += '(';
+    emitExpr(E, Out);
+    Out += ')';
+    return;
+  }
+}
+
+void emitExpr(const Expr &E, std::string &Out) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Out += std::to_string(static_cast<const IntLitExpr *>(&E)->Value);
+    return;
+  case ExprKind::FloatLit:
+    Out += floatLiteral(static_cast<const FloatLitExpr *>(&E)->Value);
+    return;
+  case ExprKind::VarRef:
+    Out += static_cast<const VarRefExpr *>(&E)->Name;
+    return;
+  case ExprKind::Binary: {
+    const auto *B = static_cast<const BinaryExpr *>(&E);
+    emitParenthesized(*B->LHS, Out);
+    Out += ' ';
+    Out += operatorSpelling(B->Op);
+    Out += ' ';
+    emitParenthesized(*B->RHS, Out);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = static_cast<const UnaryExpr *>(&E);
+    Out += operatorSpelling(U->Op);
+    emitParenthesized(*U->Sub, Out);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = static_cast<const CallExpr *>(&E);
+    Out += C->Callee;
+    Out += '(';
+    for (size_t I = 0; I != C->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      emitExpr(*C->Args[I], Out);
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = static_cast<const IndexExpr *>(&E);
+    emitParenthesized(*I->Base, Out);
+    Out += '[';
+    emitExpr(*I->Index, Out);
+    Out += ']';
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = static_cast<const AssignExpr *>(&E);
+    emitParenthesized(*A->Target, Out);
+    Out += ' ';
+    Out += operatorSpelling(A->Op);
+    Out += ' ';
+    emitParenthesized(*A->Value, Out);
+    return;
+  }
+  case ExprKind::Cast: {
+    const auto *C = static_cast<const CastExpr *>(&E);
+    Out += '(';
+    Out += C->To.str();
+    Out += ')';
+    emitParenthesized(*C->Sub, Out);
+    return;
+  }
+  }
+  assert(false && "unhandled expression kind");
+}
+
+void emitIndent(unsigned Indent, std::string &Out) {
+  Out.append(2 * static_cast<size_t>(Indent), ' ');
+}
+
+void emitStmt(const Stmt &S, unsigned Indent, std::string &Out);
+
+/// Emits a statement that syntactically occupies a body position (if/loop
+/// body). Non-block bodies are wrapped in braces so that the printed form
+/// parses back to an identical tree modulo the BlockStmt wrapper the
+/// parser does not add for single statements — to keep the fixpoint exact
+/// we always print braces AND the parser keeps whatever it saw; since the
+/// generator and shrinker only ever build BlockStmt bodies this wrapper
+/// fires only on hand-written inputs.
+void emitBody(const Stmt &S, unsigned Indent, std::string &Out) {
+  if (S.Kind == StmtKind::Block) {
+    Out += " {\n";
+    for (const StmtPtr &Child : static_cast<const BlockStmt *>(&S)->Stmts)
+      emitStmt(*Child, Indent + 1, Out);
+    emitIndent(Indent, Out);
+    Out += '}';
+  } else {
+    Out += " {\n";
+    emitStmt(S, Indent + 1, Out);
+    emitIndent(Indent, Out);
+    Out += '}';
+  }
+}
+
+void emitStmt(const Stmt &S, unsigned Indent, std::string &Out) {
+  switch (S.Kind) {
+  case StmtKind::Block: {
+    emitIndent(Indent, Out);
+    Out += "{\n";
+    for (const StmtPtr &Child : static_cast<const BlockStmt *>(&S)->Stmts)
+      emitStmt(*Child, Indent + 1, Out);
+    emitIndent(Indent, Out);
+    Out += "}\n";
+    return;
+  }
+  case StmtKind::Decl: {
+    const auto *D = static_cast<const DeclStmt *>(&S);
+    emitIndent(Indent, Out);
+    Out += D->Ty.str();
+    Out += ' ';
+    Out += D->Name;
+    if (D->ArraySlots >= 0) {
+      Out += '[';
+      Out += std::to_string(D->ArraySlots);
+      Out += ']';
+    }
+    if (D->Init) {
+      Out += " = ";
+      emitExpr(*D->Init, Out);
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Expr: {
+    emitIndent(Indent, Out);
+    emitExpr(*static_cast<const ExprStmt *>(&S)->E, Out);
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = static_cast<const IfStmt *>(&S);
+    emitIndent(Indent, Out);
+    Out += "if (";
+    emitExpr(*I->Cond, Out);
+    Out += ')';
+    emitBody(*I->Then, Indent, Out);
+    if (I->Else) {
+      Out += " else";
+      emitBody(*I->Else, Indent, Out);
+    }
+    Out += '\n';
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = static_cast<const WhileStmt *>(&S);
+    emitIndent(Indent, Out);
+    Out += "while (";
+    emitExpr(*W->Cond, Out);
+    Out += ')';
+    emitBody(*W->Body, Indent, Out);
+    Out += '\n';
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = static_cast<const ForStmt *>(&S);
+    emitIndent(Indent, Out);
+    Out += "for (";
+    if (F->Init) {
+      // Init is a declaration or expression statement; both print with a
+      // trailing ";\n" — reuse and trim to keep one source of truth.
+      std::string Init;
+      emitStmt(*F->Init, 0, Init);
+      assert(Init.size() >= 2 && Init[Init.size() - 1] == '\n');
+      Init.pop_back(); // '\n' — the ';' stays as the clause separator.
+      Out += Init;
+      Out += ' ';
+    } else {
+      Out += "; ";
+    }
+    if (F->Cond)
+      emitExpr(*F->Cond, Out);
+    Out += "; ";
+    if (F->Inc)
+      emitExpr(*F->Inc, Out);
+    Out += ')';
+    emitBody(*F->Body, Indent, Out);
+    Out += '\n';
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = static_cast<const ReturnStmt *>(&S);
+    emitIndent(Indent, Out);
+    Out += "return";
+    if (R->Value) {
+      Out += ' ';
+      emitExpr(*R->Value, Out);
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Break:
+    emitIndent(Indent, Out);
+    Out += "break;\n";
+    return;
+  case StmtKind::Continue:
+    emitIndent(Indent, Out);
+    Out += "continue;\n";
+    return;
+  }
+  assert(false && "unhandled statement kind");
+}
+
+} // namespace
+
+std::string ipas::testing::printExpr(const Expr &E) {
+  std::string Out;
+  emitExpr(E, Out);
+  return Out;
+}
+
+std::string ipas::testing::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Out;
+  emitStmt(S, Indent, Out);
+  return Out;
+}
+
+std::string ipas::testing::printTranslationUnit(const TranslationUnit &TU) {
+  std::string Out;
+  for (size_t FI = 0; FI != TU.Functions.size(); ++FI) {
+    const FunctionDecl &F = *TU.Functions[FI];
+    if (FI)
+      Out += '\n';
+    Out += F.RetTy.str();
+    Out += ' ';
+    Out += F.Name;
+    Out += '(';
+    for (size_t I = 0; I != F.Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += F.Params[I].Ty.str();
+      Out += ' ';
+      Out += F.Params[I].Name;
+    }
+    Out += ')';
+    emitBody(*F.Body, 0, Out);
+    Out += '\n';
+  }
+  return Out;
+}
+
+size_t ipas::testing::countLines(const std::string &Source) {
+  size_t N = 0;
+  for (char C : Source)
+    if (C == '\n')
+      ++N;
+  if (!Source.empty() && Source.back() != '\n')
+    ++N;
+  return N;
+}

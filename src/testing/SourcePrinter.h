@@ -1,0 +1,50 @@
+//===- testing/SourcePrinter.h - MiniC AST -> source text -----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a MiniC AST back to compilable source text. The printer is the
+/// hinge of the differential-testing subsystem: the fuzzer's generated ASTs
+/// become `.mc` files through it, oracle O1 checks that
+/// print(parse(print(AST))) is byte-identical to print(AST) (a printer/
+/// parser fixpoint), and the delta-debugging shrinker re-prints every
+/// mutated candidate before handing it to an oracle.
+///
+/// To make the fixpoint trivially true the printer is deliberately
+/// canonical: every nested expression is fully parenthesized (parse trees
+/// carry no parens, so reprinting reinserts exactly the same ones), one
+/// statement per line, two-space indentation, float literals via %.17g
+/// (exact double round trip) with a ".0" suffix forced when the rendering
+/// would otherwise re-lex as an integer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_TESTING_SOURCEPRINTER_H
+#define IPAS_TESTING_SOURCEPRINTER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace ipas {
+namespace testing {
+
+/// Renders one expression (fully parenthesized, no trailing newline).
+std::string printExpr(const Expr &E);
+
+/// Renders one statement (indented, newline-terminated).
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a whole translation unit as compilable MiniC source.
+std::string printTranslationUnit(const TranslationUnit &TU);
+
+/// Counts the newline-terminated lines of \p Source (the size metric the
+/// shrinker minimizes and the acceptance bound for repro files).
+size_t countLines(const std::string &Source);
+
+} // namespace testing
+} // namespace ipas
+
+#endif // IPAS_TESTING_SOURCEPRINTER_H

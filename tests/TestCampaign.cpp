@@ -6,6 +6,7 @@
 
 #include "TestUtil.h"
 
+#include "analysis/SocPropagation.h"
 #include "fault/Campaign.h"
 #include "transform/Duplication.h"
 
@@ -62,6 +63,41 @@ const char *ToySrc =
     "      s = s + a[i] * 1.0001 - 0.5;\n"
     "  return (int)(s * 1000.0);\n"
     "}\n";
+
+/// ToySrc plus a dead computation chain in the hot loop: `t` is never
+/// read, so after mem2reg (and with DCE deliberately not run by
+/// testutil::compile) its chain survives as SSA instructions whose
+/// corruption provably reaches no sink — injection sites the
+/// SocPropagation pruner can classify as Masked without executing.
+const char *ToySrcWithBenign =
+    "int f(int n) {\n"
+    "  double a[32];\n"
+    "  for (int i = 0; i < 32; i = i + 1) a[i] = 1.0 * i;\n"
+    "  double s = 0.0;\n"
+    "  for (int k = 0; k < n; k = k + 1)\n"
+    "    for (int i = 0; i < 32; i = i + 1) {\n"
+    "      double t = s * 0.25 + 1.0;\n"
+    "      t = t * 2.0;\n"
+    "      s = s + a[i] * 1.0001 - 0.5;\n"
+    "    }\n"
+    "  return (int)(s * 1000.0);\n"
+    "}\n";
+
+/// ToyHarness extended with value-step tracing so campaigns over it can
+/// use ProvablyBenign pruning.
+class TracingToyHarness : public ToyHarness {
+public:
+  using ToyHarness::ToyHarness;
+
+  std::vector<unsigned> traceValueSteps(const ModuleLayout &Layout) override {
+    std::vector<unsigned> Trace;
+    ExecutionContext Ctx(Layout);
+    Ctx.setValueStepTrace(&Trace);
+    Ctx.start(Layout.module().getFunction("f"), {RtValue::fromI64(25)});
+    EXPECT_EQ(Ctx.run(UINT64_MAX), RunStatus::Finished);
+    return Trace;
+  }
+};
 
 } // namespace
 
@@ -171,6 +207,63 @@ TEST(Campaign, ProtectedProgramDetectsFaults) {
   ToyHarness H2(*M2);
   CampaignResult Unprot = runCampaign(H2, Layout2, CC);
   EXPECT_LT(R.fraction(Outcome::SOC), Unprot.fraction(Outcome::SOC));
+}
+
+// Regression: the per-record (InstructionId, BitIndex, Result) stream is
+// a campaign invariant. Neither the thread count nor ProvablyBenign
+// pruning may perturb it — plans are pre-drawn from the seed, and pruning
+// only classifies runs without executing them. A change that breaks this
+// silently invalidates every cached campaign result and cross-run diff.
+TEST(Campaign, RecordStreamInvariantAcrossThreadsAndPruning) {
+  auto M = compile(ToySrcWithBenign);
+  ModuleLayout Layout(*M);
+  SocPropagation Soc(*M);
+  ASSERT_GT(Soc.numBenign(), 0u)
+      << "dead chain in ToySrcWithBenign was not classified benign";
+  const std::vector<bool> &Benign = Soc.provablyBenign();
+
+  struct Variant {
+    unsigned NumThreads;
+    const std::vector<bool> *Pruning;
+  };
+  const Variant Variants[] = {
+      {1, nullptr}, {4, nullptr}, {1, &Benign}, {4, &Benign}};
+
+  std::vector<CampaignResult> Results;
+  for (const Variant &V : Variants) {
+    TracingToyHarness H(*M);
+    CampaignConfig CC;
+    CC.NumRuns = 200;
+    CC.Seed = 1905;
+    CC.NumThreads = V.NumThreads;
+    CC.ProvablyBenign = V.Pruning;
+    Results.push_back(runCampaign(H, Layout, CC));
+  }
+
+  const CampaignResult &Base = Results[0];
+  ASSERT_EQ(Base.Records.size(), 200u);
+  EXPECT_EQ(Base.PrunedRuns, 0u);
+  for (size_t V = 1; V != Results.size(); ++V) {
+    const CampaignResult &R = Results[V];
+    ASSERT_EQ(R.Records.size(), Base.Records.size())
+        << "variant " << V << " changed the number of records";
+    for (size_t I = 0; I != Base.Records.size(); ++I) {
+      EXPECT_EQ(R.Records[I].InstructionId, Base.Records[I].InstructionId)
+          << "variant " << V << ", record " << I;
+      EXPECT_EQ(R.Records[I].BitIndex, Base.Records[I].BitIndex)
+          << "variant " << V << ", record " << I;
+      EXPECT_EQ(R.Records[I].Result, Base.Records[I].Result)
+          << "variant " << V << ", record " << I;
+    }
+  }
+  // The pruned variants must actually have pruned something (the dead
+  // chain sits in the hot loop, so the sampler hits it), and pruning must
+  // never fire without a benign map.
+  EXPECT_EQ(Results[1].PrunedRuns, 0u);
+  EXPECT_GT(Results[2].PrunedRuns, 0u);
+  EXPECT_GT(Results[2].PrunedSites, 0u);
+  EXPECT_EQ(Results[2].PrunedRuns, Results[3].PrunedRuns);
+  EXPECT_EQ(Results[2].PrunedSites, Results[3].PrunedSites);
 }
 
 TEST(Campaign, FractionsSumToOne) {

@@ -1,0 +1,165 @@
+//===- tests/TestFuzzer.cpp - Differential-testing subsystem --------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for src/testing/: the seeded MiniC generator, the four
+/// semantic oracles, and the delta-debugging shrinker. The generator
+/// tests draw their seeds from IPAS_TEST_SEED (see TestUtil.h), so a
+/// failing nightly run is replayable from the ctest log alone.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "testing/Fuzzer.h"
+#include "testing/SourcePrinter.h"
+
+#include <set>
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+// `using namespace ipas` would make `testing::` ambiguous with gtest's.
+namespace fz = ipas::testing;
+
+namespace {
+
+fz::GeneratedProgram genAt(uint64_t Seed) {
+  fz::GenConfig GC;
+  GC.Seed = Seed;
+  return fz::generateProgram(GC);
+}
+
+} // namespace
+
+TEST(Fuzzer, GeneratorIsDeterministic) {
+  const uint64_t Seed = fz::programSeed(testSeed(), 0);
+  IPAS_SEED_TRACE(testSeed());
+  fz::GeneratedProgram A = genAt(Seed);
+  fz::GeneratedProgram B = genAt(Seed);
+  EXPECT_EQ(A.Source, B.Source);
+  EXPECT_FALSE(A.Source.empty());
+  // A different seed must (overwhelmingly) give a different program.
+  fz::GeneratedProgram C = genAt(fz::programSeed(testSeed(), 1));
+  EXPECT_NE(A.Source, C.Source);
+}
+
+TEST(Fuzzer, ProgramSeedsAreDistinct) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Seen.insert(fz::programSeed(1, I));
+  EXPECT_EQ(Seen.size(), 1000u);
+  // Different base seeds give different streams.
+  EXPECT_NE(fz::programSeed(1, 0), fz::programSeed(2, 0));
+}
+
+// The generator's core contract: every program it emits compiles,
+// verifies, and runs to completion on the oracle argument sets — UB-free
+// by construction, not by filtering.
+TEST(Fuzzer, GeneratedProgramsAreUBFreeByConstruction) {
+  IPAS_SEED_TRACE(testSeed());
+  for (uint64_t I = 0; I != 24; ++I) {
+    const uint64_t Seed = fz::programSeed(testSeed(), I);
+    SCOPED_TRACE(::testing::Message() << "program index " << I << ", seed 0x"
+                                      << std::hex << Seed);
+    fz::GeneratedProgram P = genAt(Seed);
+    auto M = compile(P.Source);
+    ASSERT_NE(M, nullptr) << P.Source;
+    const int64_t Args[][2] = {{3, 5}, {250, -9}, {-1000000, 999983}};
+    for (const auto &AB : Args) {
+      const int64_t A = AB[0], B = AB[1];
+      RunResult R = runFunction(
+          *M, fz::GenEntryName,
+          {RtValue::fromI64(A), RtValue::fromI64(B)}, 20000000ull);
+      EXPECT_EQ(R.Status, RunStatus::Finished)
+          << "run(" << A << ", " << B << ") " << runStatusName(R.Status)
+          << "\n" << P.Source;
+    }
+  }
+}
+
+// Canonical-print fixpoint: parsing the printed source and printing the
+// result is byte-identical. (O1 additionally checks behavior; this pins
+// the printer half in isolation.)
+TEST(Fuzzer, PrinterRoundTripIsAFixpoint) {
+  IPAS_SEED_TRACE(testSeed());
+  for (uint64_t I = 0; I != 12; ++I) {
+    fz::GeneratedProgram P = genAt(fz::programSeed(testSeed(), I));
+    Diagnostics Diags;
+    Lexer Lex(P.Source, Diags);
+    Parser Psr(Lex.tokens(), Diags);
+    std::unique_ptr<TranslationUnit> TU = Psr.parseTranslationUnit();
+    ASSERT_TRUE(TU && !Diags.hasErrors()) << Diags.summary() << P.Source;
+    EXPECT_EQ(fz::printTranslationUnit(*TU), P.Source);
+  }
+}
+
+TEST(Fuzzer, OracleNamesParse) {
+  fz::OracleKind K;
+  bool IsAll = false;
+  EXPECT_TRUE(fz::parseOracleName("O2", K, IsAll));
+  EXPECT_EQ(K, fz::OracleKind::Optimizer);
+  EXPECT_TRUE(fz::parseOracleName("O4-lint", K, IsAll));
+  EXPECT_EQ(K, fz::OracleKind::Lint);
+  EXPECT_FALSE(fz::parseOracleName("all", K, IsAll));
+  EXPECT_TRUE(IsAll);
+  EXPECT_FALSE(fz::parseOracleName("bogus", K, IsAll));
+  EXPECT_FALSE(IsAll);
+}
+
+// End-to-end smoke: a small campaign over all four oracles is clean and
+// deterministic (same config twice gives the same report).
+TEST(Fuzzer, SmallCampaignPassesAllOracles) {
+  fz::FuzzConfig Cfg;
+  Cfg.Seed = testSeed();
+  Cfg.Count = 10;
+  Cfg.Shrink = false;
+  IPAS_SEED_TRACE(Cfg.Seed);
+  fz::FuzzReport R = fz::runFuzzCampaign(Cfg);
+  EXPECT_EQ(R.ProgramsRun, 10u);
+  EXPECT_EQ(R.OraclesRun, 40u);
+  for (const fz::FuzzFailure &F : R.Failures)
+    ADD_FAILURE() << fz::oracleName(F.Oracle) << " seed 0x" << std::hex
+                  << F.Seed << ": " << F.Detail << "\n" << F.Source;
+  fz::FuzzReport R2 = fz::runFuzzCampaign(Cfg);
+  EXPECT_EQ(R2.ProgramsRun, R.ProgramsRun);
+  EXPECT_EQ(R2.Failures.size(), R.Failures.size());
+}
+
+// The harness must be able to see a real bug: with the canned operand
+// swap injected into O2's optimized module, some program in a short
+// campaign diverges, and the shrinker reduces it to a tiny repro that
+// still fails for the same reason.
+TEST(Fuzzer, InjectedMiscompileIsCaughtAndShrunk) {
+  fz::OracleOptions Opts;
+  Opts.InjectMiscompile = true;
+  bool Caught = false;
+  for (uint64_t I = 0; I != 64 && !Caught; ++I) {
+    const uint64_t Seed = fz::programSeed(1, I);
+    fz::GeneratedProgram P = genAt(Seed);
+    fz::OracleResult R =
+        fz::runOracle(fz::OracleKind::Optimizer, P.Source, Opts);
+    if (R.Passed)
+      continue;
+    Caught = true;
+    EXPECT_FALSE(R.InvalidProgram) << R.Detail;
+    fz::ShrinkResult SR =
+        fz::shrinkFailure(P.Source, fz::OracleKind::Optimizer, Opts);
+    EXPECT_LE(SR.FinalLines, 25u) << SR.Source;
+    EXPECT_LE(SR.FinalLines, SR.OriginalLines);
+    // The minimized program must still trip the same oracle...
+    fz::OracleResult RMin =
+        fz::runOracle(fz::OracleKind::Optimizer, SR.Source, Opts);
+    EXPECT_FALSE(RMin.Passed) << SR.Source;
+    // ...and be a healthy program without the injected bug.
+    fz::OracleOptions Clean;
+    fz::OracleResult RClean =
+        fz::runOracle(fz::OracleKind::Optimizer, SR.Source, Clean);
+    EXPECT_TRUE(RClean.Passed) << RClean.Detail << "\n" << SR.Source;
+  }
+  EXPECT_TRUE(Caught) << "operand-swap miscompile never manifested";
+}

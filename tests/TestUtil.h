@@ -15,8 +15,31 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace ipas {
 namespace testutil {
+
+/// Base seed for randomized tests: the IPAS_TEST_SEED environment
+/// variable when set (decimal or 0x-hex), otherwise a fixed default so
+/// plain `ctest` runs are reproducible. Tests that draw randomness must
+/// use this seed (directly or via derived streams) and report it on
+/// failure with IPAS_SEED_TRACE, so any failure in a ctest log can be
+/// replayed with `IPAS_TEST_SEED=<seed> ctest -R <test>`.
+inline uint64_t testSeed() {
+  static const uint64_t Seed = [] {
+    const char *E = std::getenv("IPAS_TEST_SEED");
+    return (E && *E) ? static_cast<uint64_t>(std::strtoull(E, nullptr, 0))
+                     : static_cast<uint64_t>(0x1905);
+  }();
+  return Seed;
+}
+
+/// Attaches the active seed to every assertion failure in the enclosing
+/// scope, so the ctest log alone suffices to reproduce.
+#define IPAS_SEED_TRACE(SeedExpr)                                            \
+  SCOPED_TRACE(::testing::Message()                                          \
+               << "reproduce with IPAS_TEST_SEED=" << (SeedExpr))
 
 /// Compiles MiniC source, failing the test on diagnostics.
 inline std::unique_ptr<Module> compile(const std::string &Source,

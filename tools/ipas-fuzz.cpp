@@ -1,0 +1,191 @@
+//===- tools/ipas-fuzz.cpp - Differential fuzzing driver ------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Runs the randomized differential-testing campaign (src/testing/):
+/// generate seeded UB-free MiniC programs, check them against the four
+/// semantic oracles, and delta-debug any failure to a minimal repro.
+///
+///   ipas-fuzz --seed 1 --count 200                  # all oracles
+///   ipas-fuzz --seed 7 --count 50 --oracle O2       # optimizer only
+///   ipas-fuzz --seed 1 --count 200 --out-dir repro  # save failing .mc
+///   ipas-fuzz --emit-seed 42                        # print one program
+///   ipas-fuzz --selftest-shrink                     # harness self-test
+///
+/// Exit status: 0 all oracles passed, 1 failures found, 2 usage error.
+/// Output is deterministic for a fixed flag set (no timing, no pointers),
+/// so CI can diff entire runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/CliOptions.h"
+#include "support/ArgParser.h"
+#include "testing/Fuzzer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace ipas;
+using namespace ipas::testing;
+
+static bool writeFile(const std::filesystem::path &Path,
+                      const std::string &Contents) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << Contents;
+  return true;
+}
+
+/// --selftest-shrink: prove the harness catches and minimizes a real
+/// miscompile. Injects the canned operand-swap bug into O2's optimized
+/// module, scans campaign indices until the bug manifests (a program
+/// whose first integer sub is live and asymmetric), shrinks it, and
+/// enforces the acceptance bound on the repro size.
+static int runShrinkSelftest(uint64_t BaseSeed, const OracleOptions &Base) {
+  OracleOptions Opts = Base;
+  Opts.InjectMiscompile = true;
+  constexpr uint64_t MaxScan = 64;
+  constexpr size_t MaxReproLines = 25;
+  for (uint64_t I = 0; I != MaxScan; ++I) {
+    GenConfig GC;
+    GC.Seed = programSeed(BaseSeed, I);
+    GeneratedProgram P = generateProgram(GC);
+    OracleResult R = runOracle(OracleKind::Optimizer, P.Source, Opts);
+    if (R.Passed)
+      continue; // swap was dead or symmetric here; try the next program
+    ShrinkResult SR = shrinkFailure(P.Source, OracleKind::Optimizer, Opts);
+    std::printf("selftest: injected miscompile caught on program %llu "
+                "(seed 0x%llx)\n",
+                static_cast<unsigned long long>(I),
+                static_cast<unsigned long long>(GC.Seed));
+    std::printf("selftest: shrunk %zu -> %zu lines (%u candidates tried, "
+                "%u accepted)\n",
+                SR.OriginalLines, SR.FinalLines, SR.Attempts, SR.Accepted);
+    std::fputs(SR.Source.c_str(), stdout);
+    if (SR.FinalLines > MaxReproLines) {
+      std::fprintf(stderr,
+                   "selftest FAILED: repro is %zu lines (bound %zu)\n",
+                   SR.FinalLines, MaxReproLines);
+      return 1;
+    }
+    std::printf("selftest: ok\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "selftest FAILED: miscompile never manifested in %llu "
+               "programs\n",
+               static_cast<unsigned long long>(MaxScan));
+  return 1;
+}
+
+int main(int Argc, char **Argv) {
+  int64_t Seed = 1, Count = 200, MaxSteps = -1, EmitSeed = -1;
+  std::string OracleSel = "all", OutDir;
+  bool NoShrink = false, InjectMiscompile = false, SelftestShrink = false;
+
+  ArgParser P("ipas-fuzz: differential testing of the MiniC pipeline");
+  P.addInt("seed", &Seed, "campaign base seed");
+  P.addInt("count", &Count, "number of programs to generate");
+  P.addString("oracle", &OracleSel,
+              "oracle to run: O1..O4, a full name, or 'all'");
+  P.addString("out-dir", &OutDir,
+              "directory for failing-program .mc repro files");
+  P.addBool("no-shrink", &NoShrink, "report failures without minimizing");
+  P.addInt("max-steps", &MaxSteps, "interpreter step budget per run");
+  P.addInt("emit-seed", &EmitSeed,
+           "print the program generated from this seed and exit");
+  P.addBool("inject-miscompile", &InjectMiscompile,
+            "deliberately break O2's optimized module (harness check)");
+  P.addBool("selftest-shrink", &SelftestShrink,
+            "verify the shrinker minimizes an injected miscompile");
+  obs::CliOptions Obs;
+  obs::addCliFlags(P, Obs);
+  if (!P.parse(Argc, Argv))
+    return 2;
+  if (!P.positionals().empty()) {
+    std::fprintf(stderr, "usage: ipas-fuzz [flags]\n%s", P.usage().c_str());
+    return 2;
+  }
+  if (!obs::applyCliFlags(Obs, "ipas-fuzz",
+                          obs::AttrSet().addHex("seed",
+                                                static_cast<uint64_t>(Seed))))
+    return 2;
+
+  if (EmitSeed >= 0) {
+    GenConfig GC;
+    GC.Seed = static_cast<uint64_t>(EmitSeed);
+    GeneratedProgram Prog = generateProgram(GC);
+    std::fputs(Prog.Source.c_str(), stdout);
+    return 0;
+  }
+
+  FuzzConfig Cfg;
+  Cfg.Seed = static_cast<uint64_t>(Seed);
+  Cfg.Count = static_cast<uint64_t>(Count);
+  Cfg.Shrink = !NoShrink;
+  Cfg.Oracles.InjectMiscompile = InjectMiscompile;
+  if (MaxSteps > 0)
+    Cfg.Oracles.MaxSteps = static_cast<uint64_t>(MaxSteps);
+
+  if (SelftestShrink)
+    return runShrinkSelftest(Cfg.Seed, Cfg.Oracles);
+
+  bool IsAll = false;
+  OracleKind K = OracleKind::RoundTrip;
+  if (parseOracleName(OracleSel, K, IsAll)) {
+    Cfg.RunAll = false;
+    Cfg.Oracle = K;
+  } else if (!IsAll) {
+    std::fprintf(stderr, "error: unknown oracle '%s' (use O1..O4 or all)\n",
+                 OracleSel.c_str());
+    return 2;
+  }
+
+  if (!OutDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(OutDir, EC);
+    if (EC) {
+      std::fprintf(stderr, "error: cannot create out-dir '%s': %s\n",
+                   OutDir.c_str(), EC.message().c_str());
+      return 2;
+    }
+  }
+
+  FuzzReport Report = runFuzzCampaign(Cfg);
+
+  for (const FuzzFailure &F : Report.Failures) {
+    std::printf("FAIL %s program=%llu seed=0x%llx\n  %s\n",
+                oracleName(F.Oracle),
+                static_cast<unsigned long long>(F.Index),
+                static_cast<unsigned long long>(F.Seed), F.Detail.c_str());
+    if (Cfg.Shrink)
+      std::printf("  shrunk %zu -> %zu lines; repro:\n%s",
+                  F.ShrinkInfo.OriginalLines, F.ShrinkInfo.FinalLines,
+                  F.Shrunk.c_str());
+    if (!OutDir.empty()) {
+      std::filesystem::path Dir(OutDir);
+      char Name[64];
+      std::snprintf(Name, sizeof(Name), "fail-%llu-%s",
+                    static_cast<unsigned long long>(F.Index),
+                    oracleName(F.Oracle));
+      if (!writeFile(Dir / (std::string(Name) + ".mc"), F.Source) ||
+          (Cfg.Shrink &&
+           !writeFile(Dir / (std::string(Name) + "-min.mc"), F.Shrunk)))
+        return 2;
+    }
+  }
+
+  std::printf("fuzz: %llu programs, %llu oracle runs, %zu failures "
+              "(seed %lld, oracle %s)\n",
+              static_cast<unsigned long long>(Report.ProgramsRun),
+              static_cast<unsigned long long>(Report.OraclesRun),
+              Report.Failures.size(), static_cast<long long>(Seed),
+              Cfg.RunAll ? "all" : oracleName(Cfg.Oracle));
+  return Report.allPassed() ? 0 : 1;
+}
