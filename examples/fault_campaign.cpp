@@ -14,6 +14,7 @@
 
 #include "analysis/SocPropagation.h"
 #include "fault/Campaign.h"
+#include "fault/RecordBuild.h"
 #include "ir/IRPrinter.h"
 #include "obs/CliOptions.h"
 #include "support/ArgParser.h"
@@ -37,6 +38,10 @@ int main(int Argc, char **Argv) {
   P.addBool("prune", &Prune,
             "classify injections at provably-benign sites (static SOC "
             "propagation) without executing them");
+  std::string RecordOut;
+  P.addString("record-out", &RecordOut,
+              "write the campaign's .iprec record store (ipas-inspect) "
+              "here");
   obs::CliOptions Obs;
   obs::addCliFlags(P, Obs);
   if (!P.parse(Argc, Argv))
@@ -90,6 +95,25 @@ int main(int Argc, char **Argv) {
                 "provably-benign sites (%zu in the module)\n",
                 R.PrunedRuns, static_cast<long long>(Runs), R.PrunedSites,
                 Soc.numBenign());
+
+  if (!RecordOut.empty()) {
+    std::vector<unsigned> Trace = Harness.traceValueSteps(Layout);
+    RecordBuildInputs In;
+    In.M = M.get();
+    In.Result = &R;
+    In.EntryFunction = Workload::EntryName;
+    In.Label = WorkloadName;
+    In.Seed = CC.Seed;
+    In.SourceText = W->source();
+    In.ValueStepTrace = &Trace;
+    std::string Err;
+    if (!writeCampaignRecord(buildRecordStore(In), RecordOut, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("\nrecord store: %s (inspect with ipas-inspect)\n",
+                RecordOut.c_str());
+  }
 
   // Which static instructions were the worst SOC offenders?
   std::map<unsigned, int> SocHits;

@@ -6,11 +6,91 @@
 
 #include "core/Pipeline.h"
 
+#include "fault/RecordBuild.h"
 #include "frontend/Lexer.h"
 #include "obs/Trace.h"
 #include "support/Statistics.h"
 
 using namespace ipas;
+
+namespace {
+
+/// Writes the .iprec provenance record for one evaluated variant into
+/// Cfg.RecordDir. Classifier columns (score, prediction) are attached by
+/// exploiting the duplication layout: shadows and checks are inserted
+/// after their originals and renumber() preserves order, so the k-th
+/// non-shadow, non-check instruction of the protected module corresponds
+/// to unprotected instruction id k. When that correspondence does not
+/// hold (counts differ), the columns are left empty rather than guessed.
+void writeVariantRecord(const Workload &W, const PipelineConfig &Cfg,
+                        const IpasPipeline::ProtectedModule &PM,
+                        const VariantEvaluation &V,
+                        const TrainingArtifacts &A, uint64_t Seed) {
+  std::vector<Instruction *> Insts = PM.M->allInstructions();
+
+  std::vector<double> Scores;
+  std::vector<int> Predictions;
+  bool WantClassifier =
+      V.Tech == Technique::Ipas || V.Tech == Technique::Baseline;
+  if (WantClassifier) {
+    size_t NumOriginal = 0;
+    for (const Instruction *I : Insts)
+      if (I->dupRole() != DupRole::Shadow && I->dupRole() != DupRole::Check)
+        ++NumOriginal;
+    if (NumOriginal == A.Features.size()) {
+      const Dataset &Data =
+          V.Tech == Technique::Ipas ? A.IpasData : A.BaselineData;
+      SvmModel Model = trainCSvc(Data, V.Config.Params);
+      Scores.resize(Insts.size(), 0.0);
+      Predictions.resize(Insts.size(), 0);
+      size_t K = 0;
+      for (const Instruction *I : Insts) {
+        if (I->dupRole() == DupRole::Shadow ||
+            I->dupRole() == DupRole::Check)
+          continue;
+        const FeatureVector &FV = A.Features[K++];
+        std::vector<double> X =
+            A.Scaler.transform(std::vector<double>(FV.begin(), FV.end()));
+        Scores[I->id()] = Model.decision(X);
+        Predictions[I->id()] = Model.predict(X);
+      }
+    }
+  }
+
+  WorkloadHarness Harness(W, Cfg.InputLevel);
+  std::vector<unsigned> StepTrace = Harness.traceValueSteps(*PM.Layout);
+
+  FeatureExtractor Extractor;
+  std::vector<std::vector<double>> Rows = Extractor.extractModuleRows(*PM.M);
+  std::vector<double> Flat;
+  Flat.reserve(Rows.size() * Extractor.numFeatures());
+  for (const std::vector<double> &Row : Rows)
+    Flat.insert(Flat.end(), Row.begin(), Row.end());
+
+  RecordBuildInputs In;
+  In.M = PM.M.get();
+  In.Result = &V.Campaign;
+  In.EntryFunction = Workload::EntryName;
+  In.Label = V.Label;
+  In.Seed = Seed;
+  In.SourceText = W.source();
+  In.ValueStepTrace = &StepTrace;
+  In.NumFeatures = Extractor.numFeatures();
+  In.Features = &Flat;
+  if (!Scores.empty()) {
+    In.Scores = &Scores;
+    In.Predictions = &Predictions;
+  }
+
+  std::string Path = Cfg.RecordDir + "/" + W.name() + "-" + V.Label +
+                     ".iprec";
+  std::string Err;
+  if (!writeCampaignRecord(buildRecordStore(In), Path, &Err))
+    std::fprintf(stderr, "warning: cannot write record store: %s\n",
+                 Err.c_str());
+}
+
+} // namespace
 
 const char *ipas::techniqueName(Technique T) {
   switch (T) {
@@ -255,6 +335,8 @@ WorkloadEvaluation IpasPipeline::run() {
     Span.addAttr(obs::AttrSet()
                      .add("slowdown", V.Slowdown)
                      .add("soc_reduction_pct", V.SocReductionPct));
+    if (!Cfg.RecordDir.empty())
+      writeVariantRecord(W, Cfg, PM, V, WE.Training, Seed);
     WE.Variants.push_back(std::move(V));
   };
 

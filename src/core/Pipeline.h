@@ -49,6 +49,11 @@ struct PipelineConfig {
   GridSearchConfig Grid;   ///< Defaults below; paperScale() for 25x20.
   unsigned TopN = 5;       ///< Paper: top-5 configurations (§6.1).
   uint64_t Seed = 0xA11CE;
+  /// When non-empty, every evaluation campaign writes its .iprec
+  /// provenance record store into this directory (one file per variant,
+  /// named <workload>-<label>.iprec) for ipas-inspect. The directory
+  /// must already exist. See docs/OBSERVABILITY.md.
+  std::string RecordDir;
 
   /// Scaled-down defaults that keep a full five-workload evaluation in
   /// the minutes range on a laptop.

@@ -178,16 +178,18 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
       Rec.TargetValueStep = Plan.TargetValueStep;
       Rec.Result = Outcome::Masked;
     } else {
-      uint64_t T0 = Stats ? obs::monotonicMicros() : 0;
+      uint64_t T0 = obs::monotonicMicros();
       ExecutionRecord R = Harness.execute(Layout, &Plan, Budget);
+      uint64_t Us = obs::monotonicMicros() - T0;
       assert((R.Status != RunStatus::Finished || R.FaultInjected) &&
              "the clean prefix must always reach the target step");
       Rec.InstructionId = R.FaultedInstructionId;
       Rec.BitIndex = static_cast<unsigned>(Plan.BitDraw % 64);
       Rec.TargetValueStep = Plan.TargetValueStep;
       Rec.Result = classifyOutcome(R);
+      Rec.LatencyUs =
+          Us > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(Us);
       if (Stats) {
-        uint64_t Us = obs::monotonicMicros() - T0;
         FaultMetrics::get().RunMicros.observe(Us);
         if (TraceRuns)
           obs::TraceSink::event(

@@ -67,6 +67,10 @@ struct InjectionRecord {
   unsigned BitIndex = 0;      ///< Bit flipped (modulo the result width).
   uint64_t TargetValueStep = 0;
   Outcome Result = Outcome::Masked;
+  /// Wall time of this injected run in microseconds (0 for pruned runs).
+  /// Measured unconditionally — two clock reads per run — and persisted
+  /// into the record store; not part of the deterministic record stream.
+  uint32_t LatencyUs = 0;
 };
 
 struct CampaignResult {

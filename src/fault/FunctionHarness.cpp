@@ -1,0 +1,53 @@
+//===- fault/FunctionHarness.cpp ----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FunctionHarness.h"
+
+#include "ir/Module.h"
+
+using namespace ipas;
+
+ExecutionRecord FunctionHarness::execute(const ModuleLayout &Layout,
+                                         const FaultPlan *Plan,
+                                         uint64_t StepBudget) {
+  ExecutionContext Ctx(Layout);
+  if (Plan)
+    Ctx.setFaultPlan(*Plan);
+  const Function *F = Layout.module().getFunction(Entry);
+  assert(F && "harness entry function not found");
+  Ctx.start(F, Args);
+  RunStatus S = Ctx.run(StepBudget);
+
+  ExecutionRecord R;
+  R.Status = S;
+  R.Trap = Ctx.trap();
+  R.Steps = Ctx.steps();
+  R.ValueSteps = Ctx.valueSteps();
+  R.FaultInjected = Ctx.faultWasInjected();
+  R.FaultedInstructionId = Ctx.faultedInstructionId();
+  if (S == RunStatus::Finished) {
+    uint64_t Bits = Ctx.returnValue().Bits;
+    if (!HaveGolden) {
+      GoldenBits = Bits;
+      HaveGolden = true;
+      R.OutputValid = true;
+    } else {
+      R.OutputValid = Bits == GoldenBits;
+    }
+  }
+  return R;
+}
+
+std::vector<unsigned>
+FunctionHarness::traceValueSteps(const ModuleLayout &Layout) {
+  std::vector<unsigned> Trace;
+  ExecutionContext Ctx(Layout);
+  Ctx.setValueStepTrace(&Trace);
+  Ctx.start(Layout.module().getFunction(Entry), Args);
+  if (Ctx.run(UINT64_MAX) != RunStatus::Finished)
+    Trace.clear(); // tracing failed: disable pruning rather than misprune
+  return Trace;
+}

@@ -1,0 +1,107 @@
+//===- fault/RecordBuild.cpp --------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/RecordBuild.h"
+
+#include "ir/Module.h"
+#include "obs/Trace.h"
+
+#include <cassert>
+#include <map>
+
+using namespace ipas;
+
+obs::RecordStore ipas::buildRecordStore(const RecordBuildInputs &In) {
+  assert(In.M && In.Result && "module and campaign result are required");
+  const Module &M = *In.M;
+  const CampaignResult &R = *In.Result;
+
+  obs::RecordStore S;
+  S.ModuleName = M.name();
+  S.EntryFunction = In.EntryFunction;
+  S.Label = In.Label;
+  S.Seed = In.Seed;
+  S.CleanSteps = R.CleanSteps;
+  S.CleanValueSteps = R.CleanValueSteps;
+  S.PrunedRuns = R.PrunedRuns;
+  S.PrunedSites = R.PrunedSites;
+  S.SourceText = In.SourceText;
+
+  // Per-instruction dynamic execution counts from the clean trace.
+  std::vector<uint64_t> DynCounts;
+  if (In.ValueStepTrace) {
+    for (unsigned Id : *In.ValueStepTrace) {
+      if (Id >= DynCounts.size())
+        DynCounts.resize(Id + 1, 0);
+      ++DynCounts[Id];
+    }
+  }
+
+  std::map<const Function *, uint32_t> FnIndex;
+  std::vector<Instruction *> Insts = M.allInstructions();
+  S.Instructions.reserve(Insts.size());
+  for (const Instruction *I : Insts) {
+    obs::InstrRecord Rec;
+    Rec.Id = I->id();
+    Rec.Opcode = static_cast<uint8_t>(I->opcode());
+    Rec.DupRole = static_cast<uint8_t>(I->dupRole());
+    Rec.Protected_ = I->dupRole() == DupRole::Original ? 1 : 0;
+    Rec.Line = I->debugLoc().Line;
+    Rec.Col = I->debugLoc().Col;
+    const Function *F = I->parent() ? I->parent()->parent() : nullptr;
+    auto It = FnIndex.find(F);
+    if (It == FnIndex.end()) {
+      It = FnIndex.emplace(F, static_cast<uint32_t>(S.Functions.size()))
+               .first;
+      S.Functions.push_back(F ? F->name() : std::string("<detached>"));
+    }
+    Rec.FunctionIndex = It->second;
+    if (Rec.Id < DynCounts.size())
+      Rec.DynExecCount = DynCounts[Rec.Id];
+    if (In.Scores && Rec.Id < In.Scores->size())
+      Rec.Score = (*In.Scores)[Rec.Id];
+    if (In.Predictions && Rec.Id < In.Predictions->size()) {
+      int P = (*In.Predictions)[Rec.Id];
+      Rec.Predicted = P > 0 ? obs::PredictProtect
+                            : (P < 0 ? obs::PredictSkip : obs::PredictNone);
+    }
+    S.Instructions.push_back(Rec);
+  }
+
+  if (In.Features && In.NumFeatures) {
+    assert(In.Features->size() == Insts.size() * In.NumFeatures &&
+           "feature matrix shape mismatch");
+    S.NumFeatures = In.NumFeatures;
+    S.Features = *In.Features;
+  }
+
+  S.Rows.reserve(R.Records.size());
+  for (const InjectionRecord &Rec : R.Records) {
+    obs::InjectionRow Row;
+    Row.InstructionId = Rec.InstructionId;
+    Row.BitIndex = Rec.BitIndex;
+    Row.TargetValueStep = Rec.TargetValueStep;
+    Row.Outcome = static_cast<uint8_t>(Rec.Result);
+    Row.LatencyUs = Rec.LatencyUs;
+    S.Rows.push_back(Row);
+  }
+  S.tallyOutcomes();
+  return S;
+}
+
+bool ipas::writeCampaignRecord(const obs::RecordStore &S,
+                               const std::string &Path, std::string *Err) {
+  if (!obs::writeRecordStore(S, Path, Err))
+    return false;
+  obs::AttrSet Attrs;
+  Attrs.add("label", S.Label.empty() ? "campaign" : S.Label.c_str())
+      .add("path", Path)
+      .add("rows", static_cast<uint64_t>(S.Rows.size()));
+  for (size_t O = 0; O != S.OutcomeTotals.size() && O != NumOutcomes; ++O)
+    Attrs.add(outcomeName(static_cast<Outcome>(O)), S.OutcomeTotals[O]);
+  obs::TraceSink::event("campaign.record", Attrs);
+  return true;
+}

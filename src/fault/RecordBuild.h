@@ -1,0 +1,64 @@
+//===- fault/RecordBuild.h - Campaign result -> .iprec record store -------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the fault layer and the dependency-free obs::RecordStore:
+/// converts a Module + CampaignResult (plus optional classifier columns
+/// the driver computed with analysis/ml, which this layer cannot see)
+/// into a provenance store, and writes it with a `campaign.record` trace
+/// event so ipas-report can cross-check trace totals against store
+/// totals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_FAULT_RECORDBUILD_H
+#define IPAS_FAULT_RECORDBUILD_H
+
+#include "fault/Campaign.h"
+#include "obs/RecordStore.h"
+
+#include <string>
+#include <vector>
+
+namespace ipas {
+
+class Module;
+
+/// Everything buildRecordStore needs. Module and campaign result are
+/// required; the rest enriches the store when available.
+struct RecordBuildInputs {
+  const Module *M = nullptr;
+  const CampaignResult *Result = nullptr;
+  std::string EntryFunction;
+  std::string Label;
+  uint64_t Seed = 0;
+  /// MiniC source of the module (pre-protection), for annotated listings.
+  std::string SourceText;
+  /// Clean-run value-step trace (Harness.traceValueSteps); used to derive
+  /// per-instruction dynamic execution counts. Optional.
+  const std::vector<unsigned> *ValueStepTrace = nullptr;
+  /// Classifier columns, indexed by instruction id (size must be the
+  /// module's instruction count when present). Optional.
+  const std::vector<double> *Scores = nullptr;
+  const std::vector<int> *Predictions = nullptr; ///< +1 protect / -1 skip.
+  /// Static feature matrix, instruction-id major. Optional.
+  uint32_t NumFeatures = 0;
+  const std::vector<double> *Features = nullptr;
+};
+
+/// Builds the in-memory store. The module must be renumber()ed and must
+/// be the module the campaign ran on (row instruction ids index into it).
+obs::RecordStore buildRecordStore(const RecordBuildInputs &In);
+
+/// Writes \p S to \p Path and emits a `campaign.record` trace event
+/// carrying the path, label, and per-outcome totals. Returns false and
+/// sets \p Err on I/O failure.
+bool writeCampaignRecord(const obs::RecordStore &S, const std::string &Path,
+                         std::string *Err = nullptr);
+
+} // namespace ipas
+
+#endif // IPAS_FAULT_RECORDBUILD_H

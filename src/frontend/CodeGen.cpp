@@ -72,6 +72,10 @@ bool CodeGen::declareFunctions(const TranslationUnit &TU) {
 
 void CodeGen::startBlock(BasicBlock *BB) { B->setInsertPoint(BB); }
 
+void CodeGen::setLoc(SourceLoc L) {
+  B->setCurrentDebugLoc(DebugLoc(L.Line, L.Column));
+}
+
 bool CodeGen::blockTerminated() const {
   BasicBlock *BB = B->insertBlock();
   return !BB->empty() && BB->back()->isTerminator();
@@ -82,6 +86,7 @@ Value *CodeGen::createLocalAlloca(uint64_t Slots, const std::string &Name) {
   // inside a loop does not grow the frame every iteration.
   auto *A = new AllocaInst(Slots);
   A->setName(Name);
+  A->setDebugLoc(B->currentDebugLoc());
   if (NumEntryAllocas < EntryBlock->size())
     EntryBlock->insertBefore(EntryBlock->at(NumEntryAllocas),
                              std::unique_ptr<Instruction>(A));
@@ -110,11 +115,13 @@ void CodeGen::genFunction(const FunctionDecl &FD) {
 
   EntryBlock = CurFn->addBlock("entry");
   startBlock(EntryBlock);
+  setLoc(FD.Loc);
 
   // Spill parameters into allocas so they are ordinary mutable locals.
   Scopes.emplace_back();
   for (unsigned I = 0; I != CurFn->numArgs(); ++I) {
     const ParamDecl &P = FD.Params[I];
+    setLoc(P.Loc);
     Value *Slot = createLocalAlloca(1, P.Name + ".addr");
     B->createStore(CurFn->arg(I), Slot);
     if (Scopes.back().count(P.Name))
@@ -124,7 +131,9 @@ void CodeGen::genFunction(const FunctionDecl &FD) {
 
   genBlock(*FD.Body);
 
-  // Close every unterminated block with an implicit return.
+  // Close every unterminated block with an implicit return, attributed to
+  // the function declaration (there is no closing-brace location).
+  setLoc(FD.Loc);
   for (BasicBlock *BB : *CurFn) {
     if (BB->terminator())
       continue;
@@ -156,6 +165,7 @@ void CodeGen::genStatement(const Stmt &S) {
         CurFn->addBlock("dead." + std::to_string(NextBlockId++));
     startBlock(Dead);
   }
+  setLoc(S.Loc);
   switch (S.Kind) {
   case StmtKind::Block:
     genBlock(static_cast<const BlockStmt &>(S));
@@ -403,6 +413,7 @@ static CmpPredicate predicateFor(TokenKind K) {
 }
 
 Value *CodeGen::genCondition(const Expr &E) {
+  setLoc(E.Loc);
   // Fold `a < b` style conditions straight to an i1 without the
   // int-materialization round trip.
   if (E.Kind == ExprKind::Binary) {
@@ -412,6 +423,7 @@ Value *CodeGen::genCondition(const Expr &E) {
       RValue R = genExpr(*Bin.RHS);
       if (!L.valid() || !R.valid())
         return nullptr;
+      setLoc(Bin.Loc);
       if (L.Ty.isPointer() && R.Ty.isPointer())
         return B->createICmp(predicateFor(Bin.Op), L.V, R.V);
       if (!usualArithmetic(L, R, Bin.Loc))
@@ -424,10 +436,12 @@ Value *CodeGen::genCondition(const Expr &E) {
   RValue V = genExpr(E);
   if (!V.valid())
     return nullptr;
+  setLoc(E.Loc);
   return toBool(V, E.Loc);
 }
 
 CodeGen::RValue CodeGen::genExpr(const Expr &E) {
+  setLoc(E.Loc);
   switch (E.Kind) {
   case ExprKind::IntLit:
     return {B->getInt64(static_cast<const IntLitExpr &>(E).Value),
@@ -478,6 +492,7 @@ CodeGen::RValue CodeGen::genBinary(const BinaryExpr &E) {
   RValue R = genExpr(*E.RHS);
   if (!L.valid() || !R.valid())
     return {};
+  setLoc(E.Loc);
 
   // Pointer arithmetic: ptr + int, ptr - int (element-granular like C).
   if (L.Ty.isPointer() &&
@@ -563,6 +578,7 @@ CodeGen::RValue CodeGen::genShortCircuit(const BinaryExpr &E) {
   B->createBr(MergeBB);
 
   startBlock(MergeBB);
+  setLoc(E.Loc);
   return {B->createLoad(types::I64, Tmp), MCType::intTy()};
 }
 
@@ -663,6 +679,7 @@ CodeGen::RValue CodeGen::genAssign(const AssignExpr &E) {
   RValue Val = genExpr(*E.Value);
   if (!Val.valid())
     return {};
+  setLoc(E.Loc);
 
   if (E.Op != TokenKind::Assign) {
     // Compound assignment: load, combine, store.
@@ -705,6 +722,7 @@ CodeGen::RValue CodeGen::genCall(const CallExpr &E) {
       return {};
     Args.push_back(V);
   }
+  setLoc(E.Loc);
 
   // Runtime intrinsic?
   Intrinsic I = intrinsicByName(E.Callee.c_str());
@@ -757,6 +775,10 @@ CodeGen::RValue CodeGen::genCall(const CallExpr &E) {
 std::unique_ptr<Module> ipas::compileMiniC(const std::string &Source,
                                            const std::string &ModuleName,
                                            Diagnostics &Diags) {
+  // Attach the source so errors can quote the offending line; a driver
+  // that already attached the real file path wins (setSource keeps the
+  // first attachment).
+  Diags.setSource(ModuleName, Source);
   Lexer Lex(Source, Diags);
   if (Diags.hasErrors())
     return nullptr;

@@ -90,6 +90,8 @@ private:
   LocalVar *lookup(const std::string &Name);
   bool blockTerminated() const;
   void startBlock(BasicBlock *BB);
+  /// Stamps subsequent instructions with the AST node's source location.
+  void setLoc(SourceLoc L);
 
   Diagnostics &Diags;
   std::unique_ptr<Module> M;

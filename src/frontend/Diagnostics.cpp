@@ -10,9 +10,45 @@
 
 using namespace ipas;
 
+void Diagnostics::setSource(const std::string &Name,
+                            const std::string &Source) {
+  if (HasSource)
+    return;
+  HasSource = true;
+  SourceName = Name;
+  SourceLines.clear();
+  std::string Line;
+  for (char C : Source) {
+    if (C == '\n') {
+      SourceLines.push_back(std::move(Line));
+      Line.clear();
+    } else {
+      Line.push_back(C);
+    }
+  }
+  if (!Line.empty())
+    SourceLines.push_back(std::move(Line));
+}
+
 void Diagnostics::error(SourceLoc Loc, const std::string &Message) {
   std::ostringstream OS;
-  OS << "line " << Loc.Line << ":" << Loc.Column << ": error: " << Message;
+  if (HasSource)
+    OS << SourceName << ":" << Loc.Line << ":" << Loc.Column
+       << ": error: " << Message;
+  else
+    OS << "line " << Loc.Line << ":" << Loc.Column << ": error: " << Message;
+  // Quote the offending line with a caret under the column.
+  if (Loc.Line >= 1 && Loc.Line <= SourceLines.size()) {
+    const std::string &Src = SourceLines[Loc.Line - 1];
+    OS << "\n  " << Src << "\n  ";
+    unsigned Col = Loc.Column > 0 ? Loc.Column - 1 : 0;
+    if (Col > Src.size())
+      Col = static_cast<unsigned>(Src.size());
+    // Keep the caret aligned under tabs by echoing them.
+    for (unsigned I = 0; I != Col; ++I)
+      OS << (Src[I] == '\t' ? '\t' : ' ');
+    OS << "^";
+  }
   Errors.push_back(OS.str());
 }
 

@@ -21,6 +21,15 @@ struct SourceLoc {
 /// Collects compile errors; the driver decides how to surface them.
 class Diagnostics {
 public:
+  /// Attaches the source buffer and a display name (file path or module
+  /// name). Once attached, errors render clang-style —
+  /// `name:line:col: error: msg` followed by the offending source line
+  /// and a caret. A later call does not overwrite an earlier one, so a
+  /// driver that knows the real file path can attach it before handing
+  /// the object to compileMiniC.
+  void setSource(const std::string &Name, const std::string &Source);
+  bool hasSource() const { return HasSource; }
+
   void error(SourceLoc Loc, const std::string &Message);
 
   bool hasErrors() const { return !Errors.empty(); }
@@ -30,6 +39,9 @@ public:
   std::string summary() const;
 
 private:
+  bool HasSource = false;
+  std::string SourceName;
+  std::vector<std::string> SourceLines;
   std::vector<std::string> Errors;
 };
 

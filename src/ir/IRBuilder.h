@@ -28,6 +28,12 @@ public:
   BasicBlock *insertBlock() const { return BB; }
   Module &module() const { return M; }
 
+  /// Every instruction created until the next call is stamped with \p L.
+  /// The frontend sets this from the AST node it is lowering; IR built by
+  /// hand (tests, synthetic modules) carries the invalid default location.
+  void setCurrentDebugLoc(DebugLoc L) { CurLoc = L; }
+  DebugLoc currentDebugLoc() const { return CurLoc; }
+
   // Constants.
   ConstantInt *getInt64(int64_t V) { return M.getInt64(V); }
   ConstantInt *getBool(bool V) { return M.getBool(V); }
@@ -136,11 +142,13 @@ private:
     assert(BB && "no insertion point set");
     if (!Name.empty())
       I->setName(Name);
+    I->setDebugLoc(CurLoc);
     return BB->append(std::unique_ptr<Instruction>(I));
   }
 
   Module &M;
   BasicBlock *BB = nullptr;
+  DebugLoc CurLoc;
 };
 
 } // namespace ipas

@@ -180,7 +180,7 @@ Value *PhiInst::incomingValueFor(const BasicBlock *BB) const {
   return nullptr;
 }
 
-Instruction *PhiInst::clone() const {
+Instruction *PhiInst::cloneImpl() const {
   auto *P = new PhiInst(type());
   for (unsigned I = 0, E = numIncoming(); I != E; ++I)
     P->addIncoming(incomingValue(I), Blocks[I]);
@@ -203,7 +203,7 @@ CallInst::CallInst(Intrinsic IntrinsicId, Type ResultType,
   assert(IntrinsicId != Intrinsic::None && "intrinsic call requires an id");
 }
 
-Instruction *CallInst::clone() const {
+Instruction *CallInst::cloneImpl() const {
   std::vector<Value *> Args(operands().begin(), operands().end());
   if (isIntrinsicCall())
     return new CallInst(IntrinsicId, type(), std::move(Args));

@@ -120,6 +120,25 @@ enum class DupRole : uint8_t {
 
 const char *dupRoleName(DupRole R);
 
+/// Source attribution for an instruction: the 1-based line/column of the
+/// MiniC construct it was compiled from. Line 0 means "no location"; the
+/// verifier can require valid locations on every instruction (see
+/// VerifierOptions::RequireDebugLocs) so that campaign provenance stores
+/// can attribute every injection to a source line.
+struct DebugLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  DebugLoc() = default;
+  DebugLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const DebugLoc &O) const {
+    return Line == O.Line && Col == O.Col;
+  }
+  bool operator!=(const DebugLoc &O) const { return !(*this == O); }
+};
+
 /// Base class of all IR instructions. Owns its operand list and keeps the
 /// operands' use lists in sync.
 class Instruction : public Value {
@@ -167,9 +186,21 @@ public:
   Instruction *dupLink() const { return Link; }
   void setDupLink(Instruction *I) { Link = I; }
 
+  /// Source attribution, stamped by the frontend (via IRBuilder) and
+  /// inherited through clone() and the transform passes.
+  DebugLoc debugLoc() const { return Loc; }
+  void setDebugLoc(DebugLoc L) { Loc = L; }
+
   /// Creates an unattached copy of this instruction referencing the same
   /// operands. Branch targets and phi incoming blocks are copied verbatim.
-  virtual Instruction *clone() const = 0;
+  /// The copy inherits this instruction's DebugLoc (a shadow protects the
+  /// same source line as its original) but, deliberately, not its DupRole
+  /// — a clone of a shadow is not itself a shadow.
+  Instruction *clone() const {
+    Instruction *C = cloneImpl();
+    C->Loc = Loc;
+    return C;
+  }
 
   /// Number of successor blocks (nonzero only for Br/CondBr).
   unsigned numSuccessors() const;
@@ -182,6 +213,10 @@ public:
 protected:
   Instruction(Opcode Op, Type T, std::vector<Value *> Ops);
 
+  /// Subclass hook for clone(): copies opcode-specific state; the base
+  /// clone() wrapper copies the shared DebugLoc.
+  virtual Instruction *cloneImpl() const = 0;
+
   /// Appends an operand after construction (phi incoming values),
   /// maintaining the use list.
   void appendOperand(Value *V);
@@ -193,6 +228,7 @@ private:
   unsigned Id = 0;
   DupRole Role = DupRole::None;
   Instruction *Link = nullptr;
+  DebugLoc Loc;
 };
 
 /// Integer or floating-point binary operation.
@@ -207,7 +243,7 @@ public:
   Value *lhs() const { return operand(0); }
   Value *rhs() const { return operand(1); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new BinaryInst(opcode(), operand(0), operand(1));
   }
 
@@ -230,7 +266,7 @@ public:
   Value *lhs() const { return operand(0); }
   Value *rhs() const { return operand(1); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new CmpInst(opcode(), Pred, operand(0), operand(1));
   }
 
@@ -252,7 +288,7 @@ public:
 
   Value *source() const { return operand(0); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new CastInst(opcode(), operand(0));
   }
 
@@ -287,7 +323,7 @@ public:
 
   uint64_t slotCount() const { return Slots; }
 
-  Instruction *clone() const override { return new AllocaInst(Slots); }
+  Instruction *cloneImpl() const override { return new AllocaInst(Slots); }
 
   static bool classof(const Value *V) {
     auto *I = dyn_cast<Instruction>(V);
@@ -308,7 +344,7 @@ public:
 
   Value *pointer() const { return operand(0); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new LoadInst(type(), operand(0));
   }
 
@@ -329,7 +365,7 @@ public:
   Value *storedValue() const { return operand(0); }
   Value *pointer() const { return operand(1); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new StoreInst(operand(0), operand(1));
   }
 
@@ -351,7 +387,7 @@ public:
   Value *base() const { return operand(0); }
   Value *index() const { return operand(1); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new GepInst(operand(0), operand(1));
   }
 
@@ -383,7 +419,7 @@ public:
   /// Returns the incoming value for \p BB; null when BB is not incoming.
   Value *incomingValueFor(const BasicBlock *BB) const;
 
-  Instruction *clone() const override;
+  Instruction *cloneImpl() const override;
 
   static bool classof(const Value *V) {
     auto *I = dyn_cast<Instruction>(V);
@@ -407,7 +443,7 @@ public:
   Value *trueValue() const { return operand(1); }
   Value *falseValue() const { return operand(2); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new SelectInst(operand(0), operand(1), operand(2));
   }
 
@@ -430,7 +466,7 @@ public:
   unsigned numArgs() const { return numOperands(); }
   Value *arg(unsigned I) const { return operand(I); }
 
-  Instruction *clone() const override;
+  Instruction *cloneImpl() const override;
 
   static bool classof(const Value *V) {
     auto *I = dyn_cast<Instruction>(V);
@@ -455,7 +491,7 @@ public:
   Value *original() const { return operand(0); }
   Value *shadow() const { return operand(1); }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new CheckInst(operand(0), operand(1));
   }
 
@@ -476,7 +512,7 @@ public:
   BasicBlock *target() const { return Target; }
   void setTarget(BasicBlock *BB) { Target = BB; }
 
-  Instruction *clone() const override { return new BranchInst(Target); }
+  Instruction *cloneImpl() const override { return new BranchInst(Target); }
 
   static bool classof(const Value *V) {
     auto *I = dyn_cast<Instruction>(V);
@@ -503,7 +539,7 @@ public:
   void setTrueTarget(BasicBlock *BB) { TrueTarget = BB; }
   void setFalseTarget(BasicBlock *BB) { FalseTarget = BB; }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new CondBranchInst(operand(0), TrueTarget, FalseTarget);
   }
 
@@ -530,7 +566,7 @@ public:
     return operand(0);
   }
 
-  Instruction *clone() const override {
+  Instruction *cloneImpl() const override {
     return new RetInst(hasReturnValue() ? operand(0) : nullptr);
   }
 

@@ -20,12 +20,15 @@ namespace {
 /// Collects violations for one function.
 class FunctionVerifier {
 public:
-  explicit FunctionVerifier(const Function &F) : F(F) {}
+  FunctionVerifier(const Function &F, const VerifierOptions &Opts)
+      : F(F), Opts(Opts) {}
 
   std::vector<std::string> run() {
     checkBlocks();
     checkInstructions();
     checkDominance();
+    if (Opts.RequireDebugLocs)
+      checkDebugLocs();
     return std::move(Errors);
   }
 
@@ -258,20 +261,40 @@ private:
     }
   }
 
+  /// Provenance completeness: every instruction carries a valid source
+  /// location so campaign record stores can attribute it to a line.
+  void checkDebugLocs() {
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        if (!I->debugLoc().isValid())
+          report("missing debug location on " + describe(I));
+  }
+
   const Function &F;
+  VerifierOptions Opts;
   std::vector<std::string> Errors;
 };
 
 } // namespace
 
 std::vector<std::string> ipas::verifyFunction(const Function &F) {
-  return FunctionVerifier(F).run();
+  return verifyFunction(F, VerifierOptions());
+}
+
+std::vector<std::string> ipas::verifyFunction(const Function &F,
+                                              const VerifierOptions &Opts) {
+  return FunctionVerifier(F, Opts).run();
 }
 
 std::vector<std::string> ipas::verifyModule(const Module &M) {
+  return verifyModule(M, VerifierOptions());
+}
+
+std::vector<std::string> ipas::verifyModule(const Module &M,
+                                            const VerifierOptions &Opts) {
   std::vector<std::string> All;
   for (Function *F : M) {
-    std::vector<std::string> Errs = verifyFunction(*F);
+    std::vector<std::string> Errs = verifyFunction(*F, Opts);
     All.insert(All.end(), Errs.begin(), Errs.end());
   }
   return All;

@@ -15,15 +15,28 @@ namespace ipas {
 class Function;
 class Module;
 
+/// Optional strictness knobs layered on top of the structural checks.
+struct VerifierOptions {
+  /// Require a valid DebugLoc (Line != 0) on every instruction. Enabled
+  /// for modules compiled from MiniC source (the frontend stamps every
+  /// instruction), where a missing location would break campaign
+  /// provenance attribution; hand-built test IR leaves this off.
+  bool RequireDebugLocs = false;
+};
+
 /// Checks structural invariants: every block ends in exactly one
 /// terminator, phis are at the top of their block and match the
 /// predecessor set, operand types match opcode expectations, calls match
 /// callee/intrinsic signatures, and every SSA use is dominated by its
 /// definition. Returns human-readable violation messages (empty = valid).
 std::vector<std::string> verifyFunction(const Function &F);
+std::vector<std::string> verifyFunction(const Function &F,
+                                        const VerifierOptions &Opts);
 
 /// Verifies every function in \p M.
 std::vector<std::string> verifyModule(const Module &M);
+std::vector<std::string> verifyModule(const Module &M,
+                                      const VerifierOptions &Opts);
 
 } // namespace ipas
 

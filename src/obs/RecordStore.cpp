@@ -1,0 +1,361 @@
+//===- obs/RecordStore.cpp ----------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// File layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "IPASREC\0"
+//   8       4     version (u32, currently 1)
+//   12      8     payload length (u64, bytes following this field minus
+//                 the trailing 8-byte checksum)
+//   20      N     payload (see serializePayload)
+//   20+N    8     FNV-1a 64 checksum of the payload bytes
+//
+// The payload is a flat sequence of fields; strings are u32 length +
+// bytes, vectors are u64 count + elements. Doubles are stored as the
+// IEEE-754 bit pattern in a u64, so round trips are bit-exact (including
+// NaNs and signed zeros).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/RecordStore.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+namespace {
+
+constexpr char Magic[8] = {'I', 'P', 'A', 'S', 'R', 'E', 'C', '\0'};
+
+constexpr uint64_t FnvOffset = 1469598103934665603ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(const char *Data, size_t Len) {
+  uint64_t H = FnvOffset;
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoder
+//===----------------------------------------------------------------------===//
+
+class Encoder {
+public:
+  explicit Encoder(std::string &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void f64(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+
+private:
+  std::string &Out;
+};
+
+//===----------------------------------------------------------------------===//
+// Decoder
+//===----------------------------------------------------------------------===//
+
+class Decoder {
+public:
+  Decoder(const char *Data, size_t Len) : Data(Data), Len(Len) {}
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Pos == Len; }
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(Data[Pos++]);
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(Data[Pos + I]))
+           << (8 * I);
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(Data[Pos + I]))
+           << (8 * I);
+    Pos += 8;
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return std::string();
+    std::string S(Data + Pos, N);
+    Pos += N;
+    return S;
+  }
+  /// A count that is about to size a container: reject values that could
+  /// not possibly fit in the remaining bytes (at least one byte per
+  /// element) so a corrupt count fails cleanly instead of allocating.
+  uint64_t count(size_t MinElemSize) {
+    uint64_t N = u64();
+    if (ok() && MinElemSize > 0 && N > (Len - Pos) / MinElemSize)
+      Failed = true;
+    return Failed ? 0 : N;
+  }
+
+private:
+  bool need(size_t N) {
+    if (Failed || Len - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  const char *Data;
+  size_t Len;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+void serializePayload(const RecordStore &S, Encoder &E) {
+  E.str(S.ModuleName);
+  E.str(S.EntryFunction);
+  E.str(S.Label);
+  E.u64(S.Seed);
+  E.u64(S.CleanSteps);
+  E.u64(S.CleanValueSteps);
+  E.u64(S.PrunedRuns);
+  E.u64(S.PrunedSites);
+  E.u64(S.OutcomeTotals.size());
+  for (uint64_t T : S.OutcomeTotals)
+    E.u64(T);
+  E.str(S.SourceText);
+  E.u64(S.Functions.size());
+  for (const std::string &F : S.Functions)
+    E.str(F);
+  E.u64(S.Instructions.size());
+  for (const InstrRecord &I : S.Instructions) {
+    E.u32(I.Id);
+    E.u8(I.Opcode);
+    E.u8(I.DupRole);
+    E.u8(I.Predicted);
+    E.u8(I.Protected_);
+    E.u32(I.Line);
+    E.u32(I.Col);
+    E.u32(I.FunctionIndex);
+    E.u64(I.DynExecCount);
+    E.f64(I.Score);
+  }
+  E.u32(S.NumFeatures);
+  E.u64(S.Features.size());
+  for (double F : S.Features)
+    E.f64(F);
+  E.u64(S.Rows.size());
+  for (const InjectionRow &R : S.Rows) {
+    E.u32(R.InstructionId);
+    E.u32(R.BitIndex);
+    E.u64(R.TargetValueStep);
+    E.u8(R.Outcome);
+    E.u32(R.LatencyUs);
+  }
+}
+
+bool parsePayload(RecordStore &S, Decoder &D, std::string *Err) {
+  S.ModuleName = D.str();
+  S.EntryFunction = D.str();
+  S.Label = D.str();
+  S.Seed = D.u64();
+  S.CleanSteps = D.u64();
+  S.CleanValueSteps = D.u64();
+  S.PrunedRuns = D.u64();
+  S.PrunedSites = D.u64();
+  S.OutcomeTotals.resize(D.count(8));
+  for (uint64_t &T : S.OutcomeTotals)
+    T = D.u64();
+  S.SourceText = D.str();
+  S.Functions.resize(D.count(4));
+  for (std::string &F : S.Functions)
+    F = D.str();
+  S.Instructions.resize(D.count(4 + 4 + 4 + 4 + 4 + 8 + 8));
+  for (InstrRecord &I : S.Instructions) {
+    I.Id = D.u32();
+    I.Opcode = D.u8();
+    I.DupRole = D.u8();
+    I.Predicted = D.u8();
+    I.Protected_ = D.u8();
+    I.Line = D.u32();
+    I.Col = D.u32();
+    I.FunctionIndex = D.u32();
+    I.DynExecCount = D.u64();
+    I.Score = D.f64();
+  }
+  S.NumFeatures = D.u32();
+  S.Features.resize(D.count(8));
+  for (double &F : S.Features)
+    F = D.f64();
+  S.Rows.resize(D.count(4 + 4 + 8 + 1 + 4));
+  for (InjectionRow &R : S.Rows) {
+    R.InstructionId = D.u32();
+    R.BitIndex = D.u32();
+    R.TargetValueStep = D.u64();
+    R.Outcome = D.u8();
+    R.LatencyUs = D.u32();
+  }
+  if (!D.ok()) {
+    if (Err)
+      *Err = "record store payload truncated or corrupt";
+    return false;
+  }
+  if (!D.atEnd()) {
+    if (Err)
+      *Err = "record store payload has trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void RecordStore::tallyOutcomes() {
+  OutcomeTotals.clear();
+  for (const InjectionRow &R : Rows) {
+    if (R.Outcome >= OutcomeTotals.size())
+      OutcomeTotals.resize(R.Outcome + 1, 0);
+    ++OutcomeTotals[R.Outcome];
+  }
+}
+
+void ipas::obs::serializeRecordStore(const RecordStore &S, std::string &Out) {
+  Out.clear();
+  Out.append(Magic, sizeof(Magic));
+  Encoder Header(Out);
+  Header.u32(RecordStoreVersion);
+  std::string Payload;
+  Encoder E(Payload);
+  serializePayload(S, E);
+  Header.u64(Payload.size());
+  Out.append(Payload);
+  Encoder Footer(Out);
+  Footer.u64(fnv1a(Payload.data(), Payload.size()));
+}
+
+bool ipas::obs::writeRecordStore(const RecordStore &S, const std::string &Path,
+                                 std::string *Err) {
+  std::string Bytes;
+  serializeRecordStore(S, Bytes);
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = Written == Bytes.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok && Err)
+    *Err = "short write to '" + Path + "'";
+  return Ok;
+}
+
+bool ipas::obs::parseRecordStore(RecordStore &S, const std::string &Data,
+                                 std::string *Err) {
+  // Fixed header: magic + version + payload length.
+  constexpr size_t HeaderSize = sizeof(Magic) + 4 + 8;
+  if (Data.size() < HeaderSize) {
+    if (Err)
+      *Err = "not a record store (file too small)";
+    return false;
+  }
+  if (std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0) {
+    if (Err)
+      *Err = "not a record store (bad magic)";
+    return false;
+  }
+  Decoder H(Data.data() + sizeof(Magic), Data.size() - sizeof(Magic));
+  uint32_t Version = H.u32();
+  if (Version == 0 || Version > RecordStoreVersion) {
+    if (Err)
+      *Err = "unsupported record store version " + std::to_string(Version) +
+             " (reader supports up to " +
+             std::to_string(RecordStoreVersion) + ")";
+    return false;
+  }
+  uint64_t PayloadLen = H.u64();
+  if (Data.size() != HeaderSize + PayloadLen + 8) {
+    if (Err)
+      *Err = "record store truncated (header promises " +
+             std::to_string(PayloadLen) + " payload bytes)";
+    return false;
+  }
+  const char *Payload = Data.data() + HeaderSize;
+  uint64_t WantLE = 0;
+  for (int I = 0; I != 8; ++I)
+    WantLE |= static_cast<uint64_t>(static_cast<unsigned char>(
+                  Data[HeaderSize + PayloadLen + I]))
+              << (8 * I);
+  if (fnv1a(Payload, PayloadLen) != WantLE) {
+    if (Err)
+      *Err = "record store checksum mismatch (corrupt file)";
+    return false;
+  }
+  Decoder D(Payload, PayloadLen);
+  return parsePayload(S, D, Err);
+}
+
+bool ipas::obs::readRecordStore(RecordStore &S, const std::string &Path,
+                                std::string *Err) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Data;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, N);
+  bool ReadOk = !std::ferror(F);
+  std::fclose(F);
+  if (!ReadOk) {
+    if (Err)
+      *Err = "read error on '" + Path + "'";
+    return false;
+  }
+  return parseRecordStore(S, Data, Err);
+}

@@ -1,0 +1,118 @@
+//===- obs/RecordStore.h - Campaign injection provenance store (.iprec) ---===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, versioned, columnar record of one fault-injection campaign:
+/// per-injection rows (instruction id, bit, outcome, latency) plus a
+/// per-instruction side table (opcode, duplication role, debug location,
+/// dynamic execution count, static features, classifier score/prediction)
+/// and enough campaign metadata — including the MiniC source text — to be
+/// analysed standalone by `ipas-inspect` without re-running anything.
+///
+/// This lives in the obs layer, below ir/ and fault/, so opcode, role,
+/// and outcome fields are raw integer codes; the fault layer (which can
+/// see both sides) fills them in (fault/RecordBuild.h) and tools decode
+/// them. Serialization is explicit little-endian byte packing with an
+/// FNV-1a payload checksum, so a write→read→write cycle is bit-identical
+/// and truncated or corrupt files are rejected loudly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_OBS_RECORDSTORE_H
+#define IPAS_OBS_RECORDSTORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipas {
+namespace obs {
+
+/// Per-instruction provenance (side table; one entry per static
+/// instruction, in id order).
+struct InstrRecord {
+  uint32_t Id = 0;        ///< Module-wide instruction id.
+  uint8_t Opcode = 0;     ///< Raw ir::Opcode code.
+  uint8_t DupRole = 0;    ///< Raw ir::DupRole code.
+  uint8_t Predicted = 0;  ///< Classifier verdict: 0 none, 1 protect, 2 skip.
+  uint8_t Protected_ = 0; ///< 1 if the evaluated module protects this id.
+  uint32_t Line = 0;      ///< DebugLoc line (0 = unknown).
+  uint32_t Col = 0;       ///< DebugLoc column.
+  uint32_t FunctionIndex = 0; ///< Index into RecordStore::Functions.
+  uint64_t DynExecCount = 0;  ///< Executions in the clean run (0 if untraced).
+  double Score = 0.0;         ///< Classifier decision value (0 if none).
+};
+
+/// Per-injection row (one per campaign run, in campaign order).
+struct InjectionRow {
+  uint32_t InstructionId = 0;
+  uint32_t BitIndex = 0;
+  uint64_t TargetValueStep = 0;
+  uint8_t Outcome = 0;   ///< Raw fault::Outcome code.
+  uint32_t LatencyUs = 0; ///< Wall time of this injected run.
+};
+
+/// Classifier-verdict codes for InstrRecord::Predicted.
+enum : uint8_t {
+  PredictNone = 0,    ///< No classifier ran.
+  PredictProtect = 1, ///< Model said "vulnerable, protect".
+  PredictSkip = 2,    ///< Model said "benign, skip".
+};
+
+/// In-memory image of one `.iprec` file.
+struct RecordStore {
+  // Campaign metadata.
+  std::string ModuleName;
+  std::string EntryFunction; ///< Function the harness drives.
+  std::string Label;         ///< Campaign label (mirrors trace events).
+  uint64_t Seed = 0;
+  uint64_t CleanSteps = 0;
+  uint64_t CleanValueSteps = 0;
+  uint64_t PrunedRuns = 0;
+  uint64_t PrunedSites = 0;
+  std::vector<uint64_t> OutcomeTotals; ///< Indexed by raw outcome code.
+
+  /// MiniC source the module was compiled from (empty when unavailable);
+  /// ipas-inspect renders its heatmap against these lines.
+  std::string SourceText;
+
+  std::vector<std::string> Functions; ///< Function-name table.
+  std::vector<InstrRecord> Instructions;
+
+  /// Static feature matrix, Instructions.size() x NumFeatures row-major
+  /// (empty when features were not extracted).
+  uint32_t NumFeatures = 0;
+  std::vector<double> Features;
+
+  std::vector<InjectionRow> Rows;
+
+  /// Recomputes OutcomeTotals from Rows (codes < 16).
+  void tallyOutcomes();
+};
+
+/// Current serialization version. Readers reject newer files.
+constexpr uint32_t RecordStoreVersion = 1;
+
+/// Serializes \p S to \p Path. Returns false and sets \p Err on failure.
+bool writeRecordStore(const RecordStore &S, const std::string &Path,
+                      std::string *Err = nullptr);
+
+/// Serializes \p S into \p Out (the exact file bytes).
+void serializeRecordStore(const RecordStore &S, std::string &Out);
+
+/// Parses \p Path into \p S. Returns false and sets \p Err on bad magic,
+/// unsupported version, truncation, or checksum mismatch.
+bool readRecordStore(RecordStore &S, const std::string &Path,
+                     std::string *Err = nullptr);
+
+/// Parses the byte image \p Data.
+bool parseRecordStore(RecordStore &S, const std::string &Data,
+                      std::string *Err = nullptr);
+
+} // namespace obs
+} // namespace ipas
+
+#endif // IPAS_OBS_RECORDSTORE_H

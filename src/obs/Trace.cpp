@@ -161,6 +161,11 @@ bool TraceSink::open(const std::string &Path, const AttrSet &HeaderAttrs) {
   FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;
+  // Line buffering: every record ends with '\n', so each complete record
+  // reaches the OS as it is written. A crash or abort() mid-run then
+  // loses at most the record being formatted, never the tail of the
+  // trace — which is exactly when the trace matters most.
+  std::setvbuf(F, nullptr, _IOLBF, 1 << 16);
   S.File = F;
   SinkOpen.store(true, std::memory_order_release);
   setStatsEnabled(true);

@@ -60,6 +60,7 @@ void processBlock(BasicBlock *BB, const ProtectionPredicate &Protect,
     if (Opts.Placement == CheckPlacement::EveryInstruction) {
       auto *Check = new CheckInst(I, ShadowOf[I]);
       Check->setDupLink(I);
+      Check->setDebugLoc(I->debugLoc());
       BB->insertAfter(ShadowOf[I], std::unique_ptr<Instruction>(Check));
       ++Stats.ChecksInserted;
       continue;
@@ -77,6 +78,7 @@ void processBlock(BasicBlock *BB, const ProtectionPredicate &Protect,
       continue;
     auto *Check = new CheckInst(I, ShadowOf[I]);
     Check->setDupLink(I);
+    Check->setDebugLoc(I->debugLoc());
     BB->insertAfter(ShadowOf[I], std::unique_ptr<Instruction>(Check));
     ++Stats.ChecksInserted;
   }

@@ -124,6 +124,9 @@ private:
       for (BasicBlock *BB : PhiBlocks) {
         auto *Phi = new PhiInst(T.VarType);
         Phi->setName(T.Slot->name());
+        // The phi merges the promoted variable, so it is attributable to
+        // the variable's declaration.
+        Phi->setDebugLoc(T.Slot->debugLoc());
         if (BB->empty())
           BB->append(std::unique_ptr<Instruction>(Phi));
         else

@@ -129,6 +129,29 @@ TEST(Parser, RejectsTriplePointer) {
   EXPECT_FALSE(parses("int f(double*** p) { return 0; }"));
 }
 
+// Compiler-grade diagnostics: file:line:col, the offending source line,
+// and a caret under the column.
+TEST(Diagnostics, RendersFileLineColWithCaret) {
+  Diagnostics D;
+  auto M = compileMiniC("int f() {\n  return 1 +;\n}\n", "demo.mc", D);
+  EXPECT_EQ(M, nullptr);
+  ASSERT_TRUE(D.hasErrors());
+  std::string S = D.summary();
+  EXPECT_NE(S.find("demo.mc:2:"), std::string::npos) << S;
+  EXPECT_NE(S.find("error:"), std::string::npos) << S;
+  EXPECT_NE(S.find("\n    return 1 +;\n"), std::string::npos) << S;
+  EXPECT_NE(S.find("^"), std::string::npos) << S;
+}
+
+// Without an attached source the legacy "line L:C:" rendering survives,
+// so drivers that never call setSource keep working.
+TEST(Diagnostics, LegacyFormatWithoutSource) {
+  Diagnostics D;
+  D.error(SourceLoc{3, 7}, "boom");
+  EXPECT_NE(D.summary().find("line 3:7: error: boom"), std::string::npos)
+      << D.summary();
+}
+
 //===----------------------------------------------------------------------===//
 // CodeGen + execution (semantics)
 //===----------------------------------------------------------------------===//

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -354,6 +355,30 @@ TEST(ObsTrace, SecondOpenFailsUntilClosed) {
   EXPECT_FALSE(TraceSink::enabled());
   ASSERT_TRUE(TraceSink::open(Path));
   TraceSink::close();
+  std::remove(Path.c_str());
+}
+
+// The sink is line-buffered, so every complete record reaches the OS as
+// it is written: a process that abort()s mid-run (the child below never
+// calls close(), and abort() skips the atexit flush) must still leave
+// the header and every event written before the abort readable on disk.
+TEST(ObsTraceDeathTest, CompletedRecordsSurviveAbort) {
+  std::string Path = tempTracePath("obs_trace_abort.jsonl");
+  std::remove(Path.c_str());
+  EXPECT_DEATH(
+      {
+        TraceSink::open(Path, AttrSet().add("tool", "abort_test"));
+        TraceSink::event("pre.abort", AttrSet().add("k", uint64_t(42)));
+        std::abort();
+      },
+      "");
+
+  std::vector<JsonValue> Records = readTrace(Path);
+  ASSERT_GE(Records.size(), 2u);
+  EXPECT_EQ(recordType(Records.front()), "header");
+  const JsonValue *Ev = findEvent(Records, "pre.abort");
+  ASSERT_NE(Ev, nullptr);
+  EXPECT_EQ(Ev->get("attrs")->get("k")->asU64(), 42u);
   std::remove(Path.c_str());
 }
 

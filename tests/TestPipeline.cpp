@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ResultsCache.h"
+#include "obs/RecordStore.h"
 #include "support/Statistics.h"
 
 #include <gtest/gtest.h>
@@ -27,11 +28,15 @@ PipelineConfig tinyConfig() {
   return Cfg;
 }
 
-/// The full evaluation is expensive; compute it once for the suite.
+/// The full evaluation is expensive; compute it once for the suite. It
+/// also writes per-variant .iprec record stores into the temp dir so
+/// RecordDirWritesInspectableStores can audit them without a second run.
 const WorkloadEvaluation &isEvaluation() {
   static WorkloadEvaluation WE = [] {
     auto W = makeWorkload("IS");
-    IpasPipeline P(*W, tinyConfig());
+    PipelineConfig Cfg = tinyConfig();
+    Cfg.RecordDir = ::testing::TempDir();
+    IpasPipeline P(*W, Cfg);
     return P.run();
   }();
   return WE;
@@ -108,6 +113,37 @@ TEST(Pipeline, FullEvaluationShapesMatchPaper) {
     EXPECT_LT(V.Dup.DuplicatedInstructions,
               Full->Dup.DuplicatedInstructions)
         << V.Label;
+  }
+}
+
+// The evaluation's RecordDir must hold one parseable .iprec per variant
+// whose outcome totals equal the variant's campaign counts, with
+// classifier columns populated for the classifier-guided variants.
+TEST(Pipeline, RecordDirWritesInspectableStores) {
+  const WorkloadEvaluation &WE = isEvaluation();
+  for (const VariantEvaluation &V : WE.Variants) {
+    std::string Path =
+        ::testing::TempDir() + "IS-" + V.Label + ".iprec";
+    obs::RecordStore S;
+    std::string Err;
+    ASSERT_TRUE(obs::readRecordStore(S, Path, &Err)) << Path << ": " << Err;
+    EXPECT_EQ(S.Label, V.Label);
+    EXPECT_EQ(S.Rows.size(), V.Campaign.Records.size()) << V.Label;
+    ASSERT_EQ(S.OutcomeTotals.size(), static_cast<size_t>(NumOutcomes));
+    for (unsigned O = 0; O != NumOutcomes; ++O)
+      EXPECT_EQ(S.OutcomeTotals[O], V.Campaign.Counts[O])
+          << V.Label << " outcome " << O;
+    EXPECT_FALSE(S.SourceText.empty());
+
+    bool AnyPrediction = false, AnyLoc = false;
+    for (const obs::InstrRecord &I : S.Instructions) {
+      AnyPrediction |= I.Predicted != obs::PredictNone;
+      AnyLoc |= I.Line > 0;
+    }
+    EXPECT_TRUE(AnyLoc) << V.Label;
+    bool Classifier =
+        V.Tech == Technique::Ipas || V.Tech == Technique::Baseline;
+    EXPECT_EQ(AnyPrediction, Classifier) << V.Label;
   }
 }
 

@@ -1,0 +1,148 @@
+//===- tools/ipas-bench-diff.cpp - Compare BENCH_*.json result files -----------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Compares the machine-readable BENCH_<name>.json files the benchmark
+/// harnesses emit and fails loudly when a metric regresses:
+///
+///   ipas-bench-diff old/BENCH_fig5.json new/BENCH_fig5.json
+///   ipas-bench-diff old.json new.json --threshold 10
+///   ipas-bench-diff old.json new.json --higher-better coverage_pct
+///
+/// Metrics are lower-is-better by default (SOC rates, slowdowns, train
+/// seconds); name the exceptions with --higher-better. A metric regresses
+/// when it moves in the bad direction by more than --threshold percent.
+/// wall_seconds is always informational only — wall time depends on the
+/// machine, not the change under test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "support/ArgParser.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+using namespace ipas;
+
+namespace {
+
+std::set<std::string> splitCsv(const std::string &Csv) {
+  std::set<std::string> Out;
+  std::istringstream SS(Csv);
+  std::string Tok;
+  while (std::getline(SS, Tok, ','))
+    if (!Tok.empty())
+      Out.insert(Tok);
+  return Out;
+}
+
+bool loadMetrics(const std::string &Path, std::string &BenchName,
+                 std::map<std::string, double> &Metrics) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::optional<obs::JsonValue> Doc = obs::parseJson(SS.str());
+  if (!Doc || !Doc->isObject()) {
+    std::fprintf(stderr, "error: '%s' is not a JSON object\n",
+                 Path.c_str());
+    return false;
+  }
+  if (const obs::JsonValue *Name = Doc->get("benchmark"))
+    BenchName = Name->asString();
+  const obs::JsonValue *M = Doc->get("metrics");
+  if (!M || !M->isObject()) {
+    std::fprintf(stderr, "error: '%s' has no \"metrics\" object\n",
+                 Path.c_str());
+    return false;
+  }
+  for (const auto &[Key, V] : M->Members)
+    if (V.isNumber())
+      Metrics[Key] = V.asNumber();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Threshold = 5.0;
+  std::string HigherBetterCsv, IgnoreCsv;
+  ArgParser P("ipas-bench-diff: compare two BENCH_*.json result files");
+  P.addDouble("threshold", &Threshold,
+              "percent a metric may move in the bad direction before this "
+              "tool fails (default 5)");
+  P.addString("higher-better", &HigherBetterCsv,
+              "comma-separated metrics where larger is better");
+  P.addString("ignore", &IgnoreCsv,
+              "comma-separated metrics to report but never fail on");
+  if (!P.parse(Argc, Argv))
+    return 2;
+  if (P.positionals().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: ipas-bench-diff <old.json> <new.json> [flags]\n%s",
+                 P.usage().c_str());
+    return 2;
+  }
+
+  std::string OldName, NewName;
+  std::map<std::string, double> OldM, NewM;
+  if (!loadMetrics(P.positionals()[0], OldName, OldM) ||
+      !loadMetrics(P.positionals()[1], NewName, NewM))
+    return 1;
+  if (!OldName.empty() && !NewName.empty() && OldName != NewName)
+    std::printf("note: comparing different benchmarks ('%s' vs '%s')\n",
+                OldName.c_str(), NewName.c_str());
+
+  std::set<std::string> HigherBetter = splitCsv(HigherBetterCsv);
+  std::set<std::string> Ignore = splitCsv(IgnoreCsv);
+  Ignore.insert("wall_seconds"); // machine-dependent, never gate on it
+
+  std::set<std::string> Keys;
+  for (const auto &[K, V] : OldM)
+    Keys.insert(K);
+  for (const auto &[K, V] : NewM)
+    Keys.insert(K);
+
+  std::printf("%-28s %14s %14s %9s\n", "metric", "old", "new", "delta%");
+  unsigned Regressions = 0;
+  for (const std::string &K : Keys) {
+    auto OldIt = OldM.find(K), NewIt = NewM.find(K);
+    if (OldIt == OldM.end() || NewIt == NewM.end()) {
+      std::printf("%-28s %14s %14s %9s  (only in %s)\n", K.c_str(),
+                  OldIt != OldM.end() ? "present" : "-",
+                  NewIt != NewM.end() ? "present" : "-", "-",
+                  OldIt != OldM.end() ? "old" : "new");
+      continue;
+    }
+    double Old = OldIt->second, New = NewIt->second;
+    double Pct = Old != 0.0 ? 100.0 * (New - Old) / std::fabs(Old)
+                            : (New != 0.0 ? 100.0 : 0.0);
+    // Bad direction: up for lower-is-better metrics, down otherwise.
+    double Bad = HigherBetter.count(K) ? -Pct : Pct;
+    bool Regressed = !Ignore.count(K) && Bad > Threshold;
+    std::printf("%-28s %14.6g %14.6g %+8.1f%%%s\n", K.c_str(), Old, New,
+                Pct,
+                Regressed ? "  REGRESSED"
+                          : (Ignore.count(K) ? "  (ignored)" : ""));
+    Regressions += Regressed;
+  }
+
+  if (Regressions) {
+    std::printf("%u metric(s) regressed past %.1f%%\n", Regressions,
+                Threshold);
+    return 7;
+  }
+  std::printf("ok: no metric regressed past %.1f%%\n", Threshold);
+  return 0;
+}

@@ -17,7 +17,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Features.h"
 #include "analysis/ProtectionLint.h"
+#include "fault/FunctionHarness.h"
+#include "fault/RecordBuild.h"
 #include "frontend/CodeGen.h"
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
@@ -63,9 +66,10 @@ static std::vector<RtValue> parseArgs(const Function *F,
 
 int main(int Argc, char **Argv) {
   bool EmitIr = false, Optimize = false, Protect = false, Verify = false;
-  bool Lint = false, VerifyEach = false;
-  std::string RunFn, ArgsCsv;
+  bool Lint = false, VerifyEach = false, RequireLocs = false;
+  std::string RunFn, ArgsCsv, RecordOut;
   int64_t FaultStep = -1, FaultBit = 0, MaxSteps = -1;
+  int64_t CampaignRuns = 0, CampaignSeed = 0xf417, CampaignThreads = 1;
 
   ArgParser P("ipas-cc: compile, transform, protect, and run MiniC");
   P.addBool("emit-ir", &EmitIr, "print the final IR");
@@ -83,6 +87,15 @@ int main(int Argc, char **Argv) {
            "inject a bit flip at this value-producing dynamic step");
   P.addInt("fault-bit", &FaultBit, "bit to flip (modulo result width)");
   P.addInt("max-steps", &MaxSteps, "step budget (hang guard)");
+  P.addBool("require-locs", &RequireLocs,
+            "verifier also requires a valid source location on every "
+            "instruction");
+  P.addInt("campaign", &CampaignRuns,
+           "run a fault-injection campaign of N runs over --run");
+  P.addInt("seed", &CampaignSeed, "campaign RNG seed");
+  P.addInt("threads", &CampaignThreads, "campaign worker threads");
+  P.addString("record-out", &RecordOut,
+              "write the campaign's .iprec provenance record store here");
   obs::CliOptions Obs;
   obs::addCliFlags(P, Obs);
   if (!P.parse(Argc, Argv))
@@ -153,7 +166,9 @@ int main(int Argc, char **Argv) {
     return 1;
   M->renumber();
 
-  std::vector<std::string> Errs = verifyModule(*M);
+  VerifierOptions VerifyOpts;
+  VerifyOpts.RequireDebugLocs = RequireLocs;
+  std::vector<std::string> Errs = verifyModule(*M, VerifyOpts);
   for (const std::string &E : Errs)
     std::fprintf(stderr, "verifier: %s\n", E.c_str());
   if (!Errs.empty())
@@ -194,6 +209,51 @@ int main(int Argc, char **Argv) {
   }
 
   ModuleLayout Layout(*M);
+
+  if (CampaignRuns > 0) {
+    FunctionHarness Harness(RunFn, Args);
+    CampaignConfig CC;
+    CC.NumRuns = static_cast<size_t>(CampaignRuns);
+    CC.Seed = static_cast<uint64_t>(CampaignSeed);
+    CC.NumThreads =
+        CampaignThreads > 0 ? static_cast<unsigned>(CampaignThreads) : 1;
+    CC.Label = "cc.campaign";
+    CampaignResult R = runCampaign(Harness, Layout, CC);
+    std::printf("campaign: %zu runs on @%s\n", R.Records.size(),
+                RunFn.c_str());
+    for (size_t O = 0; O != NumOutcomes; ++O)
+      std::printf("  %-8s %6zu\n", outcomeName(static_cast<Outcome>(O)),
+                  R.Counts[O]);
+    if (!RecordOut.empty()) {
+      std::vector<unsigned> StepTrace = Harness.traceValueSteps(Layout);
+      FeatureExtractor Extractor;
+      std::vector<std::vector<double>> Rows = Extractor.extractModuleRows(*M);
+      std::vector<double> Flat;
+      Flat.reserve(Rows.size() * Extractor.numFeatures());
+      for (const std::vector<double> &Row : Rows)
+        Flat.insert(Flat.end(), Row.begin(), Row.end());
+      RecordBuildInputs Inputs;
+      Inputs.M = M.get();
+      Inputs.Result = &R;
+      Inputs.EntryFunction = RunFn;
+      Inputs.Label = "cc.campaign";
+      Inputs.Seed = CC.Seed;
+      Inputs.SourceText = SS.str();
+      Inputs.ValueStepTrace = &StepTrace;
+      Inputs.NumFeatures = Extractor.numFeatures();
+      Inputs.Features = &Flat;
+      obs::RecordStore Store = buildRecordStore(Inputs);
+      std::string Err;
+      if (!writeCampaignRecord(Store, RecordOut, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("record store: %s (%zu rows)\n", RecordOut.c_str(),
+                  Store.Rows.size());
+    }
+    return 0;
+  }
+
   ExecutionContext Ctx(Layout);
   if (FaultStep >= 0) {
     FaultPlan Plan;

@@ -1,0 +1,468 @@
+//===- tools/ipas-inspect.cpp - Campaign record-store analytics ----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reads the .iprec provenance stores written by `ipas-cc --record-out`
+/// and the pipeline's RecordDir and answers the questions a protection
+/// campaign raises:
+///
+///   ipas-inspect camp.iprec                   # summary + heatmap + tables
+///   ipas-inspect camp.iprec --no-source       # suppress source listing
+///   ipas-inspect --diff old.iprec new.iprec   # what regressed between runs?
+///   ipas-inspect --diff a.iprec b.iprec --threshold 2
+///
+/// The single-store mode renders an annotated source listing whose
+/// per-line outcome columns sum exactly to the campaign's outcome totals,
+/// a classifier confusion report (which source lines did the model get
+/// wrong, ranked by how much SOC they produced), and per-opcode and
+/// per-function vulnerability tables.
+///
+/// The diff mode compares two stores line-by-line and function-by-
+/// function and exits nonzero when the SOC count grows by more than
+/// --threshold or protection coverage drops by more than --threshold
+/// percentage points — wired into CI, it turns silent protection
+/// regressions into loud ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fault/Outcome.h"
+#include "ir/Instruction.h"
+#include "obs/RecordStore.h"
+#include "support/ArgParser.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace ipas;
+using obs::InjectionRow;
+using obs::InstrRecord;
+using obs::RecordStore;
+
+namespace {
+
+const char *outcomeCodeName(uint8_t Code) {
+  if (Code < NumOutcomes)
+    return outcomeName(static_cast<Outcome>(Code));
+  return "<bad outcome>";
+}
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else if (C != '\r') {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+/// Everything the reports need, indexed once up front.
+struct StoreIndex {
+  const RecordStore *S = nullptr;
+  std::map<uint32_t, const InstrRecord *> ById;
+  /// Line -> outcome counts. Line 0 collects rows whose target has no
+  /// known source location, so column sums always equal OutcomeTotals.
+  std::map<uint32_t, std::array<uint64_t, NumOutcomes>> ByLine;
+  std::map<uint32_t, uint64_t> SocById;      ///< Injections that went SOC.
+  std::map<uint32_t, uint64_t> RunsById;     ///< Injections per target.
+  std::map<uint8_t, std::array<uint64_t, NumOutcomes>> ByOpcode;
+  std::map<uint32_t, std::array<uint64_t, NumOutcomes>> ByFunction;
+
+  explicit StoreIndex(const RecordStore &Store) : S(&Store) {
+    for (const InstrRecord &I : Store.Instructions)
+      ById.emplace(I.Id, &I);
+    for (const InjectionRow &R : Store.Rows) {
+      unsigned O = R.Outcome < NumOutcomes ? R.Outcome : 0;
+      const InstrRecord *I = nullptr;
+      auto It = ById.find(R.InstructionId);
+      if (It != ById.end())
+        I = It->second;
+      ByLine[I ? I->Line : 0][O] += 1;
+      RunsById[R.InstructionId] += 1;
+      if (R.Outcome == static_cast<uint8_t>(Outcome::SOC))
+        SocById[R.InstructionId] += 1;
+      if (I) {
+        ByOpcode[I->Opcode][O] += 1;
+        ByFunction[I->FunctionIndex][O] += 1;
+      }
+    }
+  }
+
+  uint64_t socTotal() const {
+    unsigned Code = static_cast<unsigned>(Outcome::SOC);
+    return Code < S->OutcomeTotals.size() ? S->OutcomeTotals[Code] : 0;
+  }
+
+  /// Protection coverage: protected originals over all non-shadow,
+  /// non-check instructions, as a percentage.
+  double coveragePct() const {
+    uint64_t Originals = 0, Covered = 0;
+    for (const InstrRecord &I : S->Instructions) {
+      if (I.DupRole == static_cast<uint8_t>(DupRole::Shadow) ||
+          I.DupRole == static_cast<uint8_t>(DupRole::Check))
+        continue;
+      ++Originals;
+      if (I.Protected_)
+        ++Covered;
+    }
+    return Originals ? 100.0 * static_cast<double>(Covered) /
+                           static_cast<double>(Originals)
+                     : 0.0;
+  }
+
+  std::string functionName(uint32_t Index) const {
+    if (Index < S->Functions.size())
+      return S->Functions[Index];
+    return "<fn" + std::to_string(Index) + ">";
+  }
+
+  /// Per-line SOC counts (line 0 = unknown location).
+  std::map<uint32_t, uint64_t> socByLine() const {
+    std::map<uint32_t, uint64_t> Out;
+    unsigned Code = static_cast<unsigned>(Outcome::SOC);
+    for (const auto &[Line, Counts] : ByLine)
+      if (Counts[Code])
+        Out[Line] = Counts[Code];
+    return Out;
+  }
+
+  /// Per-function SOC counts keyed by name (stable across stores).
+  std::map<std::string, uint64_t> socByFunction() const {
+    std::map<std::string, uint64_t> Out;
+    unsigned Code = static_cast<unsigned>(Outcome::SOC);
+    for (const auto &[Fn, Counts] : ByFunction)
+      if (Counts[Code])
+        Out[functionName(Fn)] += Counts[Code];
+    return Out;
+  }
+};
+
+void printSummary(const StoreIndex &Ix) {
+  const RecordStore &S = *Ix.S;
+  std::printf("module:   %s\n", S.ModuleName.c_str());
+  std::printf("entry:    @%s  label: %s  seed: 0x%llx\n",
+              S.EntryFunction.c_str(),
+              S.Label.empty() ? "<none>" : S.Label.c_str(),
+              static_cast<unsigned long long>(S.Seed));
+  std::printf("clean:    %llu steps, %llu value steps\n",
+              static_cast<unsigned long long>(S.CleanSteps),
+              static_cast<unsigned long long>(S.CleanValueSteps));
+  std::printf("store:    %zu instructions, %zu injections",
+              S.Instructions.size(), S.Rows.size());
+  if (S.PrunedRuns)
+    std::printf(" (%llu pruned over %llu sites)",
+                static_cast<unsigned long long>(S.PrunedRuns),
+                static_cast<unsigned long long>(S.PrunedSites));
+  std::printf("\ncoverage: %.1f%% of original instructions protected\n",
+              Ix.coveragePct());
+  std::printf("outcomes:");
+  for (unsigned O = 0; O != NumOutcomes; ++O) {
+    uint64_t N = O < S.OutcomeTotals.size() ? S.OutcomeTotals[O] : 0;
+    std::printf("  %s %llu", outcomeCodeName(static_cast<uint8_t>(O)),
+                static_cast<unsigned long long>(N));
+  }
+  std::printf("\n");
+}
+
+void printHeatmap(const StoreIndex &Ix, bool WithSource) {
+  const RecordStore &S = *Ix.S;
+  std::printf("\n== source heatmap (per-line injection outcomes) ==\n");
+  std::printf("%5s %6s %6s %6s %6s %6s  %s\n", "line", "soc", "crash",
+              "hang", "detect", "masked", WithSource ? "source" : "");
+
+  std::vector<std::string> Lines =
+      WithSource ? splitLines(S.SourceText) : std::vector<std::string>();
+  auto Row = [&](uint32_t Line, const std::array<uint64_t, NumOutcomes> *C,
+                 const char *Text) {
+    auto N = [&](Outcome O) {
+      return C ? static_cast<unsigned long long>(
+                     (*C)[static_cast<unsigned>(O)])
+               : 0ULL;
+    };
+    char Label[16];
+    if (Line)
+      std::snprintf(Label, sizeof Label, "%5u", Line);
+    else
+      std::snprintf(Label, sizeof Label, "%5s", "?");
+    std::printf("%s %6llu %6llu %6llu %6llu %6llu  %s\n", Label,
+                N(Outcome::SOC), N(Outcome::Crash), N(Outcome::Hang),
+                N(Outcome::Detected), N(Outcome::Masked), Text);
+  };
+
+  if (WithSource && !Lines.empty()) {
+    for (uint32_t L = 1; L <= Lines.size(); ++L) {
+      auto It = Ix.ByLine.find(L);
+      Row(L, It != Ix.ByLine.end() ? &It->second : nullptr,
+          Lines[L - 1].c_str());
+    }
+    // Lines past the end of the source (or with no source at all) still
+    // have to appear, or the columns would not sum to the totals.
+    for (const auto &[Line, Counts] : Ix.ByLine)
+      if (Line == 0 || Line > Lines.size())
+        Row(Line, &Counts, "");
+  } else {
+    for (const auto &[Line, Counts] : Ix.ByLine)
+      Row(Line, &Counts, "");
+  }
+
+  std::array<uint64_t, NumOutcomes> Totals{};
+  for (const auto &[Line, Counts] : Ix.ByLine)
+    for (unsigned O = 0; O != NumOutcomes; ++O)
+      Totals[O] += Counts[O];
+  Row(0, &Totals, "<total>");
+}
+
+void printConfusion(const StoreIndex &Ix) {
+  const RecordStore &S = *Ix.S;
+  bool AnyPrediction = false;
+  for (const InstrRecord &I : S.Instructions)
+    AnyPrediction |= I.Predicted != obs::PredictNone;
+  if (!AnyPrediction) {
+    std::printf("\n== classifier confusion ==\n(no classifier columns in "
+                "this store)\n");
+    return;
+  }
+
+  // Ground truth is per-instruction: did any injection into it go SOC?
+  // Only instructions the campaign actually targeted can be judged.
+  struct Miss {
+    const InstrRecord *I;
+    uint64_t Soc, Runs;
+  };
+  std::vector<Miss> FalseNeg, FalsePos;
+  uint64_t TruePos = 0, TrueNeg = 0;
+  for (const InstrRecord &I : S.Instructions) {
+    if (I.Predicted == obs::PredictNone)
+      continue;
+    auto RIt = Ix.RunsById.find(I.Id);
+    if (RIt == Ix.RunsById.end())
+      continue; // never injected: no ground truth
+    auto SIt = Ix.SocById.find(I.Id);
+    uint64_t Soc = SIt != Ix.SocById.end() ? SIt->second : 0;
+    bool PredictedSoc = I.Predicted == obs::PredictProtect;
+    if (Soc && !PredictedSoc)
+      FalseNeg.push_back({&I, Soc, RIt->second});
+    else if (!Soc && PredictedSoc)
+      FalsePos.push_back({&I, Soc, RIt->second});
+    else if (Soc)
+      ++TruePos;
+    else
+      ++TrueNeg;
+  }
+  auto BySoc = [](const Miss &A, const Miss &B) {
+    return A.Soc != B.Soc ? A.Soc > B.Soc : A.I->Id < B.I->Id;
+  };
+  std::sort(FalseNeg.begin(), FalseNeg.end(), BySoc);
+  std::sort(FalsePos.begin(), FalsePos.end(),
+            [](const Miss &A, const Miss &B) {
+              return A.Runs != B.Runs ? A.Runs > B.Runs : A.I->Id < B.I->Id;
+            });
+
+  std::printf("\n== classifier confusion (per injected instruction) ==\n");
+  std::printf("tp %llu  tn %llu  fn %zu  fp %zu\n",
+              static_cast<unsigned long long>(TruePos),
+              static_cast<unsigned long long>(TrueNeg), FalseNeg.size(),
+              FalsePos.size());
+  auto PrintMiss = [&](const char *Kind, const Miss &M) {
+    std::printf("  %s id %u %-8s @%s:%u:%u  soc %llu / %llu runs\n", Kind,
+                M.I->Id, opcodeName(static_cast<Opcode>(M.I->Opcode)),
+                Ix.functionName(M.I->FunctionIndex).c_str(), M.I->Line,
+                M.I->Col, static_cast<unsigned long long>(M.Soc),
+                static_cast<unsigned long long>(M.Runs));
+  };
+  for (const Miss &M : FalseNeg)
+    PrintMiss("fn", M); // unprotected SOC source: the costly kind of miss
+  for (const Miss &M : FalsePos)
+    PrintMiss("fp", M);
+}
+
+void printTables(const StoreIndex &Ix) {
+  unsigned Soc = static_cast<unsigned>(Outcome::SOC);
+  auto Total = [](const std::array<uint64_t, NumOutcomes> &C) {
+    uint64_t T = 0;
+    for (uint64_t N : C)
+      T += N;
+    return T;
+  };
+
+  std::printf("\n== vulnerability by opcode ==\n");
+  std::printf("%-10s %8s %6s %6s\n", "opcode", "inject", "soc", "soc%");
+  std::vector<std::pair<uint8_t, std::array<uint64_t, NumOutcomes>>> Ops(
+      Ix.ByOpcode.begin(), Ix.ByOpcode.end());
+  std::sort(Ops.begin(), Ops.end(), [&](const auto &A, const auto &B) {
+    return A.second[Soc] != B.second[Soc] ? A.second[Soc] > B.second[Soc]
+                                          : A.first < B.first;
+  });
+  for (const auto &[Op, Counts] : Ops) {
+    uint64_t T = Total(Counts);
+    std::printf("%-10s %8llu %6llu %5.1f%%\n",
+                opcodeName(static_cast<Opcode>(Op)),
+                static_cast<unsigned long long>(T),
+                static_cast<unsigned long long>(Counts[Soc]),
+                T ? 100.0 * static_cast<double>(Counts[Soc]) /
+                        static_cast<double>(T)
+                  : 0.0);
+  }
+
+  std::printf("\n== vulnerability by function ==\n");
+  std::printf("%-16s %8s %6s %6s\n", "function", "inject", "soc", "soc%");
+  for (const auto &[Fn, Counts] : Ix.ByFunction) {
+    uint64_t T = Total(Counts);
+    std::printf("@%-15s %8llu %6llu %5.1f%%\n", Ix.functionName(Fn).c_str(),
+                static_cast<unsigned long long>(T),
+                static_cast<unsigned long long>(Counts[Soc]),
+                T ? 100.0 * static_cast<double>(Counts[Soc]) /
+                        static_cast<double>(T)
+                  : 0.0);
+  }
+}
+
+int inspectOne(const std::string &Path, bool WithSource) {
+  RecordStore S;
+  std::string Err;
+  if (!obs::readRecordStore(S, Path, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  StoreIndex Ix(S);
+  printSummary(Ix);
+  printHeatmap(Ix, WithSource);
+  printConfusion(Ix);
+  printTables(Ix);
+  return 0;
+}
+
+int diffStores(const std::string &OldPath, const std::string &NewPath,
+               int64_t Threshold) {
+  RecordStore OldS, NewS;
+  std::string Err;
+  if (!obs::readRecordStore(OldS, OldPath, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", OldPath.c_str(), Err.c_str());
+    return 1;
+  }
+  if (!obs::readRecordStore(NewS, NewPath, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", NewPath.c_str(), Err.c_str());
+    return 1;
+  }
+  StoreIndex OldIx(OldS), NewIx(NewS);
+
+  std::printf("diff: %s -> %s\n", OldPath.c_str(), NewPath.c_str());
+  uint64_t OldSoc = OldIx.socTotal(), NewSoc = NewIx.socTotal();
+  double OldCov = OldIx.coveragePct(), NewCov = NewIx.coveragePct();
+  std::printf("soc:      %llu -> %llu (%+lld)\n",
+              static_cast<unsigned long long>(OldSoc),
+              static_cast<unsigned long long>(NewSoc),
+              static_cast<long long>(NewSoc) -
+                  static_cast<long long>(OldSoc));
+  std::printf("coverage: %.1f%% -> %.1f%% (%+.1f)\n", OldCov, NewCov,
+              NewCov - OldCov);
+
+  // Per-line and per-function SOC deltas (union of keys, zeros implied).
+  auto OldLines = OldIx.socByLine(), NewLines = NewIx.socByLine();
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> LineDelta;
+  for (const auto &[L, N] : OldLines)
+    LineDelta[L].first = N;
+  for (const auto &[L, N] : NewLines)
+    LineDelta[L].second = N;
+  bool AnyLine = false;
+  for (const auto &[L, P] : LineDelta) {
+    if (P.first == P.second)
+      continue;
+    if (!AnyLine) {
+      std::printf("\n== soc by line ==\n");
+      AnyLine = true;
+    }
+    std::printf("  line %u: %llu -> %llu (%+lld)\n", L,
+                static_cast<unsigned long long>(P.first),
+                static_cast<unsigned long long>(P.second),
+                static_cast<long long>(P.second) -
+                    static_cast<long long>(P.first));
+  }
+  auto OldFns = OldIx.socByFunction(), NewFns = NewIx.socByFunction();
+  std::map<std::string, std::pair<uint64_t, uint64_t>> FnDelta;
+  for (const auto &[F, N] : OldFns)
+    FnDelta[F].first = N;
+  for (const auto &[F, N] : NewFns)
+    FnDelta[F].second = N;
+  bool AnyFn = false;
+  for (const auto &[F, P] : FnDelta) {
+    if (P.first == P.second)
+      continue;
+    if (!AnyFn) {
+      std::printf("\n== soc by function ==\n");
+      AnyFn = true;
+    }
+    std::printf("  @%s: %llu -> %llu (%+lld)\n", F.c_str(),
+                static_cast<unsigned long long>(P.first),
+                static_cast<unsigned long long>(P.second),
+                static_cast<long long>(P.second) -
+                    static_cast<long long>(P.first));
+  }
+
+  // Regression gate: SOC may grow by at most --threshold injections and
+  // coverage may drop by at most --threshold percentage points.
+  bool Regressed = false;
+  if (NewSoc > OldSoc + static_cast<uint64_t>(Threshold)) {
+    std::printf("\nregression: soc count grew %llu -> %llu "
+                "(threshold %lld)\n",
+                static_cast<unsigned long long>(OldSoc),
+                static_cast<unsigned long long>(NewSoc),
+                static_cast<long long>(Threshold));
+    Regressed = true;
+  }
+  if (NewCov < OldCov - static_cast<double>(Threshold)) {
+    std::printf("%sregression: protection coverage dropped "
+                "%.1f%% -> %.1f%% (threshold %lld)\n",
+                Regressed ? "" : "\n", OldCov, NewCov,
+                static_cast<long long>(Threshold));
+    Regressed = true;
+  }
+  if (Regressed)
+    return 7;
+  std::printf("\nok: no regression\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Diff = false, NoSource = false;
+  int64_t Threshold = 0;
+  ArgParser P("ipas-inspect: analyse .iprec campaign record stores");
+  P.addBool("diff", &Diff,
+            "compare two stores (old new) and fail on regression");
+  P.addInt("threshold", &Threshold,
+           "allowed soc-count growth / coverage drop (pct points) before "
+           "--diff fails");
+  P.addBool("no-source", &NoSource,
+            "omit source text from the heatmap listing");
+  if (!P.parse(Argc, Argv))
+    return 2;
+
+  if (Diff) {
+    if (P.positionals().size() != 2) {
+      std::fprintf(stderr,
+                   "usage: ipas-inspect --diff <old.iprec> <new.iprec>\n");
+      return 2;
+    }
+    return diffStores(P.positionals()[0], P.positionals()[1], Threshold);
+  }
+  if (P.positionals().size() != 1) {
+    std::fprintf(stderr, "usage: ipas-inspect <store.iprec> [flags]\n%s",
+                 P.usage().c_str());
+    return 2;
+  }
+  return inspectOne(P.positionals()[0], !NoSource);
+}

@@ -18,8 +18,11 @@
 ///
 /// --check exits nonzero when any line fails to parse, the header is
 /// missing or out of place, span intervals partially overlap on a thread
-/// (spans must nest), or a span's duration is inconsistent with its
-/// endpoints. The CTest suite runs it over a fresh ipas-cc trace.
+/// (spans must nest), a span's duration is inconsistent with its
+/// endpoints, or a campaign.record event (an .iprec store written next
+/// to the trace) disagrees with the campaign.done event of the same
+/// label on the outcome totals. The CTest suite runs it over a fresh
+/// ipas-cc trace.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +43,25 @@ using namespace ipas::obs;
 
 namespace {
 
+const char *const OutcomeNames[] = {"crash", "hang", "detected", "masked",
+                                    "soc"};
+constexpr size_t NumOutcomeNames = 5;
+
+/// Outcome totals carried by a campaign.done or campaign.record event.
+struct CampaignTotals {
+  std::string Label;
+  std::string Path; ///< campaign.record only.
+  uint64_t Rows = 0;
+  uint64_t Totals[NumOutcomeNames] = {};
+
+  bool sameTotals(const CampaignTotals &O) const {
+    for (size_t K = 0; K != NumOutcomeNames; ++K)
+      if (Totals[K] != O.Totals[K])
+        return false;
+    return true;
+  }
+};
+
 struct SpanRec {
   std::string Name;
   std::string Parent;
@@ -55,6 +77,8 @@ struct TraceData {
   JsonValue Header;
   std::vector<SpanRec> Spans;
   std::map<std::string, uint64_t> EventCounts;
+  std::vector<CampaignTotals> CampaignDones;
+  std::vector<CampaignTotals> RecordStores; ///< campaign.record events.
   /// Flattened counters from the final `metrics` record.
   std::map<std::string, uint64_t> Counters;
   size_t Records = 0;
@@ -153,10 +177,30 @@ bool loadTrace(const std::string &Path, TraceData &T, Checker &C) {
       continue; // span timestamps handled above
     } else if (Kind == "event") {
       const JsonValue *Name = Parsed->get("name");
-      if (!Name || !Name->isString())
+      if (!Name || !Name->isString()) {
         C.fail(LineNo, "event without a name");
-      else
+      } else {
         ++T.EventCounts[Name->asString()];
+        const std::string &EventName = Name->asString();
+        if (EventName == "campaign.done" ||
+            EventName == "campaign.record") {
+          CampaignTotals CT;
+          if (const JsonValue *Attrs = Parsed->get("attrs")) {
+            if (const JsonValue *V = Attrs->get("label"))
+              CT.Label = V->asString();
+            if (const JsonValue *V = Attrs->get("path"))
+              CT.Path = V->asString();
+            if (const JsonValue *V = Attrs->get("rows"))
+              CT.Rows = V->asU64();
+            for (size_t K = 0; K != NumOutcomeNames; ++K)
+              if (const JsonValue *V = Attrs->get(OutcomeNames[K]))
+                CT.Totals[K] = V->asU64();
+          }
+          (EventName == "campaign.done" ? T.CampaignDones
+                                        : T.RecordStores)
+              .push_back(std::move(CT));
+        }
+      }
     } else if (Kind == "log") {
       if (!Parsed->get("msg"))
         C.fail(LineNo, "log record without 'msg'");
@@ -209,6 +253,33 @@ void checkNesting(const TraceData &T, Checker &C) {
                Open.back()->EndUs);
       Open.push_back(S);
     }
+  }
+}
+
+/// Every campaign.record event (a written .iprec store) must agree with
+/// a campaign.done event of the same label on all five outcome totals:
+/// the store is derived from the same CampaignResult, so any drift means
+/// the record writer and the campaign driver disagree about what
+/// happened — exactly the silent corruption this tool exists to catch.
+void checkRecords(const TraceData &T, Checker &C) {
+  for (const CampaignTotals &R : T.RecordStores) {
+    bool LabelSeen = false, Matched = false;
+    for (const CampaignTotals &D : T.CampaignDones) {
+      if (D.Label != R.Label)
+        continue;
+      LabelSeen = true;
+      Matched |= R.sameTotals(D);
+    }
+    if (!LabelSeen)
+      C.fail(0,
+             "record store '%s' (label '%s') has no matching "
+             "campaign.done event",
+             R.Path.c_str(), R.Label.c_str());
+    else if (!Matched)
+      C.fail(0,
+             "record store '%s' (label '%s') outcome totals do not match "
+             "any campaign.done event with that label",
+             R.Path.c_str(), R.Label.c_str());
   }
 }
 
@@ -291,8 +362,7 @@ void printReport(const TraceData &T, int64_t TopN) {
   }
 
   // Outcome histogram from the final metrics snapshot.
-  static const char *const Outcomes[] = {"crash", "hang", "detected",
-                                         "masked", "soc"};
+  const auto &Outcomes = OutcomeNames;
   uint64_t OutcomeTotal = 0;
   for (const char *O : Outcomes) {
     auto It = T.Counters.find(std::string("fault.outcome.") + O);
@@ -334,6 +404,19 @@ void printReport(const TraceData &T, int64_t TopN) {
     std::printf("\n");
   }
 
+  if (!T.RecordStores.empty()) {
+    std::printf("record stores written:\n");
+    for (const CampaignTotals &R : T.RecordStores) {
+      std::printf("  %-16s %6" PRIu64 " rows  %s\n", R.Label.c_str(),
+                  R.Rows, R.Path.c_str());
+      std::printf("    ");
+      for (size_t K = 0; K != NumOutcomeNames; ++K)
+        std::printf("%s %" PRIu64 "%s", OutcomeNames[K], R.Totals[K],
+                    K + 1 != NumOutcomeNames ? "  " : "\n");
+    }
+    std::printf("\n");
+  }
+
   if (!T.EventCounts.empty()) {
     std::printf("events:\n");
     for (const auto &[Name, N] : T.EventCounts)
@@ -364,6 +447,7 @@ int main(int Argc, char **Argv) {
   if (!loadTrace(P.positionals()[0], T, C))
     return 1;
   checkNesting(T, C);
+  checkRecords(T, C);
 
   if (Check) {
     if (C.Violations) {
