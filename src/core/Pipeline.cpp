@@ -194,6 +194,7 @@ CampaignResult IpasPipeline::evaluate(const ProtectedModule &PM,
   CC.HangFactor = Cfg.HangFactor;
   CC.Seed = Seed;
   CC.Label = Label;
+  CC.PropSampleEvery = Cfg.PropSampleEvery;
   return runCampaign(Harness, *PM.Layout, CC);
 }
 

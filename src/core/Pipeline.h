@@ -54,6 +54,12 @@ struct PipelineConfig {
   /// named <workload>-<label>.iprec) for ipas-inspect. The directory
   /// must already exist. See docs/OBSERVABILITY.md.
   std::string RecordDir;
+  /// When nonzero, every evaluation campaign also traces fault
+  /// propagation for 1-in-N injections (CampaignConfig::PropSampleEvery).
+  /// Sampling never perturbs the deterministic record stream; it only
+  /// adds serial re-executions after the campaign, so leave it zero
+  /// unless the propagation ground truth is wanted.
+  size_t PropSampleEvery = 0;
 
   /// Scaled-down defaults that keep a full five-workload evaluation in
   /// the minutes range on a laptop.

@@ -6,6 +6,7 @@
 
 #include "fault/Campaign.h"
 
+#include "fault/Propagation.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -234,6 +235,60 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
 
   for (const InjectionRecord &Rec : Result.Records)
     ++Result.Counts[static_cast<size_t>(Rec.Result)];
+
+  // Propagation tracing: a *serial* post-pass re-executing the sampled
+  // runs under full observation, inside the campaign span (so the
+  // per-injection `campaign.prop` child spans nest laminarly under it).
+  // Running after the injection loop keeps the deterministic record
+  // stream untouched by construction: the plans are already drawn and
+  // classified, and the traced executions are independent repeats.
+  if (Cfg.PropSampleEvery) {
+    if (Harness.supportsObservation()) {
+      CleanReference Ref = captureCleanReference(Harness, Layout);
+      if (Ref.Valid) {
+        for (size_t Run = 0; Run < Cfg.NumRuns;
+             Run += Cfg.PropSampleEvery) {
+          if (Pruned[Run])
+            continue; // provably benign: nothing propagates, by proof
+          obs::PhaseSpan PropSpan(
+              "campaign.prop",
+              obs::AttrSet().add("label", Label).add(
+                  "run", static_cast<uint64_t>(Run)));
+          Result.PropRecords.push_back(tracePropagation(
+              Harness, Layout, Ref, Plans[Run], Budget, Run));
+        }
+        Result.TracedRuns = Result.PropRecords.size();
+      } else {
+        obs::logMessage(obs::Severity::Warn,
+                        "%s: propagation tracing disabled: clean "
+                        "reference capture failed",
+                        Label);
+      }
+    } else {
+      obs::logMessage(obs::Severity::Warn,
+                      "%s: propagation tracing requested but the harness "
+                      "does not support observation",
+                      Label);
+    }
+    Result.SkippedTraceRuns = Cfg.NumRuns - Result.TracedRuns;
+    // Sampling must never be silent: say what was traced and what was
+    // not, in the log and in the trace.
+    obs::logMessage(obs::Severity::Info,
+                    "%s: propagation tracing: %zu of %zu injections "
+                    "traced (1 in %zu sampled), %zu skipped",
+                    Label, Result.TracedRuns, Cfg.NumRuns,
+                    Cfg.PropSampleEvery, Result.SkippedTraceRuns);
+    obs::TraceSink::event(
+        "campaign.prop.sample",
+        obs::AttrSet()
+            .add("label", Label)
+            .add("sample_every",
+                 static_cast<uint64_t>(Cfg.PropSampleEvery))
+            .add("traced", static_cast<uint64_t>(Result.TracedRuns))
+            .add("skipped",
+                 static_cast<uint64_t>(Result.SkippedTraceRuns)));
+  }
+
   Result.WallSeconds = Span.seconds();
 
   if (Stats) {

@@ -18,6 +18,7 @@
 
 #include "fault/Outcome.h"
 #include "fault/ProgramHarness.h"
+#include "obs/Propagation.h"
 #include "support/Random.h"
 
 #include <array>
@@ -59,6 +60,17 @@ struct CampaignConfig {
   /// Emit one `campaign.run` trace record (outcome + latency) per
   /// injection when a trace sink is open.
   bool TraceRuns = true;
+  /// Propagation tracing: every PropSampleEvery-th run (run indices with
+  /// `Run % PropSampleEvery == 0`, skipping pruned runs) is re-executed
+  /// under full observation after the injection loop, yielding one
+  /// obs::PropRecord in CampaignResult::PropRecords. 0 disables tracing.
+  /// Sampling is a pure function of the run index — it draws nothing
+  /// from the campaign RNG and the traced runs are separate
+  /// re-executions — so the (InstructionId, BitIndex, Result) record
+  /// stream is bit-identical with tracing on or off and for any
+  /// NumThreads. Requires a harness whose supportsObservation() is true;
+  /// ignored otherwise.
+  size_t PropSampleEvery = 0;
 };
 
 /// One injection and its classified outcome.
@@ -85,6 +97,14 @@ struct CampaignResult {
   /// Wall-clock duration of the whole campaign, including the clean
   /// profiling run (not serialized by the results cache).
   double WallSeconds = 0.0;
+  /// Propagation traces of the sampled runs, in run order (empty unless
+  /// CampaignConfig::PropSampleEvery was set and the harness supports
+  /// observation). Not part of the deterministic record stream.
+  std::vector<obs::PropRecord> PropRecords;
+  /// Injections traced (== PropRecords.size()) vs skipped by sampling,
+  /// pruning, or an unobservable harness.
+  size_t TracedRuns = 0;
+  size_t SkippedTraceRuns = 0;
 
   size_t count(Outcome O) const {
     return Counts[static_cast<size_t>(O)];

@@ -13,9 +13,25 @@ using namespace ipas;
 ExecutionRecord FunctionHarness::execute(const ModuleLayout &Layout,
                                          const FaultPlan *Plan,
                                          uint64_t StepBudget) {
+  return runOnce(Layout, Plan, StepBudget, nullptr);
+}
+
+ExecutionRecord FunctionHarness::executeObserved(const ModuleLayout &Layout,
+                                                 const FaultPlan *Plan,
+                                                 uint64_t StepBudget,
+                                                 ExecObserver &Obs) {
+  return runOnce(Layout, Plan, StepBudget, &Obs);
+}
+
+ExecutionRecord FunctionHarness::runOnce(const ModuleLayout &Layout,
+                                         const FaultPlan *Plan,
+                                         uint64_t StepBudget,
+                                         ExecObserver *Obs) {
   ExecutionContext Ctx(Layout);
   if (Plan)
     Ctx.setFaultPlan(*Plan);
+  if (Obs)
+    Ctx.setObserver(Obs);
   const Function *F = Layout.module().getFunction(Entry);
   assert(F && "harness entry function not found");
   Ctx.start(F, Args);

@@ -36,7 +36,15 @@ public:
 
   std::vector<unsigned> traceValueSteps(const ModuleLayout &Layout) override;
 
+  bool supportsObservation() const override { return true; }
+  ExecutionRecord executeObserved(const ModuleLayout &Layout,
+                                  const FaultPlan *Plan, uint64_t StepBudget,
+                                  ExecObserver &Obs) override;
+
 private:
+  ExecutionRecord runOnce(const ModuleLayout &Layout, const FaultPlan *Plan,
+                          uint64_t StepBudget, ExecObserver *Obs);
+
   std::string Entry;
   std::vector<RtValue> Args;
   // Golden return bits, captured on the first clean run (runCampaign's

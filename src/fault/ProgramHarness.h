@@ -54,6 +54,22 @@ public:
     (void)Layout;
     return {};
   }
+
+  /// True when executeObserved() actually attaches the observer. The
+  /// campaign driver only offers propagation tracing on harnesses that
+  /// return true (multi-rank workloads, for instance, do not).
+  virtual bool supportsObservation() const { return false; }
+
+  /// Executes once with \p Obs attached to the interpreter, receiving
+  /// every value commit, memory access, and control decision of the run.
+  /// The default ignores the observer and delegates to execute().
+  virtual ExecutionRecord executeObserved(const ModuleLayout &Layout,
+                                          const FaultPlan *Plan,
+                                          uint64_t StepBudget,
+                                          ExecObserver &Obs) {
+    (void)Obs;
+    return execute(Layout, Plan, StepBudget);
+  }
 };
 
 } // namespace ipas

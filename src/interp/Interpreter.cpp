@@ -49,6 +49,9 @@ struct InterpMetrics {
 
 } // namespace
 
+// Out-of-line key function anchoring the observer vtable.
+ExecObserver::~ExecObserver() = default;
+
 const char *ipas::runStatusName(RunStatus S) {
   switch (S) {
   case RunStatus::Running:
@@ -184,6 +187,8 @@ void ExecutionContext::writeResult(Frame &F, const Instruction *I,
     FaultInjected = true;
     FaultedId = I->id();
   }
+  if (Obs)
+    Obs->onValueCommit(I, V, ValueSteps);
   ++ValueSteps;
   F.Slots[Layout.slotOfInstruction(I)] = V;
 }
@@ -234,6 +239,8 @@ void ExecutionContext::execPhis(Frame &F) {
     const auto *Phi = cast<PhiInst>(BB->at(K));
     const Value *V = Phi->incomingValueFor(F.PrevBlock);
     assert(V && "phi has no incoming value for the predecessor");
+    if (Obs)
+      Obs->onPhiChoice(Phi, V);
     Incoming[K] = eval(F, V);
   }
   for (size_t K = 0; K != NumPhis; ++K) {
@@ -480,6 +487,8 @@ void ExecutionContext::stepOnce() {
       raiseTrap(TrapKind::OutOfBounds);
       return;
     }
+    if (Obs)
+      Obs->onLoad(I, Addr);
     RtValue V;
     V.Bits = Mem.read64(Addr);
     if (I->type().isI1())
@@ -495,6 +504,8 @@ void ExecutionContext::stepOnce() {
       raiseTrap(TrapKind::OutOfBounds);
       return;
     }
+    if (Obs)
+      Obs->onStore(I, Addr, V);
     Mem.write64(Addr, V.Bits);
     ++F.InstIdx;
     return;
@@ -515,6 +526,12 @@ void ExecutionContext::stepOnce() {
   case Opcode::Check: {
     uint64_t A = eval(F, I->operand(0)).Bits;
     uint64_t B = eval(F, I->operand(1)).Bits;
+    if (Obs) {
+      RtValue AV, BV;
+      AV.Bits = A;
+      BV.Bits = B;
+      Obs->onCheck(I, AV, BV);
+    }
     if (A != B) {
       Status = RunStatus::Detected;
       return;
@@ -532,6 +549,8 @@ void ExecutionContext::stepOnce() {
   case Opcode::CondBr: {
     const auto *CBr = cast<CondBranchInst>(I);
     bool C = eval(F, I->operand(0)).asBool();
+    if (Obs)
+      Obs->onCondBranch(I, C);
     F.PrevBlock = F.Block;
     F.Block = C ? CBr->trueTarget() : CBr->falseTarget();
     F.InstIdx = 0;
@@ -541,6 +560,8 @@ void ExecutionContext::stepOnce() {
     const auto *Ret = cast<RetInst>(I);
     bool HasValue = Ret->hasReturnValue();
     RtValue V = HasValue ? eval(F, I->operand(0)) : RtValue();
+    if (Obs)
+      Obs->onReturn(I, HasValue, V);
     returnFromFrame(HasValue, V);
     return;
   }
@@ -562,6 +583,8 @@ void ExecutionContext::execCall(Frame &F, const CallInst *Call) {
     std::vector<RtValue> Args(Call->numArgs());
     for (unsigned K = 0; K != Call->numArgs(); ++K)
       Args[K] = eval(F, Call->arg(K));
+    if (Obs)
+      Obs->onCall(Call, Args);
     pushFrame(Call->callee(), std::move(Args));
     // The caller's InstIdx advances when the callee returns.
     return;

@@ -96,6 +96,49 @@ struct PendingMpi {
   RtValue Args[3];
 };
 
+/// Passive execution observer: the interpreter calls these hooks at the
+/// semantically interesting points of a run (value commits, memory
+/// traffic, control decisions, call boundaries). Every call site is
+/// gated on a null check, so an unobserved run pays one well-predicted
+/// branch per event — the same cost class as the existing value-step
+/// trace hook. The fault-propagation tracer (fault/Propagation.h)
+/// implements this to reconstruct where a flipped bit spread, was
+/// masked, and first reached output.
+class ExecObserver {
+public:
+  virtual ~ExecObserver();
+
+  /// A value-producing instruction I committed value V (post
+  /// fault-injection) as the given dynamic value step.
+  virtual void onValueCommit(const Instruction * /*I*/, RtValue /*V*/,
+                             uint64_t /*ValueStep*/) {}
+  /// A phi is about to commit the value of Chosen (the incoming value
+  /// for the edge actually taken). Fired in block order just before the
+  /// phi's onValueCommit, so observers can attribute the commit to the
+  /// one operand that was live rather than scanning all incoming values.
+  virtual void onPhiChoice(const PhiInst * /*Phi*/,
+                           const Value * /*Chosen*/) {}
+  /// A Store wrote V to a validated address.
+  virtual void onStore(const Instruction * /*I*/, uint64_t /*Addr*/,
+                       RtValue /*V*/) {}
+  /// A Load is about to read from a validated address (its
+  /// onValueCommit follows immediately).
+  virtual void onLoad(const Instruction * /*I*/, uint64_t /*Addr*/) {}
+  /// A conditional branch evaluated its condition.
+  virtual void onCondBranch(const Instruction * /*I*/, bool /*Cond*/) {}
+  /// A `soc.check` compared A against B (fires before the mismatch
+  /// verdict, so it is seen even when the run ends Detected).
+  virtual void onCheck(const Instruction * /*I*/, RtValue /*A*/,
+                       RtValue /*B*/) {}
+  /// A non-intrinsic call evaluated its arguments and is about to push
+  /// the callee frame.
+  virtual void onCall(const CallInst * /*Call*/,
+                      const std::vector<RtValue> & /*Args*/) {}
+  /// A Ret is about to pop the current frame, returning V when HasValue.
+  virtual void onReturn(const Instruction * /*Ret*/, bool /*HasValue*/,
+                        RtValue /*V*/) {}
+};
+
 /// One executing "process" (MPI rank): memory, call stack, and counters.
 class ExecutionContext {
 public:
@@ -153,6 +196,10 @@ public:
   /// dynamic value step k. The campaign driver uses one traced clean run
   /// to map fault plans to instructions without executing (site pruning).
   void setValueStepTrace(std::vector<unsigned> *T) { ValueStepTrace = T; }
+
+  /// Attaches \p O (may be null) to receive execution events. Must be
+  /// set before start(); the observer is borrowed, not owned.
+  void setObserver(ExecObserver *O) { Obs = O; }
 
   // Multi-rank MPI interface (used by the SimMPI scheduler).
   int rank() const { return Cfg.Rank; }
@@ -212,6 +259,7 @@ private:
   bool FaultInjected = false;
   unsigned FaultedId = 0;
   std::vector<unsigned> *ValueStepTrace = nullptr;
+  ExecObserver *Obs = nullptr;
   PendingMpi Pending;
   bool Started = false;
   // Telemetry (see ~ExecutionContext).

@@ -1,27 +1,21 @@
-//===- obs/RecordStore.cpp ----------------------------------------------------===//
+//===- obs/Propagation.cpp ----------------------------------------------------===//
 //
 // Part of the IPAS reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// File layout (all integers little-endian):
+// File layout (all integers little-endian), mirroring RecordStore:
 //
 //   offset  size  field
-//   0       8     magic "IPASREC\0"
+//   0       8     magic "IPASPROP"
 //   8       4     version (u32, currently 1)
-//   12      8     payload length (u64, bytes following this field minus
-//                 the trailing 8-byte checksum)
+//   12      8     payload length (u64)
 //   20      N     payload (see serializePayload)
 //   20+N    8     FNV-1a 64 checksum of the payload bytes
 //
-// The payload is a flat sequence of fields; strings are u32 length +
-// bytes, vectors are u64 count + elements. Doubles are stored as the
-// IEEE-754 bit pattern in a u64, so round trips are bit-exact (including
-// NaNs and signed zeros).
-//
 //===----------------------------------------------------------------------===//
 
-#include "obs/RecordStore.h"
+#include "obs/Propagation.h"
 
 #include "obs/BinCodec.h"
 
@@ -33,100 +27,125 @@ using namespace ipas::obs;
 
 namespace {
 
-constexpr char Magic[8] = {'I', 'P', 'A', 'S', 'R', 'E', 'C', '\0'};
+constexpr char Magic[8] = {'I', 'P', 'A', 'S', 'P', 'R', 'O', 'P'};
 
-void serializePayload(const RecordStore &S, Encoder &E) {
+void serializePayload(const PropagationStore &S, Encoder &E) {
   E.str(S.ModuleName);
   E.str(S.EntryFunction);
   E.str(S.Label);
   E.u64(S.Seed);
+  E.u64(S.SampleEvery);
+  E.u64(S.TotalRuns);
   E.u64(S.CleanSteps);
   E.u64(S.CleanValueSteps);
-  E.u64(S.PrunedRuns);
-  E.u64(S.PrunedSites);
-  E.u64(S.OutcomeTotals.size());
-  for (uint64_t T : S.OutcomeTotals)
-    E.u64(T);
-  E.str(S.SourceText);
   E.u64(S.Functions.size());
   for (const std::string &F : S.Functions)
     E.str(F);
   E.u64(S.Instructions.size());
-  for (const InstrRecord &I : S.Instructions) {
+  for (const PropInstr &I : S.Instructions) {
     E.u32(I.Id);
     E.u8(I.Opcode);
-    E.u8(I.DupRole);
+    E.u8(I.StaticBenign);
     E.u8(I.Predicted);
-    E.u8(I.Protected_);
     E.u32(I.Line);
     E.u32(I.Col);
     E.u32(I.FunctionIndex);
-    E.u64(I.DynExecCount);
-    E.f64(I.Score);
+    E.u32(I.StaticSinkMask);
   }
-  E.u32(S.NumFeatures);
-  E.u64(S.Features.size());
-  for (double F : S.Features)
-    E.f64(F);
-  E.u64(S.Rows.size());
-  for (const InjectionRow &R : S.Rows) {
+  E.u64(S.Records.size());
+  for (const PropRecord &R : S.Records) {
+    E.u64(R.RunIndex);
     E.u32(R.InstructionId);
     E.u32(R.BitIndex);
     E.u64(R.TargetValueStep);
     E.u8(R.Outcome);
-    E.u32(R.LatencyUs);
+    E.u8(R.ControlDiverged);
+    E.u32(R.DynReachMask);
+    E.u32(R.PropagationDepth);
+    E.u64(R.CorruptedValues);
+    E.u64(R.InjectionStep);
+    E.u64(R.FirstOutputStep);
+    E.u64(R.MaskedLogical);
+    E.u64(R.MaskedOverwrite);
+    E.u64(R.MaskedDead);
+    E.u64(R.Edges.size());
+    for (const PropEdge &Ed : R.Edges) {
+      E.u32(Ed.SrcId);
+      E.u32(Ed.DstId);
+      E.u8(Ed.Kind);
+      E.u32(Ed.Count);
+    }
+    E.u64(R.Masks.size());
+    for (const PropMaskEvent &M : R.Masks) {
+      E.u8(M.Opcode);
+      E.u8(M.Kind);
+      E.u32(M.Count);
+    }
   }
 }
 
-bool parsePayload(RecordStore &S, Decoder &D, std::string *Err) {
+bool parsePayload(PropagationStore &S, Decoder &D, std::string *Err) {
   S.ModuleName = D.str();
   S.EntryFunction = D.str();
   S.Label = D.str();
   S.Seed = D.u64();
+  S.SampleEvery = D.u64();
+  S.TotalRuns = D.u64();
   S.CleanSteps = D.u64();
   S.CleanValueSteps = D.u64();
-  S.PrunedRuns = D.u64();
-  S.PrunedSites = D.u64();
-  S.OutcomeTotals.resize(D.count(8));
-  for (uint64_t &T : S.OutcomeTotals)
-    T = D.u64();
-  S.SourceText = D.str();
   S.Functions.resize(D.count(4));
   for (std::string &F : S.Functions)
     F = D.str();
-  S.Instructions.resize(D.count(4 + 4 + 4 + 4 + 4 + 8 + 8));
-  for (InstrRecord &I : S.Instructions) {
+  S.Instructions.resize(D.count(4 + 1 + 1 + 1 + 4 + 4 + 4 + 4));
+  for (PropInstr &I : S.Instructions) {
     I.Id = D.u32();
     I.Opcode = D.u8();
-    I.DupRole = D.u8();
+    I.StaticBenign = D.u8();
     I.Predicted = D.u8();
-    I.Protected_ = D.u8();
     I.Line = D.u32();
     I.Col = D.u32();
     I.FunctionIndex = D.u32();
-    I.DynExecCount = D.u64();
-    I.Score = D.f64();
+    I.StaticSinkMask = D.u32();
   }
-  S.NumFeatures = D.u32();
-  S.Features.resize(D.count(8));
-  for (double &F : S.Features)
-    F = D.f64();
-  S.Rows.resize(D.count(4 + 4 + 8 + 1 + 4));
-  for (InjectionRow &R : S.Rows) {
+  // Fixed portion of a PropRecord (everything before the two vectors).
+  S.Records.resize(D.count(8 + 4 + 4 + 8 + 1 + 1 + 4 + 4 + 7 * 8 + 8));
+  for (PropRecord &R : S.Records) {
+    R.RunIndex = D.u64();
     R.InstructionId = D.u32();
     R.BitIndex = D.u32();
     R.TargetValueStep = D.u64();
     R.Outcome = D.u8();
-    R.LatencyUs = D.u32();
+    R.ControlDiverged = D.u8();
+    R.DynReachMask = D.u32();
+    R.PropagationDepth = D.u32();
+    R.CorruptedValues = D.u64();
+    R.InjectionStep = D.u64();
+    R.FirstOutputStep = D.u64();
+    R.MaskedLogical = D.u64();
+    R.MaskedOverwrite = D.u64();
+    R.MaskedDead = D.u64();
+    R.Edges.resize(D.count(4 + 4 + 1 + 4));
+    for (PropEdge &Ed : R.Edges) {
+      Ed.SrcId = D.u32();
+      Ed.DstId = D.u32();
+      Ed.Kind = D.u8();
+      Ed.Count = D.u32();
+    }
+    R.Masks.resize(D.count(1 + 1 + 4));
+    for (PropMaskEvent &M : R.Masks) {
+      M.Opcode = D.u8();
+      M.Kind = D.u8();
+      M.Count = D.u32();
+    }
   }
   if (!D.ok()) {
     if (Err)
-      *Err = "record store payload truncated or corrupt";
+      *Err = "propagation store payload truncated or corrupt";
     return false;
   }
   if (!D.atEnd()) {
     if (Err)
-      *Err = "record store payload has trailing bytes";
+      *Err = "propagation store payload has trailing bytes";
     return false;
   }
   return true;
@@ -134,20 +153,12 @@ bool parsePayload(RecordStore &S, Decoder &D, std::string *Err) {
 
 } // namespace
 
-void RecordStore::tallyOutcomes() {
-  OutcomeTotals.clear();
-  for (const InjectionRow &R : Rows) {
-    if (R.Outcome >= OutcomeTotals.size())
-      OutcomeTotals.resize(R.Outcome + 1, 0);
-    ++OutcomeTotals[R.Outcome];
-  }
-}
-
-void ipas::obs::serializeRecordStore(const RecordStore &S, std::string &Out) {
+void ipas::obs::serializePropagationStore(const PropagationStore &S,
+                                          std::string &Out) {
   Out.clear();
   Out.append(Magic, sizeof(Magic));
   Encoder Header(Out);
-  Header.u32(RecordStoreVersion);
+  Header.u32(PropStoreVersion);
   std::string Payload;
   Encoder E(Payload);
   serializePayload(S, E);
@@ -157,10 +168,11 @@ void ipas::obs::serializeRecordStore(const RecordStore &S, std::string &Out) {
   Footer.u64(fnv1a(Payload.data(), Payload.size()));
 }
 
-bool ipas::obs::writeRecordStore(const RecordStore &S, const std::string &Path,
-                                 std::string *Err) {
+bool ipas::obs::writePropagationStore(const PropagationStore &S,
+                                      const std::string &Path,
+                                      std::string *Err) {
   std::string Bytes;
-  serializeRecordStore(S, Bytes);
+  serializePropagationStore(S, Bytes);
   FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
     if (Err)
@@ -175,33 +187,34 @@ bool ipas::obs::writeRecordStore(const RecordStore &S, const std::string &Path,
   return Ok;
 }
 
-bool ipas::obs::parseRecordStore(RecordStore &S, const std::string &Data,
-                                 std::string *Err) {
+bool ipas::obs::parsePropagationStore(PropagationStore &S,
+                                      const std::string &Data,
+                                      std::string *Err) {
   // Fixed header: magic + version + payload length.
   constexpr size_t HeaderSize = sizeof(Magic) + 4 + 8;
   if (Data.size() < HeaderSize) {
     if (Err)
-      *Err = "not a record store (file too small)";
+      *Err = "not a propagation store (file too small)";
     return false;
   }
   if (std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0) {
     if (Err)
-      *Err = "not a record store (bad magic)";
+      *Err = "not a propagation store (bad magic)";
     return false;
   }
   Decoder H(Data.data() + sizeof(Magic), Data.size() - sizeof(Magic));
   uint32_t Version = H.u32();
-  if (Version == 0 || Version > RecordStoreVersion) {
+  if (Version == 0 || Version > PropStoreVersion) {
     if (Err)
-      *Err = "unsupported record store version " + std::to_string(Version) +
-             " (reader supports up to " +
-             std::to_string(RecordStoreVersion) + ")";
+      *Err = "unsupported propagation store version " +
+             std::to_string(Version) + " (reader supports up to " +
+             std::to_string(PropStoreVersion) + ")";
     return false;
   }
   uint64_t PayloadLen = H.u64();
   if (Data.size() != HeaderSize + PayloadLen + 8) {
     if (Err)
-      *Err = "record store truncated (header promises " +
+      *Err = "propagation store truncated (header promises " +
              std::to_string(PayloadLen) + " payload bytes)";
     return false;
   }
@@ -213,15 +226,16 @@ bool ipas::obs::parseRecordStore(RecordStore &S, const std::string &Data,
               << (8 * I);
   if (fnv1a(Payload, PayloadLen) != WantLE) {
     if (Err)
-      *Err = "record store checksum mismatch (corrupt file)";
+      *Err = "propagation store checksum mismatch (corrupt file)";
     return false;
   }
   Decoder D(Payload, PayloadLen);
   return parsePayload(S, D, Err);
 }
 
-bool ipas::obs::readRecordStore(RecordStore &S, const std::string &Path,
-                                std::string *Err) {
+bool ipas::obs::readPropagationStore(PropagationStore &S,
+                                     const std::string &Path,
+                                     std::string *Err) {
   FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     if (Err)
@@ -240,5 +254,5 @@ bool ipas::obs::readRecordStore(RecordStore &S, const std::string &Path,
       *Err = "read error on '" + Path + "'";
     return false;
   }
-  return parseRecordStore(S, Data, Err);
+  return parsePropagationStore(S, Data, Err);
 }

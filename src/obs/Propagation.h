@@ -1,0 +1,167 @@
+//===- obs/Propagation.h - Fault-propagation trace store (.ipprop) --------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, versioned record of the *path* corruption took through a
+/// sampled subset of campaign injections: per-injection propagation depth,
+/// latency to first output corruption, corrupted-value count, per-opcode
+/// masking events, and the dynamic propagation graph (def-use, memory,
+/// and control edges between instruction ids). Where `.iprec` records the
+/// endpoint of every injection, `.ipprop` explains the journey for the
+/// traced ones — it is the dynamic ground truth that `ipas-prop
+/// --cross-validate` confronts with the static `SocPropagation` benign
+/// claims and the classifier's predictions.
+///
+/// Like RecordStore this lives in the obs layer, below ir/, analysis/,
+/// and fault/: opcode, outcome, and sink-mask fields are raw integer
+/// codes filled in by the fault-layer tracer (fault/Propagation.h) and
+/// the driver, and decoded by tools. Serialization reuses the shared
+/// little-endian codec + FNV-1a checksum (obs/BinCodec.h); truncated or
+/// corrupt files are rejected loudly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_OBS_PROPAGATION_H
+#define IPAS_OBS_PROPAGATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipas {
+namespace obs {
+
+/// PropEdge::Kind codes — how corruption moved from Src to Dst.
+enum : uint8_t {
+  PropEdgeDefUse = 0,  ///< Corrupted operand produced a corrupted result.
+  PropEdgeMemory = 1,  ///< Corrupted store was loaded back from memory.
+  PropEdgeControl = 2, ///< Corrupted condition diverged control flow.
+};
+
+/// PropMaskEvent::Kind codes — how corruption died.
+enum : uint8_t {
+  PropMaskLogical = 0,   ///< Corrupted operand, yet bit-equal result
+                         ///< (cmp/and/select/shift absorption).
+  PropMaskOverwrite = 1, ///< Clean store overwrote a corrupted address.
+  PropMaskDead = 2,      ///< Corrupted value was never consumed.
+};
+
+/// PropRecord::DynReachMask bits — which sink kinds corruption
+/// *dynamically* reached. Mirrors analysis/SocPropagation's SocSinkKind
+/// bit assignment so static and dynamic masks compare directly.
+enum : uint32_t {
+  PropReachStore = 1u << 0,
+  PropReachCallArgument = 1u << 1,
+  PropReachReturn = 1u << 2,
+  PropReachControlFlow = 1u << 3,
+  PropReachCheck = 1u << 4,
+  PropReachTrap = 1u << 5,
+};
+
+/// One aggregated edge of the dynamic propagation graph for one
+/// injection (repeated traversals collapse into Count).
+struct PropEdge {
+  uint32_t SrcId = 0; ///< Corrupting instruction id.
+  uint32_t DstId = 0; ///< Instruction whose result/behaviour it corrupted.
+  uint8_t Kind = PropEdgeDefUse;
+  uint32_t Count = 0; ///< Dynamic occurrences of this edge.
+};
+
+/// One aggregated masking event for one injection.
+struct PropMaskEvent {
+  uint8_t Opcode = 0; ///< Raw ir::Opcode of the masking instruction
+                      ///< (for Dead: of the producer whose value died).
+  uint8_t Kind = PropMaskLogical;
+  uint32_t Count = 0;
+};
+
+/// Per-instruction side table entry (one per static instruction, in id
+/// order) carrying the *static* columns the cross-validation confronts
+/// with the dynamic records.
+struct PropInstr {
+  uint32_t Id = 0;
+  uint8_t Opcode = 0;       ///< Raw ir::Opcode code.
+  uint8_t StaticBenign = 0; ///< 1 if SocPropagation proved it benign.
+  uint8_t Predicted = 0;    ///< Classifier verdict (RecordStore codes).
+  uint32_t Line = 0;        ///< DebugLoc line (0 = unknown).
+  uint32_t Col = 0;
+  uint32_t FunctionIndex = 0;  ///< Index into PropagationStore::Functions.
+  uint32_t StaticSinkMask = 0; ///< SocPropagation sink mask (same bits
+                               ///< as DynReachMask).
+};
+
+/// Full propagation trace of one injected run.
+struct PropRecord {
+  uint64_t RunIndex = 0; ///< Campaign run this injection came from.
+  uint32_t InstructionId = 0;
+  uint32_t BitIndex = 0;
+  uint64_t TargetValueStep = 0;
+  uint8_t Outcome = 0;         ///< Raw fault::Outcome code.
+  uint8_t ControlDiverged = 0; ///< 1 once control flow left the clean path
+                               ///< (fine-grained comparison stops there).
+  uint32_t DynReachMask = 0;   ///< PropReach* bits corruption touched.
+  uint32_t PropagationDepth = 0; ///< Longest def-use/memory chain from the
+                                 ///< injection (injection itself = 0).
+  uint64_t CorruptedValues = 0;  ///< Distinct corrupted value commits.
+  uint64_t InjectionStep = 0;    ///< Value step of the injection.
+  uint64_t FirstOutputStep = UINT64_MAX; ///< Value step when corruption
+                                         ///< first reached a store/return
+                                         ///< the verifier reads (UINT64_MAX
+                                         ///< = never).
+  uint64_t MaskedLogical = 0;
+  uint64_t MaskedOverwrite = 0;
+  uint64_t MaskedDead = 0;
+  std::vector<PropEdge> Edges;
+  std::vector<PropMaskEvent> Masks;
+
+  /// Value steps from injection to first output corruption (the
+  /// "latency" the paper's detector placement cares about).
+  bool reachedOutput() const { return FirstOutputStep != UINT64_MAX; }
+  uint64_t latencyToOutput() const {
+    return reachedOutput() ? FirstOutputStep - InjectionStep : UINT64_MAX;
+  }
+};
+
+/// In-memory image of one `.ipprop` file.
+struct PropagationStore {
+  // Campaign metadata.
+  std::string ModuleName;
+  std::string EntryFunction;
+  std::string Label;
+  uint64_t Seed = 0;
+  uint64_t SampleEvery = 0; ///< PropSampleEvery the campaign ran with.
+  uint64_t TotalRuns = 0;   ///< Campaign size the sample was drawn from.
+  uint64_t CleanSteps = 0;
+  uint64_t CleanValueSteps = 0;
+
+  std::vector<std::string> Functions; ///< Function-name table.
+  std::vector<PropInstr> Instructions;
+  std::vector<PropRecord> Records;
+};
+
+/// Current serialization version. Readers reject newer files.
+constexpr uint32_t PropStoreVersion = 1;
+
+/// Serializes \p S to \p Path. Returns false and sets \p Err on failure.
+bool writePropagationStore(const PropagationStore &S, const std::string &Path,
+                           std::string *Err = nullptr);
+
+/// Serializes \p S into \p Out (the exact file bytes).
+void serializePropagationStore(const PropagationStore &S, std::string &Out);
+
+/// Parses \p Path into \p S. Returns false and sets \p Err on bad magic,
+/// unsupported version, truncation, or checksum mismatch.
+bool readPropagationStore(PropagationStore &S, const std::string &Path,
+                          std::string *Err = nullptr);
+
+/// Parses the byte image \p Data.
+bool parsePropagationStore(PropagationStore &S, const std::string &Data,
+                           std::string *Err = nullptr);
+
+} // namespace obs
+} // namespace ipas
+
+#endif // IPAS_OBS_PROPAGATION_H

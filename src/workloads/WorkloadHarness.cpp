@@ -62,10 +62,20 @@ WorkloadHarness::traceValueSteps(const ModuleLayout &Layout) {
   return Trace;
 }
 
+ExecutionRecord WorkloadHarness::executeObserved(const ModuleLayout &Layout,
+                                                 const FaultPlan *Plan,
+                                                 uint64_t StepBudget,
+                                                 ExecObserver &Obs) {
+  assert(NumRanks <= 1 &&
+         "propagation tracing is defined for serial runs only");
+  return executeSerial(Layout, Plan, StepBudget, nullptr, &Obs);
+}
+
 ExecutionRecord WorkloadHarness::executeSerial(const ModuleLayout &Layout,
                                                const FaultPlan *Plan,
                                                uint64_t StepBudget,
-                                               std::vector<unsigned> *Trace) {
+                                               std::vector<unsigned> *Trace,
+                                               ExecObserver *Obs) {
   const Function *Entry = Layout.module().getFunction(Workload::EntryName);
   assert(Entry && "workload module lacks its entry function");
 
@@ -90,6 +100,8 @@ ExecutionRecord WorkloadHarness::executeSerial(const ModuleLayout &Layout,
     Ctx.setFaultPlan(*Plan);
   if (Trace)
     Ctx.setValueStepTrace(Trace);
+  if (Obs)
+    Ctx.setObserver(Obs);
   Ctx.start(Entry, Args);
   RunStatus S = Ctx.run(StepBudget);
 

@@ -31,6 +31,13 @@ public:
   /// Clean serial run with value-step tracing (see ProgramHarness).
   std::vector<unsigned> traceValueSteps(const ModuleLayout &Layout) override;
 
+  /// Propagation tracing is defined for serial runs only (coverage
+  /// campaigns are serial; see execute()).
+  bool supportsObservation() const override { return NumRanks <= 1; }
+  ExecutionRecord executeObserved(const ModuleLayout &Layout,
+                                  const FaultPlan *Plan, uint64_t StepBudget,
+                                  ExecObserver &Obs) override;
+
   /// Golden output captured by the first clean run (empty before that).
   const std::vector<RtValue> &golden() const { return Golden; }
 
@@ -39,7 +46,8 @@ public:
 private:
   ExecutionRecord executeSerial(const ModuleLayout &Layout,
                                 const FaultPlan *Plan, uint64_t StepBudget,
-                                std::vector<unsigned> *Trace = nullptr);
+                                std::vector<unsigned> *Trace = nullptr,
+                                ExecObserver *Obs = nullptr);
   ExecutionRecord executeParallel(const ModuleLayout &Layout,
                                   uint64_t StepBudget);
   bool verifyAgainstGolden(const std::vector<RtValue> &Output);

@@ -464,6 +464,7 @@ TEST(ObsTrace, PipelinePhaseSpansCoverRun) {
     Cfg.Grid.Folds = 3;
     Cfg.TopN = 2;
     Cfg.Seed = 0xBEEF;
+    Cfg.PropSampleEvery = 32; // Exercise the tracer path's spans too.
     IpasPipeline P(*W, Cfg);
     WorkloadEvaluation WE = P.run();
     EXPECT_GE(WE.Variants.size(), 4u);
@@ -506,5 +507,20 @@ TEST(ObsTrace, PipelinePhaseSpansCoverRun) {
   // Begin/done markers for the run as a whole.
   EXPECT_NE(findEvent(Records, "pipeline.begin"), nullptr);
   EXPECT_NE(findEvent(Records, "pipeline.done"), nullptr);
+
+  // Propagation tracing was sampled, so per-injection tracer spans exist
+  // and every one nests inside a campaign span (the laminar rule
+  // `ipas-report --check` enforces). expectSpansNest() above already
+  // verified containment; here we pin the parent linkage.
+  size_t PropSpans = 0;
+  for (const JsonValue &R : Records) {
+    if (recordType(R) != "span" || !R.get("name") ||
+        R.get("name")->asString() != "campaign.prop")
+      continue;
+    ++PropSpans;
+    ASSERT_NE(R.get("parent"), nullptr);
+    EXPECT_EQ(R.get("parent")->asString(), "campaign");
+  }
+  EXPECT_GT(PropSpans, 0u);
   std::remove(Path.c_str());
 }

@@ -19,7 +19,9 @@
 
 #include "analysis/Features.h"
 #include "analysis/ProtectionLint.h"
+#include "analysis/SocPropagation.h"
 #include "fault/FunctionHarness.h"
+#include "fault/Propagation.h"
 #include "fault/RecordBuild.h"
 #include "frontend/CodeGen.h"
 #include "interp/Interpreter.h"
@@ -67,9 +69,10 @@ static std::vector<RtValue> parseArgs(const Function *F,
 int main(int Argc, char **Argv) {
   bool EmitIr = false, Optimize = false, Protect = false, Verify = false;
   bool Lint = false, VerifyEach = false, RequireLocs = false;
-  std::string RunFn, ArgsCsv, RecordOut;
+  std::string RunFn, ArgsCsv, RecordOut, PropOut;
   int64_t FaultStep = -1, FaultBit = 0, MaxSteps = -1;
   int64_t CampaignRuns = 0, CampaignSeed = 0xf417, CampaignThreads = 1;
+  int64_t PropSample = 0;
 
   ArgParser P("ipas-cc: compile, transform, protect, and run MiniC");
   P.addBool("emit-ir", &EmitIr, "print the final IR");
@@ -96,6 +99,11 @@ int main(int Argc, char **Argv) {
   P.addInt("threads", &CampaignThreads, "campaign worker threads");
   P.addString("record-out", &RecordOut,
               "write the campaign's .iprec provenance record store here");
+  P.addInt("prop-sample", &PropSample,
+           "trace fault propagation for every Nth campaign injection");
+  P.addString("prop-out", &PropOut,
+              "write the traced injections' .ipprop propagation store "
+              "here (requires --prop-sample)");
   obs::CliOptions Obs;
   obs::addCliFlags(P, Obs);
   if (!P.parse(Argc, Argv))
@@ -218,12 +226,42 @@ int main(int Argc, char **Argv) {
     CC.NumThreads =
         CampaignThreads > 0 ? static_cast<unsigned>(CampaignThreads) : 1;
     CC.Label = "cc.campaign";
+    if (PropSample > 0)
+      CC.PropSampleEvery = static_cast<size_t>(PropSample);
     CampaignResult R = runCampaign(Harness, Layout, CC);
     std::printf("campaign: %zu runs on @%s\n", R.Records.size(),
                 RunFn.c_str());
     for (size_t O = 0; O != NumOutcomes; ++O)
       std::printf("  %-8s %6zu\n", outcomeName(static_cast<Outcome>(O)),
                   R.Counts[O]);
+    if (!PropOut.empty()) {
+      if (R.PropRecords.empty())
+        std::fprintf(stderr, "warning: --prop-out without traced "
+                             "injections (pass --prop-sample N)\n");
+      // Static claims for the cross-validation columns: the same
+      // analysis whose benign verdicts drive campaign pruning.
+      SocPropagation Soc(*M);
+      std::vector<unsigned> SinkMasks(M->numInstructions(), 0);
+      for (const Instruction *I : M->allInstructions())
+        SinkMasks[I->id()] = Soc.info(I).SinkMask;
+      PropBuildInputs PIn;
+      PIn.M = M.get();
+      PIn.Result = &R;
+      PIn.EntryFunction = RunFn;
+      PIn.Label = "cc.campaign";
+      PIn.Seed = CC.Seed;
+      PIn.SampleEvery = CC.PropSampleEvery;
+      PIn.StaticBenign = &Soc.provablyBenign();
+      PIn.StaticSinkMask = &SinkMasks;
+      std::string Err;
+      obs::PropagationStore PropStore = buildPropagationStore(PIn);
+      if (!writePropagationRecord(PropStore, PropOut, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("propagation store: %s (%zu traces)\n", PropOut.c_str(),
+                  PropStore.Records.size());
+    }
     if (!RecordOut.empty()) {
       std::vector<unsigned> StepTrace = Harness.traceValueSteps(Layout);
       FeatureExtractor Extractor;

@@ -29,6 +29,7 @@
 
 #include "fault/Outcome.h"
 #include "ir/Instruction.h"
+#include "obs/Propagation.h"
 #include "obs/RecordStore.h"
 #include "support/ArgParser.h"
 
@@ -329,7 +330,70 @@ void printTables(const StoreIndex &Ix) {
   }
 }
 
-int inspectOne(const std::string &Path, bool WithSource) {
+/// Joins the .iprec per-opcode vulnerability columns with the .ipprop
+/// dynamic masking ground truth: for each opcode, how often did the
+/// endpoint campaign go SOC when injecting into it, and how often did
+/// the propagation tracer watch that opcode *absorb* corruption
+/// (logical masking, clean overwrite, dead value)? Opcodes that absorb
+/// a lot should show a low SOC rate — the join makes that visible.
+void printMaskingJoin(const StoreIndex &Ix,
+                      const obs::PropagationStore &Prop) {
+  unsigned Soc = static_cast<unsigned>(Outcome::SOC);
+  std::map<uint8_t, std::array<uint64_t, 3>> MaskByOp;
+  uint64_t TotalMaskEvents = 0;
+  for (const obs::PropRecord &R : Prop.Records)
+    for (const obs::PropMaskEvent &M : R.Masks)
+      if (M.Kind < 3) {
+        MaskByOp[M.Opcode][M.Kind] += M.Count;
+        TotalMaskEvents += M.Count;
+      }
+
+  std::printf("\n== dynamic masking vs vulnerability by opcode ==\n");
+  std::printf("(%zu traced injections, %llu masking events)\n",
+              Prop.Records.size(),
+              static_cast<unsigned long long>(TotalMaskEvents));
+  std::printf("%-10s %8s %6s %6s  %8s %9s %6s %7s\n", "opcode", "inject",
+              "soc", "soc%", "logical", "overwrite", "dead", "absorb%");
+
+  // Union of opcodes with injections (iprec) and masking events (ipprop).
+  std::map<uint8_t, char> Ops;
+  for (const auto &[Op, Counts] : Ix.ByOpcode)
+    Ops[Op];
+  for (const auto &[Op, Counts] : MaskByOp)
+    Ops[Op];
+  for (const auto &[Op, Unused] : Ops) {
+    (void)Unused;
+    uint64_t Inject = 0, SocN = 0;
+    auto It = Ix.ByOpcode.find(Op);
+    if (It != Ix.ByOpcode.end()) {
+      for (uint64_t N : It->second)
+        Inject += N;
+      SocN = It->second[Soc];
+    }
+    std::array<uint64_t, 3> M{};
+    auto MIt = MaskByOp.find(Op);
+    if (MIt != MaskByOp.end())
+      M = MIt->second;
+    uint64_t Absorbed = M[0] + M[1] + M[2];
+    std::printf("%-10s %8llu %6llu %5.1f%%  %8llu %9llu %6llu %6.1f%%\n",
+                opcodeName(static_cast<Opcode>(Op)),
+                static_cast<unsigned long long>(Inject),
+                static_cast<unsigned long long>(SocN),
+                Inject ? 100.0 * static_cast<double>(SocN) /
+                             static_cast<double>(Inject)
+                       : 0.0,
+                static_cast<unsigned long long>(M[0]),
+                static_cast<unsigned long long>(M[1]),
+                static_cast<unsigned long long>(M[2]),
+                TotalMaskEvents
+                    ? 100.0 * static_cast<double>(Absorbed) /
+                          static_cast<double>(TotalMaskEvents)
+                    : 0.0);
+  }
+}
+
+int inspectOne(const std::string &Path, bool WithSource,
+               const std::string &MaskingPath) {
   RecordStore S;
   std::string Err;
   if (!obs::readRecordStore(S, Path, &Err)) {
@@ -341,6 +405,15 @@ int inspectOne(const std::string &Path, bool WithSource) {
   printHeatmap(Ix, WithSource);
   printConfusion(Ix);
   printTables(Ix);
+  if (!MaskingPath.empty()) {
+    obs::PropagationStore Prop;
+    if (!obs::readPropagationStore(Prop, MaskingPath, &Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", MaskingPath.c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    printMaskingJoin(Ix, Prop);
+  }
   return 0;
 }
 
@@ -440,6 +513,7 @@ int diffStores(const std::string &OldPath, const std::string &NewPath,
 int main(int Argc, char **Argv) {
   bool Diff = false, NoSource = false;
   int64_t Threshold = 0;
+  std::string MaskingPath;
   ArgParser P("ipas-inspect: analyse .iprec campaign record stores");
   P.addBool("diff", &Diff,
             "compare two stores (old new) and fail on regression");
@@ -448,6 +522,9 @@ int main(int Argc, char **Argv) {
            "--diff fails");
   P.addBool("no-source", &NoSource,
             "omit source text from the heatmap listing");
+  P.addString("masking", &MaskingPath,
+              "join the per-opcode vulnerability table against the "
+              "dynamic masking rates in this .ipprop store");
   if (!P.parse(Argc, Argv))
     return 2;
 
@@ -464,5 +541,5 @@ int main(int Argc, char **Argv) {
                  P.usage().c_str());
     return 2;
   }
-  return inspectOne(P.positionals()[0], !NoSource);
+  return inspectOne(P.positionals()[0], !NoSource, MaskingPath);
 }

@@ -19,10 +19,11 @@
 /// --check exits nonzero when any line fails to parse, the header is
 /// missing or out of place, span intervals partially overlap on a thread
 /// (spans must nest), a span's duration is inconsistent with its
-/// endpoints, or a campaign.record event (an .iprec store written next
-/// to the trace) disagrees with the campaign.done event of the same
-/// label on the outcome totals. The CTest suite runs it over a fresh
-/// ipas-cc trace.
+/// endpoints, a campaign.prop span (a propagation trace) escapes its
+/// campaign phase span, or a campaign.record event (an .iprec store
+/// written next to the trace) disagrees with the campaign.done event of
+/// the same label on the outcome totals. The CTest suite runs it over a
+/// fresh ipas-cc trace.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -256,6 +257,36 @@ void checkNesting(const TraceData &T, Checker &C) {
   }
 }
 
+/// Per-injection propagation traces run as a serial post-pass inside the
+/// campaign phase, so every `campaign.prop` span must name "campaign" as
+/// its parent and be fully contained in a campaign span on its thread.
+/// A prop span outside the campaign would mean the tracer ran against a
+/// harness the campaign was not measuring — silent corruption of the
+/// phase accounting itself.
+void checkPropSpans(const TraceData &T, Checker &C) {
+  for (const SpanRec &S : T.Spans) {
+    if (S.Name != "campaign.prop")
+      continue;
+    if (S.Parent != "campaign")
+      C.fail(0,
+             "campaign.prop span [%" PRIu64 ", %" PRIu64
+             "] has parent '%s', expected 'campaign'",
+             S.StartUs, S.EndUs, S.Parent.c_str());
+    bool Contained = false;
+    for (const SpanRec &Outer : T.Spans)
+      if (Outer.Name == "campaign" && Outer.Tid == S.Tid &&
+          Outer.StartUs <= S.StartUs && S.EndUs <= Outer.EndUs) {
+        Contained = true;
+        break;
+      }
+    if (!Contained)
+      C.fail(0,
+             "tid %d: campaign.prop span [%" PRIu64 ", %" PRIu64
+             "] is not contained in any campaign span",
+             S.Tid, S.StartUs, S.EndUs);
+  }
+}
+
 /// Every campaign.record event (a written .iprec store) must agree with
 /// a campaign.done event of the same label on all five outcome totals:
 /// the store is derived from the same CampaignResult, so any drift means
@@ -447,6 +478,7 @@ int main(int Argc, char **Argv) {
   if (!loadTrace(P.positionals()[0], T, C))
     return 1;
   checkNesting(T, C);
+  checkPropSpans(T, C);
   checkRecords(T, C);
 
   if (Check) {
