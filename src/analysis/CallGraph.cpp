@@ -1,0 +1,164 @@
+//===- analysis/CallGraph.cpp ---------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipas;
+
+namespace {
+
+/// Iterative Tarjan over the callee adjacency. Recursing on the host
+/// stack would make deeply nested call chains in generated programs a
+/// stack-overflow hazard, so the DFS state is explicit.
+struct TarjanState {
+  const std::map<const Function *, std::vector<const Function *>> &Adj;
+  std::map<const Function *, unsigned> Index;
+  std::map<const Function *, unsigned> LowLink;
+  std::map<const Function *, bool> OnStack;
+  std::vector<const Function *> Stack;
+  unsigned NextIndex = 0;
+  std::vector<std::vector<const Function *>> Sccs;
+
+  explicit TarjanState(
+      const std::map<const Function *, std::vector<const Function *>> &Adj)
+      : Adj(Adj) {}
+
+  void run(const Function *Root) {
+    if (Index.count(Root))
+      return;
+    struct Frame {
+      const Function *F;
+      size_t NextChild = 0;
+    };
+    std::vector<Frame> Dfs;
+    Dfs.push_back({Root});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Dfs.empty()) {
+      Frame &Top = Dfs.back();
+      const std::vector<const Function *> &Children = Adj.at(Top.F);
+      if (Top.NextChild < Children.size()) {
+        const Function *C = Children[Top.NextChild++];
+        auto It = Index.find(C);
+        if (It == Index.end()) {
+          Index[C] = LowLink[C] = NextIndex++;
+          Stack.push_back(C);
+          OnStack[C] = true;
+          Dfs.push_back({C});
+        } else if (OnStack[C]) {
+          LowLink[Top.F] = std::min(LowLink[Top.F], It->second);
+        }
+        continue;
+      }
+      // All children visited: pop an SCC if this is its root, then fold
+      // the lowlink into the parent frame.
+      const Function *F = Top.F;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        LowLink[Dfs.back().F] = std::min(LowLink[Dfs.back().F], LowLink[F]);
+      if (LowLink[F] == Index[F]) {
+        std::vector<const Function *> Scc;
+        while (true) {
+          const Function *S = Stack.back();
+          Stack.pop_back();
+          OnStack[S] = false;
+          Scc.push_back(S);
+          if (S == F)
+            break;
+        }
+        Sccs.push_back(std::move(Scc));
+      }
+    }
+  }
+};
+
+} // namespace
+
+CallGraph::CallGraph(const Module &M) {
+  for (const Function *F : M) {
+    ModuleOrder.push_back(F);
+    Callees[F]; // ensure every node exists, even leaves
+    Callers[F];
+  }
+
+  for (const Function *F : M)
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *I : *BB) {
+        const auto *CI = dyn_cast<CallInst>(I);
+        if (!CI || CI->isIntrinsicCall())
+          continue;
+        const Function *G = CI->callee();
+        assert(G && "direct call without a callee");
+        std::vector<const Function *> &Out = Callees[F];
+        if (std::find(Out.begin(), Out.end(), G) == Out.end())
+          Out.push_back(G);
+        std::vector<const Function *> &In = Callers[G];
+        if (std::find(In.begin(), In.end(), F) == In.end())
+          In.push_back(F);
+      }
+
+  // Tarjan emits each SCC only after all SCCs reachable from it, i.e. in
+  // bottom-up (callee-first) order over the condensation.
+  TarjanState T(Callees);
+  for (const Function *F : ModuleOrder)
+    T.run(F);
+  Sccs = std::move(T.Sccs);
+  for (unsigned I = 0, E = Sccs.size(); I != E; ++I)
+    for (const Function *F : Sccs[I])
+      SccOf[F] = I;
+}
+
+const std::vector<const Function *> &
+CallGraph::callees(const Function *F) const {
+  auto It = Callees.find(F);
+  return It != Callees.end() ? It->second : Empty;
+}
+
+const std::vector<const Function *> &
+CallGraph::callers(const Function *F) const {
+  auto It = Callers.find(F);
+  return It != Callers.end() ? It->second : Empty;
+}
+
+unsigned CallGraph::sccIndex(const Function *F) const {
+  auto It = SccOf.find(F);
+  assert(It != SccOf.end() && "function not in this call graph");
+  return It->second;
+}
+
+bool CallGraph::isRecursive(const Function *F) const {
+  const std::vector<const Function *> &Scc = Sccs[sccIndex(F)];
+  if (Scc.size() > 1)
+    return true;
+  const std::vector<const Function *> &Out = callees(F);
+  return std::find(Out.begin(), Out.end(), F) != Out.end();
+}
+
+std::vector<const Function *>
+CallGraph::reachableFrom(const Function *F) const {
+  std::map<const Function *, bool> Seen;
+  std::vector<const Function *> Stack{F};
+  Seen[F] = true;
+  while (!Stack.empty()) {
+    const Function *Cur = Stack.back();
+    Stack.pop_back();
+    for (const Function *G : callees(Cur))
+      if (!Seen[G]) {
+        Seen[G] = true;
+        Stack.push_back(G);
+      }
+  }
+  std::vector<const Function *> Out;
+  for (const Function *G : ModuleOrder)
+    if (Seen.count(G) && Seen[G])
+      Out.push_back(G);
+  return Out;
+}

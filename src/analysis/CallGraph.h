@@ -1,0 +1,72 @@
+//===- analysis/CallGraph.h - Direct-call graph + SCC condensation --------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The direct-call graph over a module's functions. MiniC has no function
+/// pointers, so every non-intrinsic CallInst names its callee statically
+/// and the graph is exact. Intrinsic calls (sin, malloc, MPI, ...) are
+/// runtime primitives, not module functions, and do not create edges —
+/// their effects are modeled per-intrinsic by the analyses that consume
+/// this graph (see FunctionSummary.cpp).
+///
+/// Recursion is handled by Tarjan's SCC condensation: sccs() returns the
+/// strongly connected components in bottom-up (callee-before-caller)
+/// order, which is exactly the order a compositional summary computation
+/// wants — process each SCC after all the SCCs it calls into, and run a
+/// fixpoint only *inside* recursive components.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_CALLGRAPH_H
+#define IPAS_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <vector>
+
+namespace ipas {
+
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Direct callees of \p F (deduplicated, in first-call order).
+  const std::vector<const Function *> &callees(const Function *F) const;
+
+  /// Direct callers of \p F (deduplicated, in module order).
+  const std::vector<const Function *> &callers(const Function *F) const;
+
+  /// Strongly connected components in bottom-up order: every SCC appears
+  /// after all SCCs it has call edges into. Singleton SCCs are the common
+  /// case; multi-node SCCs (or self-loops) are recursion.
+  const std::vector<std::vector<const Function *>> &sccs() const {
+    return Sccs;
+  }
+
+  /// Index of \p F's SCC within sccs().
+  unsigned sccIndex(const Function *F) const;
+
+  /// True when \p F participates in a call cycle: its SCC has more than
+  /// one member, or it calls itself directly.
+  bool isRecursive(const Function *F) const;
+
+  /// Every function reachable from \p F along call edges, including \p F
+  /// itself, in deterministic (module) order.
+  std::vector<const Function *> reachableFrom(const Function *F) const;
+
+private:
+  std::map<const Function *, std::vector<const Function *>> Callees;
+  std::map<const Function *, std::vector<const Function *>> Callers;
+  std::map<const Function *, unsigned> SccOf;
+  std::vector<std::vector<const Function *>> Sccs;
+  std::vector<const Function *> ModuleOrder;
+  std::vector<const Function *> Empty;
+};
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,483 @@
+//===- analysis/FunctionSummary.cpp ---------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FunctionSummary.h"
+
+#include "analysis/Slicing.h"
+#include "ir/Intrinsics.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace ipas;
+
+//===----------------------------------------------------------------------===//
+// Content hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a accumulator. Local rather than shared with obs/BinCodec.h so
+/// the canonical body-hash definition lives in one translation unit and
+/// cannot drift with serialization-layer changes.
+class HashAcc {
+public:
+  void u8(uint8_t V) { mix(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      mix(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      mix(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void str(const std::string &S) {
+    u64(S.size());
+    for (char C : S)
+      mix(static_cast<uint8_t>(C));
+  }
+  uint64_t value() const { return H; }
+
+private:
+  void mix(uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ull;
+  }
+  uint64_t H = 14695981039346656037ull;
+};
+
+/// True for the trap-free math primitives whose only effect is their
+/// result value.
+bool isPureMathIntrinsic(Intrinsic Id) {
+  switch (Id) {
+  case Intrinsic::Sqrt:
+  case Intrinsic::Fabs:
+  case Intrinsic::Sin:
+  case Intrinsic::Cos:
+  case Intrinsic::Exp:
+  case Intrinsic::Log:
+  case Intrinsic::Pow:
+  case Intrinsic::Floor:
+  case Intrinsic::FMin:
+  case Intrinsic::FMax:
+  case Intrinsic::IMin:
+  case Intrinsic::IMax:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void hashOperand(HashAcc &H, const Value *V,
+                 const std::map<const Value *, uint32_t> &Ordinal) {
+  switch (V->kind()) {
+  case ValueKind::ConstantInt:
+    H.u8(1);
+    H.u8(static_cast<uint8_t>(V->type().kind()));
+    H.u64(static_cast<uint64_t>(cast<ConstantInt>(V)->value()));
+    return;
+  case ValueKind::ConstantFP: {
+    H.u8(2);
+    double D = cast<ConstantFP>(V)->value();
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(D), "double is not 64-bit");
+    __builtin_memcpy(&Bits, &D, sizeof(Bits));
+    H.u64(Bits);
+    return;
+  }
+  case ValueKind::Argument:
+    H.u8(3);
+    H.u32(cast<Argument>(V)->index());
+    return;
+  case ValueKind::Instruction:
+    H.u8(4);
+    H.u32(Ordinal.at(V));
+    return;
+  }
+}
+
+} // namespace
+
+uint64_t ipas::hashFunctionBody(const Function &F) {
+  HashAcc H;
+  H.u8(static_cast<uint8_t>(F.returnType().kind()));
+  H.u32(F.numArgs());
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I)
+    H.u8(static_cast<uint8_t>(F.arg(I)->type().kind()));
+
+  // Function-local instruction ordinals, block-major. Ids are excluded on
+  // purpose: renumber() shifts them module-wide when *other* functions
+  // change, which must not invalidate this function's hash.
+  std::map<const Value *, uint32_t> Ordinal;
+  uint32_t Next = 0;
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      Ordinal[I] = Next++;
+
+  uint32_t NumBlocks = 0;
+  for (const BasicBlock *BB : F) {
+    (void)BB;
+    ++NumBlocks;
+  }
+  H.u32(NumBlocks);
+
+  for (const BasicBlock *BB : F) {
+    H.u8(0xBB);
+    H.u32(static_cast<uint32_t>(F.indexOf(BB)));
+    H.u64(BB->size());
+    for (const Instruction *I : *BB) {
+      H.u8(static_cast<uint8_t>(I->opcode()));
+      H.u8(static_cast<uint8_t>(I->type().kind()));
+      H.u8(static_cast<uint8_t>(I->dupRole()));
+      H.u32(I->numOperands());
+      for (unsigned K = 0, E = I->numOperands(); K != E; ++K)
+        hashOperand(H, I->operand(K), Ordinal);
+
+      switch (I->opcode()) {
+      case Opcode::Call: {
+        const auto *CI = cast<CallInst>(I);
+        H.u8(static_cast<uint8_t>(CI->intrinsicId()));
+        // Direct callees by *name*: renaming or retargeting a call edits
+        // the caller; the callee's own body changes are the reachable
+        // hash's job.
+        H.str(CI->callee() ? CI->callee()->name() : std::string());
+        break;
+      }
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        H.u8(static_cast<uint8_t>(cast<CmpInst>(I)->predicate()));
+        break;
+      case Opcode::Alloca:
+        H.u64(cast<AllocaInst>(I)->slotCount());
+        break;
+      case Opcode::Phi: {
+        const auto *Phi = cast<PhiInst>(I);
+        for (unsigned K = 0, E = Phi->numIncoming(); K != E; ++K)
+          H.u32(static_cast<uint32_t>(F.indexOf(Phi->incomingBlock(K))));
+        break;
+      }
+      case Opcode::Br:
+        H.u32(static_cast<uint32_t>(F.indexOf(cast<BranchInst>(I)->target())));
+        break;
+      case Opcode::CondBr: {
+        const auto *CB = cast<CondBranchInst>(I);
+        H.u32(static_cast<uint32_t>(F.indexOf(CB->trueTarget())));
+        H.u32(static_cast<uint32_t>(F.indexOf(CB->falseTarget())));
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  return H.value();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function value-flow engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mutable per-value state during the fixpoint.
+struct NodeState {
+  unsigned Mask = SocSinkNone;
+  BitSet Sinks; ///< Distinct sink instructions, by value number.
+  unsigned Dist = SocInstructionInfo::NoSink;
+};
+
+/// One sink contribution at a user: the mask (possibly several bits, for
+/// summarized call sites), the instruction standing for the sink, and
+/// the distance contribution (NoSink = none, used by the return
+/// pseudo-bit which carries flow but no sink distance).
+struct DirectSink {
+  unsigned Mask;
+  const Instruction *At;
+  unsigned Dist;
+};
+
+constexpr unsigned NoSink = SocInstructionInfo::NoSink;
+
+unsigned satAdd(unsigned D, unsigned Inc) {
+  return D >= NoSink - Inc ? NoSink - 1 : D + Inc;
+}
+
+ArgChannel conservativeChannel() {
+  ArgChannel Ch;
+  Ch.SinkMask = SocSinkCallArgument;
+  Ch.FlowsToReturn = true;
+  Ch.MinSinkDistance = 1;
+  return Ch;
+}
+
+} // namespace
+
+FunctionSocAnalysis ipas::analyzeFunctionFlow(const Function &F,
+                                              const ModuleSummaries *Summaries,
+                                              bool RetIsSink) {
+  ValueNumbering N(F);
+
+  // Memory summary: pointer root -> loads that may read it.
+  std::map<const Value *, std::vector<const Instruction *>> LoadsOfRoot;
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (const auto *Load = dyn_cast<LoadInst>(I))
+        if (const Value *Root = pointerRoot(Load->pointer()))
+          LoadsOfRoot[Root].push_back(Load);
+
+  std::map<const Value *, std::vector<const Value *>> Succs;
+  std::map<const Value *, std::vector<DirectSink>> Direct;
+  std::map<const Value *, std::vector<const Value *>> Preds;
+
+  auto AddEdge = [&](const Value *From, const Value *To) {
+    Succs[From].push_back(To);
+    Preds[To].push_back(From);
+  };
+
+  auto ScanValue = [&](const Value *V) {
+    for (const Instruction *U : V->users()) {
+      switch (U->opcode()) {
+      case Opcode::Store: {
+        const auto *St = cast<StoreInst>(U);
+        Direct[V].push_back({SocSinkStore, U, 1});
+        if (V == St->pointer())
+          Direct[V].push_back({SocSinkTrapCapable, U, 1});
+        if (const Value *Root = pointerRoot(St->pointer())) {
+          auto It = LoadsOfRoot.find(Root);
+          if (It != LoadsOfRoot.end())
+            for (const Instruction *Load : It->second)
+              AddEdge(V, Load);
+        }
+        break;
+      }
+      case Opcode::Call: {
+        const auto *CI = cast<CallInst>(U);
+        if (!Summaries) {
+          // Intraprocedural model: every call is an opaque escape.
+          Direct[V].push_back({SocSinkCallArgument, U, 1});
+          if (U->producesValue())
+            AddEdge(V, U);
+          break;
+        }
+        if (CI->isIntrinsicCall()) {
+          if (isPureMathIntrinsic(CI->intrinsicId())) {
+            // Trap-free, effect-free: the argument only corrupts the
+            // result value.
+            if (U->producesValue())
+              AddEdge(V, U);
+          } else {
+            // malloc/free/rand/MPI keep the conservative barrier;
+            // malloc and free can additionally trap on a corrupted
+            // operand (negative size, wild pointer).
+            unsigned Mask = SocSinkCallArgument;
+            if (CI->intrinsicId() == Intrinsic::Malloc ||
+                CI->intrinsicId() == Intrinsic::Free)
+              Mask |= SocSinkTrapCapable;
+            Direct[V].push_back({Mask, U, 1});
+            if (U->producesValue())
+              AddEdge(V, U);
+          }
+          break;
+        }
+        // Direct call: substitute the callee's per-argument channels.
+        // users() lists U once per operand slot, so duplicate
+        // contributions for repeated arguments are harmless unions.
+        const FunctionSummary &SG = Summaries->summary(CI->callee());
+        for (unsigned K = 0, E = CI->numArgs(); K != E; ++K) {
+          if (CI->arg(K) != V)
+            continue;
+          ArgChannel Ch = K < SG.Args.size() ? SG.Args[K]
+                                             : conservativeChannel();
+          if (Ch.SinkMask != SocSinkNone) {
+            unsigned D = Ch.MinSinkDistance == NoSink
+                             ? 1
+                             : satAdd(Ch.MinSinkDistance, 1);
+            Direct[V].push_back({Ch.SinkMask, U, D});
+          }
+          if (Ch.FlowsToReturn && U->producesValue())
+            AddEdge(V, U);
+        }
+        break;
+      }
+      case Opcode::Ret:
+        if (RetIsSink)
+          Direct[V].push_back({SocSinkReturn, U, 1});
+        else
+          Direct[V].push_back({SocFlowsToReturnBit, U, NoSink});
+        break;
+      case Opcode::CondBr:
+        Direct[V].push_back({SocSinkControlFlow, U, 1});
+        break;
+      case Opcode::Check:
+        Direct[V].push_back({SocSinkCheck, U, 1});
+        break;
+      case Opcode::Load:
+        Direct[V].push_back({SocSinkTrapCapable, U, 1});
+        AddEdge(V, U);
+        break;
+      case Opcode::SDiv:
+      case Opcode::SRem:
+        if (U->numOperands() == 2 && U->operand(1) == V)
+          Direct[V].push_back({SocSinkTrapCapable, U, 1});
+        AddEdge(V, U);
+        break;
+      default:
+        if (U->producesValue())
+          AddEdge(V, U);
+        break;
+      }
+    }
+  };
+
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I)
+    ScanValue(F.arg(I));
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (I->producesValue())
+        ScanValue(I);
+
+  // Backward fixpoint, identical in shape to SocPropagation's: monotone
+  // over a finite lattice, so the worklist terminates.
+  std::map<const Value *, NodeState> State;
+  auto StateOf = [&](const Value *V) -> NodeState & {
+    auto It = State.find(V);
+    if (It == State.end())
+      It = State.emplace(V, NodeState{SocSinkNone, N.makeSet(), NoSink})
+               .first;
+    return It->second;
+  };
+
+  std::deque<const Value *> Worklist;
+  std::set<const Value *> OnList;
+  auto Enqueue = [&](const Value *V) {
+    if (OnList.insert(V).second)
+      Worklist.push_back(V);
+  };
+
+  for (unsigned I = 0, E = N.size(); I != E; ++I)
+    Enqueue(N.valueAt(I));
+
+  while (!Worklist.empty()) {
+    const Value *V = Worklist.front();
+    Worklist.pop_front();
+    OnList.erase(V);
+
+    NodeState New{SocSinkNone, N.makeSet(), NoSink};
+    auto DirIt = Direct.find(V);
+    if (DirIt != Direct.end())
+      for (const DirectSink &S : DirIt->second) {
+        New.Mask |= S.Mask;
+        if (S.Mask & ~SocFlowsToReturnBit) {
+          New.Sinks.set(N.indexOf(S.At));
+          if (S.Dist != NoSink)
+            New.Dist = std::min(New.Dist, S.Dist);
+        }
+      }
+    auto SuccIt = Succs.find(V);
+    if (SuccIt != Succs.end())
+      for (const Value *S : SuccIt->second) {
+        const NodeState &SS = StateOf(S);
+        New.Mask |= SS.Mask;
+        New.Sinks.unionWith(SS.Sinks);
+        if (SS.Dist != NoSink)
+          New.Dist = std::min(New.Dist, satAdd(SS.Dist, 1));
+      }
+
+    NodeState &Cur = StateOf(V);
+    if (New.Mask == Cur.Mask && New.Dist == Cur.Dist &&
+        New.Sinks == Cur.Sinks)
+      continue;
+    Cur = std::move(New);
+    auto PredIt = Preds.find(V);
+    if (PredIt != Preds.end())
+      for (const Value *P : PredIt->second)
+        Enqueue(P);
+  }
+
+  FunctionSocAnalysis Out;
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB) {
+      if (!I->producesValue())
+        continue;
+      const NodeState &S = StateOf(I);
+      SocInstructionInfo &R = Out.Info[I];
+      R.SinkMask = S.Mask & ~SocFlowsToReturnBit;
+      R.SinkCount = S.Sinks.count();
+      R.MinSinkDistance = S.Dist;
+    }
+  Out.Args.resize(F.numArgs());
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
+    const NodeState &S = StateOf(F.arg(I));
+    ArgChannel &Ch = Out.Args[I];
+    Ch.SinkMask = S.Mask & ~SocFlowsToReturnBit;
+    Ch.FlowsToReturn = (S.Mask & SocFlowsToReturnBit) != 0;
+    Ch.MinSinkDistance = S.Dist;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ModuleSummaries
+//===----------------------------------------------------------------------===//
+
+ModuleSummaries::ModuleSummaries(const Module &M, const CallGraph &CG)
+    : CG(CG) {
+  for (const Function *F : M) {
+    FunctionSummary &S = Summaries[F];
+    S.ContentHash = hashFunctionBody(*F);
+    S.Args.assign(F->numArgs(), ArgChannel{});
+  }
+
+  // Bottom-up over the SCC condensation. Members of a recursive SCC
+  // start at bottom (all-benign channels) and iterate to the least
+  // fixpoint; masks and flags only grow and distances only shrink, so
+  // the loop terminates.
+  for (const std::vector<const Function *> &Scc : CG.sccs()) {
+    bool Recursive = Scc.size() > 1 || CG.isRecursive(Scc.front());
+    while (true) {
+      bool Changed = false;
+      for (const Function *F : Scc) {
+        FunctionSocAnalysis R =
+            analyzeFunctionFlow(*F, this, /*RetIsSink=*/false);
+        FunctionSummary &S = Summaries[F];
+        if (R.Args != S.Args) {
+          S.Args = std::move(R.Args);
+          Changed = true;
+        }
+      }
+      if (!Recursive || !Changed)
+        break;
+    }
+  }
+
+  // Reachable hash: combine the reachable set's content hashes in sorted
+  // order, so the value depends on the set, not on traversal or module
+  // order.
+  for (const Function *F : M) {
+    std::vector<uint64_t> Hashes;
+    for (const Function *G : CG.reachableFrom(F))
+      Hashes.push_back(Summaries[G].ContentHash);
+    std::sort(Hashes.begin(), Hashes.end());
+    HashAcc H;
+    H.u64(Hashes.size());
+    for (uint64_t X : Hashes)
+      H.u64(X);
+    ReachableHashes[F] = H.value();
+  }
+}
+
+const FunctionSummary &ModuleSummaries::summary(const Function *F) const {
+  auto It = Summaries.find(F);
+  assert(It != Summaries.end() && "function has no summary");
+  return It->second;
+}
+
+uint64_t ModuleSummaries::reachableHash(const Function *F) const {
+  auto It = ReachableHashes.find(F);
+  assert(It != ReachableHashes.end() && "function has no reachable hash");
+  return It->second;
+}

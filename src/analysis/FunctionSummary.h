@@ -1,0 +1,129 @@
+//===- analysis/FunctionSummary.h - Compositional SOC summaries -----------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function SOC-sensitivity summaries, in the FastFlip style
+/// (PAPERS.md): for each formal argument, which sink kinds does a
+/// corruption of that argument reach *inside the callee's subtree*, and
+/// can it corrupt the returned value? Summaries are computed bottom-up
+/// over the CallGraph's SCC condensation — each function is analyzed
+/// with its callees' summaries substituted at call sites, and recursive
+/// SCCs iterate to a fixpoint over the finite monotone sink lattice.
+///
+/// The summary-aware analysis sharpens two call cases that the
+/// intraprocedural SocPropagation treats as opaque barriers:
+///
+///  - direct calls: a corrupted argument matters only as far as the
+///    callee's channel says — an argument that feeds a dead chain in the
+///    callee is provably benign at every call site;
+///  - pure math intrinsics (sqrt, sin, fmin, ...): these trap-free
+///    primitives corrupt nothing but their own result, so the argument
+///    gets a value edge to the call result instead of an escape sink.
+///
+/// Everything else (malloc/free, rand, MPI) keeps the conservative
+/// CallArgument barrier.
+///
+/// Each summary is keyed by a canonical content hash of the function
+/// body: names and debug locations are excluded, so whitespace- and
+/// comment-only source edits hash identically, while any change to
+/// opcodes, operand shape, constants, or callee names produces a new
+/// hash. The incremental campaign driver (fault/Incremental.h) uses
+/// (content hash, reachable-set hash) as its invalidation key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_ANALYSIS_FUNCTIONSUMMARY_H
+#define IPAS_ANALYSIS_FUNCTIONSUMMARY_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/SocPropagation.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ipas {
+
+/// Internal pseudo-sink bit used while computing summaries: "corruption
+/// reaches the function's return value". Deliberately outside the
+/// SocSinkKind range; it never appears in a published SinkMask — at call
+/// sites it turns into a value edge from argument to call result, and
+/// for the entry function it becomes a real SocSinkReturn.
+constexpr unsigned SocFlowsToReturnBit = 1u << 30;
+
+/// What one corrupted formal argument can do inside the callee subtree.
+struct ArgChannel {
+  unsigned SinkMask = SocSinkNone; ///< Real SocSinkKind bits reached.
+  bool FlowsToReturn = false;      ///< Can corrupt the returned value.
+  unsigned MinSinkDistance = SocInstructionInfo::NoSink;
+
+  bool operator==(const ArgChannel &O) const {
+    return SinkMask == O.SinkMask && FlowsToReturn == O.FlowsToReturn &&
+           MinSinkDistance == O.MinSinkDistance;
+  }
+};
+
+/// Summary of one function: per-argument channels plus the hashes that
+/// key incremental reuse.
+struct FunctionSummary {
+  uint64_t ContentHash = 0;
+  std::vector<ArgChannel> Args; ///< Indexed by argument position.
+};
+
+/// Canonical content hash of \p F's body: FNV-1a over signature, block
+/// structure, opcodes, operand shape (constants by bits, arguments by
+/// index, instructions by position), predicates, intrinsic ids, callee
+/// names, and branch targets. Excludes value names and debug locations,
+/// so formatting-only source edits are invisible; excludes instruction
+/// ids, so the hash is independent of module-wide renumbering.
+uint64_t hashFunctionBody(const Function &F);
+
+/// Bottom-up summary computation for a whole module.
+class ModuleSummaries {
+public:
+  ModuleSummaries(const Module &M, const CallGraph &CG);
+
+  const FunctionSummary &summary(const Function *F) const;
+
+  /// Content hash of \p F alone.
+  uint64_t contentHash(const Function *F) const {
+    return summary(F).ContentHash;
+  }
+
+  /// Combined content hash over every function reachable from \p F
+  /// (including \p F), order-independent. Changes when any function the
+  /// analysis of \p F could depend on changes.
+  uint64_t reachableHash(const Function *F) const;
+
+  const CallGraph &callGraph() const { return CG; }
+
+private:
+  friend struct SummaryEngineAccess;
+  const CallGraph &CG;
+  std::map<const Function *, FunctionSummary> Summaries;
+  std::map<const Function *, uint64_t> ReachableHashes;
+};
+
+/// Result of the summary-aware per-function value-flow analysis.
+struct FunctionSocAnalysis {
+  std::map<const Instruction *, SocInstructionInfo> Info;
+  std::vector<ArgChannel> Args;
+};
+
+/// Analyzes one function's value flow. With \p Summaries, direct calls
+/// substitute the callee's argument channels and pure math intrinsics
+/// become value edges; without, every call is the conservative
+/// CallArgument barrier (the intraprocedural model). When \p RetIsSink,
+/// reaching the return value is a real SocSinkReturn; otherwise it is
+/// tracked separately and surfaces as ArgChannel::FlowsToReturn /
+/// SocFlowsToReturnBit (the mode used while *building* summaries).
+FunctionSocAnalysis analyzeFunctionFlow(const Function &F,
+                                        const ModuleSummaries *Summaries,
+                                        bool RetIsSink);
+
+} // namespace ipas
+
+#endif // IPAS_ANALYSIS_FUNCTIONSUMMARY_H

@@ -25,6 +25,8 @@ const char *ipas::lintRuleName(LintRule R) {
     return "R4";
   case LintRule::WrongShadowOperand:
     return "R5";
+  case LintRule::UncheckedCallArgument:
+    return "R6";
   }
   return "<bad rule>";
 }
@@ -61,6 +63,9 @@ public:
           checkPairing(Check);                 // R4
         if (I->dupRole() == DupRole::Shadow)
           checkShadowOperands(I);              // R5
+        if (Opts.CheckCallBoundary)
+          if (const auto *Call = dyn_cast<CallInst>(I))
+            checkCallBoundary(Call);           // R6
       }
 
     checkCoverage(); // R1 (needs the whole function's checks)
@@ -169,6 +174,42 @@ private:
         report(LintRule::WrongShadowOperand, Shadow,
                "shadow operand " + std::to_string(K) +
                    " does not mirror its original's operand");
+    }
+  }
+
+  /// R6: each duplicated argument of a non-intrinsic call must be
+  /// checked before the callee can consume it — a soc.check earlier in
+  /// the call's own block, or (for a value defined upstream) anywhere in
+  /// the value's defining block, where the duplication path ended.
+  void checkCallBoundary(const CallInst *Call) {
+    if (Call->isIntrinsicCall())
+      return;
+    const BasicBlock *CallBB = Call->parent();
+    size_t CallPos = CallBB->indexOf(Call);
+    for (unsigned K = 0, E = Call->numArgs(); K != E; ++K) {
+      const auto *Arg = dyn_cast<Instruction>(Call->arg(K));
+      if (!Arg || Arg->dupRole() != DupRole::Original)
+        continue;
+      bool Checked = false;
+      for (size_t P = 0; P != CallPos && !Checked; ++P)
+        if (const auto *C = dyn_cast<CheckInst>(CallBB->at(P)))
+          Checked = C->original() == Arg;
+      const BasicBlock *DefBB = Arg->parent();
+      if (!Checked && DefBB != CallBB)
+        for (const Instruction *I : *DefBB) {
+          if (const auto *C = dyn_cast<CheckInst>(I))
+            if (C->original() == Arg) {
+              Checked = true;
+              break;
+            }
+        }
+      if (!Checked)
+        report(LintRule::UncheckedCallArgument, Call,
+               "duplicated value '" +
+                   std::string(opcodeName(Arg->opcode())) + "' #" +
+                   std::to_string(Arg->id()) +
+                   " crosses the call boundary (argument " +
+                   std::to_string(K) + ") without a preceding soc.check");
     }
   }
 

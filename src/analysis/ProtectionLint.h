@@ -32,6 +32,14 @@
 ///    duplicated in the same block, the operand itself otherwise. A
 ///    crossed edge makes the shadow recompute from original data, masking
 ///    faults upstream of the crossing.
+///  - R6 unchecked-call-argument (opt-in, LintOptions::CheckCallBoundary):
+///    a duplicated value passed to a non-intrinsic call must be checked
+///    *before* the call — by a soc.check earlier in the call's block, or
+///    anywhere in the value's defining block when the call sits in a
+///    later block. Under path-end placement a value whose chain continues
+///    past the call site otherwise crosses the boundary unchecked, and
+///    the callee consumes the possibly-corrupt original before any check
+///    fires. DuplicationOptions::CheckCallBoundary closes the gap.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,14 +54,15 @@
 namespace ipas {
 
 enum class LintRule : uint8_t {
-  UncoveredOriginal,  ///< R1
-  ShadowEscapes,      ///< R2
-  Unduplicated,       ///< R3
-  BadCheckPairing,    ///< R4
-  WrongShadowOperand, ///< R5
+  UncoveredOriginal,     ///< R1
+  ShadowEscapes,         ///< R2
+  Unduplicated,          ///< R3
+  BadCheckPairing,       ///< R4
+  WrongShadowOperand,    ///< R5
+  UncheckedCallArgument, ///< R6
 };
 
-/// Short identifier ("R1".."R5") for a rule.
+/// Short identifier ("R1".."R6") for a rule.
 const char *lintRuleName(LintRule R);
 
 /// One rule violation, located down to the instruction.
@@ -75,6 +84,11 @@ struct LintOptions {
   /// Leave false for predicate-selected protection, where unstamped
   /// duplicable instructions are legitimate.
   bool ExpectFullDuplication = false;
+  /// Enforce rule R6: duplicated values crossing a call boundary must be
+  /// checked before the call. Opt-in because the paper's path-end
+  /// placement legitimately leaves mid-path call arguments unchecked;
+  /// protect with DuplicationOptions::CheckCallBoundary to satisfy it.
+  bool CheckCallBoundary = false;
 };
 
 std::vector<LintViolation> lintProtectedFunction(const Function &F,

@@ -6,6 +6,9 @@
 
 #include "analysis/Slicing.h"
 
+#include "analysis/CallGraph.h"
+
+#include <cassert>
 #include <map>
 #include <vector>
 
@@ -28,16 +31,27 @@ const Value *ipas::pointerRoot(const Value *Ptr) {
 
 std::set<const Instruction *>
 ipas::forwardSlice(const Instruction *Start, const SliceOptions &Opts) {
-  const Function *F = Start->parent()->parent();
+  assert((!Opts.FollowCalls || Opts.CG) &&
+         "FollowCalls requires a CallGraph in SliceOptions::CG");
 
-  // Pre-index loads by their pointer root for the memory extension.
-  std::map<const Value *, std::vector<const Instruction *>> LoadsByRoot;
-  if (Opts.ThroughMemory)
-    for (BasicBlock *BB : *F)
-      for (Instruction *I : *BB)
-        if (auto *Load = dyn_cast<LoadInst>(I))
+  // Loads indexed by pointer root, built lazily per function: the
+  // intraprocedural slice only ever touches one function, and the
+  // interprocedural one indexes exactly the functions taint reaches.
+  using RootIndex =
+      std::map<const Value *, std::vector<const Instruction *>>;
+  std::map<const Function *, RootIndex> LoadIndex;
+  auto LoadsFor = [&](const Function *F) -> RootIndex & {
+    auto It = LoadIndex.find(F);
+    if (It != LoadIndex.end())
+      return It->second;
+    RootIndex &Index = LoadIndex[F];
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *I : *BB)
+        if (const auto *Load = dyn_cast<LoadInst>(I))
           if (const Value *Root = pointerRoot(Load->pointer()))
-            LoadsByRoot[Root].push_back(Load);
+            Index[Root].push_back(Load);
+    return Index;
+  };
 
   std::set<const Instruction *> Slice;
   std::vector<const Instruction *> Work;
@@ -47,16 +61,44 @@ ipas::forwardSlice(const Instruction *Start, const SliceOptions &Opts) {
       Work.push_back(I);
   };
 
-  // Seed with direct users.
-  for (const Instruction *User : Start->users())
-    Enqueue(User);
+  // Def-use successors of a tainted value, including the call-boundary
+  // edge from a tainted actual into the callee's formal parameter.
+  auto PropagateUsers = [&](const Instruction *V) {
+    for (const Instruction *User : V->users())
+      Enqueue(User);
+    if (!Opts.FollowCalls)
+      return;
+    for (const Instruction *User : V->users()) {
+      const auto *Call = dyn_cast<CallInst>(User);
+      if (!Call || Call->isIntrinsicCall() || !Call->callee())
+        continue;
+      const Function *Callee = Call->callee();
+      for (unsigned K = 0, E = Call->numArgs(); K != E; ++K)
+        if (Call->arg(K) == V && K < Callee->numArgs())
+          for (const Instruction *ArgUser : Callee->arg(K)->users())
+            Enqueue(ArgUser);
+    }
+  };
+
+  PropagateUsers(Start);
 
   while (!Work.empty()) {
     const Instruction *I = Work.back();
     Work.pop_back();
 
-    for (const Instruction *User : I->users())
-      Enqueue(User);
+    PropagateUsers(I);
+
+    // Taint reaching a return corrupts the call result at every call
+    // site of the returning function.
+    if (Opts.FollowCalls && isa<RetInst>(I)) {
+      const Function *G = I->parent()->parent();
+      for (const Function *Caller : Opts.CG->callers(G))
+        for (const BasicBlock *BB : *Caller)
+          for (const Instruction *C : *BB)
+            if (const auto *Call = dyn_cast<CallInst>(C))
+              if (!Call->isIntrinsicCall() && Call->callee() == G)
+                Enqueue(Call);
+    }
 
     if (!Opts.ThroughMemory)
       continue;
@@ -64,8 +106,9 @@ ipas::forwardSlice(const Instruction *Start, const SliceOptions &Opts) {
       // A tainted store may corrupt the pointed-to object; every load from
       // the same base object can observe it.
       if (const Value *Root = pointerRoot(Store->pointer())) {
-        auto It = LoadsByRoot.find(Root);
-        if (It != LoadsByRoot.end())
+        RootIndex &Index = LoadsFor(Store->parent()->parent());
+        auto It = Index.find(Root);
+        if (It != Index.end())
           for (const Instruction *Load : It->second)
             Enqueue(Load);
       }

@@ -27,17 +27,30 @@
 
 namespace ipas {
 
+class CallGraph;
+
 struct SliceOptions {
   /// Follow stores to loads via pointer-root matching. Disabling this
   /// yields pure def-use slices (the ablation in DESIGN.md).
   bool ThroughMemory = true;
+  /// Follow direct call edges: a tainted actual argument taints the
+  /// callee's formal parameter (its users join the slice), and taint
+  /// reaching a `ret` taints the call result at every call site of the
+  /// returning function (found through CG->callers()). Memory matching
+  /// stays per-function — pointer roots are not aliased across the
+  /// argument boundary, the same approximation DESIGN.md documents for
+  /// the intraprocedural slice. Requires CG; on a call-free program the
+  /// slice is identical with the flag on or off.
+  bool FollowCalls = false;
+  const CallGraph *CG = nullptr; ///< Required when FollowCalls is set.
 };
 
 /// Walks GEP chains back to the root object (alloca, argument, or call
 /// result). Returns null when the root is a constant.
 const Value *pointerRoot(const Value *Ptr);
 
-/// Forward slice of \p Start within its function. The slice excludes
+/// Forward slice of \p Start within its function — or across the whole
+/// module when SliceOptions::FollowCalls is set. The slice excludes
 /// \p Start itself.
 std::set<const Instruction *> forwardSlice(const Instruction *Start,
                                            const SliceOptions &Opts = {});

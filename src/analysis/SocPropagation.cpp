@@ -6,6 +6,7 @@
 
 #include "analysis/SocPropagation.h"
 
+#include "analysis/FunctionSummary.h"
 #include "analysis/Slicing.h"
 
 #include <deque>
@@ -201,10 +202,7 @@ void SocPropagation::analyzeFunction(const Function &F) {
     }
 }
 
-SocPropagation::SocPropagation(const Module &M) {
-  for (const Function *F : M)
-    analyzeFunction(*F);
-
+void SocPropagation::finalize(const Module &M) {
   BenignById.assign(M.numInstructions(), false);
   for (const auto &[I, R] : Info) {
     if (!R.isBenign())
@@ -214,6 +212,23 @@ SocPropagation::SocPropagation(const Module &M) {
     BenignById[I->id()] = true;
     ++NumBenign;
   }
+}
+
+SocPropagation::SocPropagation(const Module &M) {
+  for (const Function *F : M)
+    analyzeFunction(*F);
+  finalize(M);
+}
+
+SocPropagation::SocPropagation(const Module &M,
+                               const ModuleSummaries &Summaries) {
+  for (const Function *F : M) {
+    FunctionSocAnalysis R =
+        analyzeFunctionFlow(*F, &Summaries, /*RetIsSink=*/true);
+    for (auto &[I, Inf] : R.Info)
+      Info[I] = Inf;
+  }
+  finalize(M);
 }
 
 const SocInstructionInfo &SocPropagation::info(const Instruction *I) const {

@@ -48,6 +48,8 @@
 
 namespace ipas {
 
+class ModuleSummaries;
+
 /// Bit flags naming the kinds of sinks a corrupted value can reach.
 enum SocSinkKind : unsigned {
   SocSinkNone = 0,
@@ -83,6 +85,16 @@ class SocPropagation {
 public:
   explicit SocPropagation(const Module &M);
 
+  /// Summary-aware (interprocedural) variant: direct calls substitute
+  /// the callee's per-argument channels from \p Summaries instead of
+  /// acting as opaque CallArgument barriers, and trap-free math
+  /// intrinsics become plain value edges. Strictly sharpens the
+  /// intraprocedural result — every site benign there stays benign here,
+  /// and sites whose corruption provably dies inside a callee become
+  /// benign too. Return values remain conservative sinks in every
+  /// function. See analysis/FunctionSummary.h.
+  SocPropagation(const Module &M, const ModuleSummaries &Summaries);
+
   /// Info for \p I; a default (benign, distance NoSink) record when \p I
   /// does not produce a value.
   const SocInstructionInfo &info(const Instruction *I) const;
@@ -103,6 +115,7 @@ public:
 
 private:
   void analyzeFunction(const Function &F);
+  void finalize(const Module &M);
 
   std::map<const Instruction *, SocInstructionInfo> Info;
   SocInstructionInfo Default;

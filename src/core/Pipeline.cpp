@@ -6,6 +6,7 @@
 
 #include "core/Pipeline.h"
 
+#include "analysis/FunctionSummary.h"
 #include "fault/RecordBuild.h"
 #include "frontend/Lexer.h"
 #include "obs/Trace.h"
@@ -195,6 +196,15 @@ CampaignResult IpasPipeline::evaluate(const ProtectedModule &PM,
   CC.Seed = Seed;
   CC.Label = Label;
   CC.PropSampleEvery = Cfg.PropSampleEvery;
+  if (!Cfg.InterproceduralAnalysis)
+    return runCampaign(Harness, *PM.Layout, CC);
+  // Summary-aware pruning: sites the interprocedural analysis proves
+  // benign are recorded as Masked without executing. The analysis must
+  // outlive the campaign — ProvablyBenign borrows its flag vector.
+  CallGraph CG(*PM.M);
+  ModuleSummaries Summaries(*PM.M, CG);
+  SocPropagation Soc(*PM.M, Summaries);
+  CC.ProvablyBenign = &Soc.provablyBenign();
   return runCampaign(Harness, *PM.Layout, CC);
 }
 

@@ -60,6 +60,12 @@ struct PipelineConfig {
   /// adds serial re-executions after the campaign, so leave it zero
   /// unless the propagation ground truth is wanted.
   size_t PropSampleEvery = 0;
+  /// Prune evaluation-campaign injections at sites the summary-aware
+  /// interprocedural SOC analysis (analysis/FunctionSummary.h) proves
+  /// benign: they are recorded as Masked without executing. Off by
+  /// default — pruning changes run time, never outcomes, but the paper's
+  /// headline numbers were measured without it.
+  bool InterproceduralAnalysis = false;
 
   /// Scaled-down defaults that keep a full five-workload evaluation in
   /// the minutes range on a laptop.

@@ -88,6 +88,8 @@ obs::RecordStore ipas::buildRecordStore(const RecordBuildInputs &In) {
     Row.LatencyUs = Rec.LatencyUs;
     S.Rows.push_back(Row);
   }
+  if (In.FunctionMetas)
+    S.FunctionMetas = *In.FunctionMetas;
   S.tallyOutcomes();
   return S;
 }

@@ -47,6 +47,10 @@ struct RecordBuildInputs {
   /// Static feature matrix, instruction-id major. Optional.
   uint32_t NumFeatures = 0;
   const std::vector<double> *Features = nullptr;
+  /// Incremental-campaign function table (fault/Incremental.h), one entry
+  /// per module function in module order. Presence makes the store v2
+  /// rows reusable by later `--incremental` campaigns. Optional.
+  const std::vector<obs::FunctionMeta> *FunctionMetas = nullptr;
 };
 
 /// Builds the in-memory store. The module must be renumber()ed and must

@@ -8,7 +8,8 @@
 //
 //   offset  size  field
 //   0       8     magic "IPASREC\0"
-//   8       4     version (u32, currently 1)
+//   8       4     version (u32, currently 2; v1 files parse too — they
+//                 predate the FunctionMetas section)
 //   12      8     payload length (u64, bytes following this field minus
 //                 the trailing 8-byte checksum)
 //   20      N     payload (see serializePayload)
@@ -76,9 +77,23 @@ void serializePayload(const RecordStore &S, Encoder &E) {
     E.u8(R.Outcome);
     E.u32(R.LatencyUs);
   }
+  // v2: incremental-campaign function table.
+  E.u64(S.FunctionMetas.size());
+  for (const FunctionMeta &F : S.FunctionMetas) {
+    E.u32(F.FunctionIndex);
+    E.u64(F.ContentHash);
+    E.u64(F.ReachableHash);
+    E.u64(F.ProfileHash);
+    E.u64(F.FirstInstructionId);
+    E.u64(F.LocalValueSteps);
+    E.u64(F.PlannedRuns);
+    E.u64(F.ReusedRuns);
+    E.u8(F.Invalidation);
+  }
 }
 
-bool parsePayload(RecordStore &S, Decoder &D, std::string *Err) {
+bool parsePayload(RecordStore &S, uint32_t Version, Decoder &D,
+                  std::string *Err) {
   S.ModuleName = D.str();
   S.EntryFunction = D.str();
   S.Label = D.str();
@@ -118,6 +133,21 @@ bool parsePayload(RecordStore &S, Decoder &D, std::string *Err) {
     R.TargetValueStep = D.u64();
     R.Outcome = D.u8();
     R.LatencyUs = D.u32();
+  }
+  S.FunctionMetas.clear();
+  if (Version >= 2) {
+    S.FunctionMetas.resize(D.count(4 + 7 * 8 + 1));
+    for (FunctionMeta &F : S.FunctionMetas) {
+      F.FunctionIndex = D.u32();
+      F.ContentHash = D.u64();
+      F.ReachableHash = D.u64();
+      F.ProfileHash = D.u64();
+      F.FirstInstructionId = D.u64();
+      F.LocalValueSteps = D.u64();
+      F.PlannedRuns = D.u64();
+      F.ReusedRuns = D.u64();
+      F.Invalidation = D.u8();
+    }
   }
   if (!D.ok()) {
     if (Err)
@@ -217,7 +247,7 @@ bool ipas::obs::parseRecordStore(RecordStore &S, const std::string &Data,
     return false;
   }
   Decoder D(Payload, PayloadLen);
-  return parsePayload(S, D, Err);
+  return parsePayload(S, Version, D, Err);
 }
 
 bool ipas::obs::readRecordStore(RecordStore &S, const std::string &Path,

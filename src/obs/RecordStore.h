@@ -55,6 +55,22 @@ struct InjectionRow {
   uint32_t LatencyUs = 0; ///< Wall time of this injected run.
 };
 
+/// Per-function incremental-campaign metadata (format v2+). Present only
+/// when the campaign ran through fault/Incremental.h; one entry per
+/// module function, in module order. Rows are function-major in the same
+/// order, so prefix sums over PlannedRuns locate each function's rows.
+struct FunctionMeta {
+  uint32_t FunctionIndex = 0; ///< Index into RecordStore::Functions.
+  uint64_t ContentHash = 0;   ///< Canonical body hash (FunctionSummary.h).
+  uint64_t ReachableHash = 0; ///< Hash over the reachable callee set.
+  uint64_t ProfileHash = 0;   ///< Clean-run (site, value) stream hash.
+  uint64_t FirstInstructionId = 0; ///< Local site = instruction id - this.
+  uint64_t LocalValueSteps = 0; ///< Clean-run value steps inside the fn.
+  uint64_t PlannedRuns = 0;     ///< Injections apportioned to the fn.
+  uint64_t ReusedRuns = 0;      ///< Rows carried over from the prior store.
+  uint8_t Invalidation = 0;     ///< Raw fault::InvalidationReason code.
+};
+
 /// Classifier-verdict codes for InstrRecord::Predicted.
 enum : uint8_t {
   PredictNone = 0,    ///< No classifier ran.
@@ -89,12 +105,17 @@ struct RecordStore {
 
   std::vector<InjectionRow> Rows;
 
+  /// Incremental-campaign function table (empty unless the store was
+  /// written by an --incremental campaign; always empty in v1 files).
+  std::vector<FunctionMeta> FunctionMetas;
+
   /// Recomputes OutcomeTotals from Rows (codes < 16).
   void tallyOutcomes();
 };
 
-/// Current serialization version. Readers reject newer files.
-constexpr uint32_t RecordStoreVersion = 1;
+/// Current serialization version. Readers reject newer files and still
+/// parse older ones (v1 files simply have no FunctionMetas section).
+constexpr uint32_t RecordStoreVersion = 2;
 
 /// Serializes \p S to \p Path. Returns false and sets \p Err on failure.
 bool writeRecordStore(const RecordStore &S, const std::string &Path,

@@ -1,0 +1,183 @@
+//===- obs/SummaryStore.cpp -----------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// File layout (all integers little-endian), mirroring RecordStore:
+//
+//   offset  size  field
+//   0       8     magic "IPASSUM\0"
+//   8       4     version (u32, currently 1)
+//   12      8     payload length (u64)
+//   20      N     payload (see serializePayload)
+//   20+N    8     FNV-1a 64 checksum of the payload bytes
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/SummaryStore.h"
+
+#include "obs/BinCodec.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+namespace {
+
+constexpr char Magic[8] = {'I', 'P', 'A', 'S', 'S', 'U', 'M', '\0'};
+
+void serializePayload(const SummaryStore &S, Encoder &E) {
+  E.str(S.ModuleName);
+  E.str(S.EntryFunction);
+  E.u64(S.Functions.size());
+  for (const SummaryFunc &F : S.Functions) {
+    E.str(F.Name);
+    E.u64(F.ContentHash);
+    E.u64(F.ReachableHash);
+    E.u64(F.Callees.size());
+    for (const std::string &C : F.Callees)
+      E.str(C);
+    E.u64(F.Args.size());
+    for (const SummaryArg &A : F.Args) {
+      E.u32(A.SinkMask);
+      E.u8(A.FlowsToReturn);
+      E.u32(A.MinSinkDistance);
+    }
+  }
+}
+
+bool parsePayload(SummaryStore &S, Decoder &D, std::string *Err) {
+  S.ModuleName = D.str();
+  S.EntryFunction = D.str();
+  S.Functions.resize(D.count(4 + 8 + 8 + 8 + 8));
+  for (SummaryFunc &F : S.Functions) {
+    F.Name = D.str();
+    F.ContentHash = D.u64();
+    F.ReachableHash = D.u64();
+    F.Callees.resize(D.count(4));
+    for (std::string &C : F.Callees)
+      C = D.str();
+    F.Args.resize(D.count(4 + 1 + 4));
+    for (SummaryArg &A : F.Args) {
+      A.SinkMask = D.u32();
+      A.FlowsToReturn = D.u8();
+      A.MinSinkDistance = D.u32();
+    }
+  }
+  if (!D.ok()) {
+    if (Err)
+      *Err = "summary store payload truncated or corrupt";
+    return false;
+  }
+  if (!D.atEnd()) {
+    if (Err)
+      *Err = "summary store payload has trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void ipas::obs::serializeSummaryStore(const SummaryStore &S,
+                                      std::string &Out) {
+  Out.clear();
+  Out.append(Magic, sizeof(Magic));
+  Encoder Header(Out);
+  Header.u32(SummaryStoreVersion);
+  std::string Payload;
+  Encoder E(Payload);
+  serializePayload(S, E);
+  Header.u64(Payload.size());
+  Out.append(Payload);
+  Encoder Footer(Out);
+  Footer.u64(fnv1a(Payload.data(), Payload.size()));
+}
+
+bool ipas::obs::writeSummaryStore(const SummaryStore &S,
+                                  const std::string &Path, std::string *Err) {
+  std::string Bytes;
+  serializeSummaryStore(S, Bytes);
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = Written == Bytes.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok && Err)
+    *Err = "short write to '" + Path + "'";
+  return Ok;
+}
+
+bool ipas::obs::parseSummaryStore(SummaryStore &S, const std::string &Data,
+                                  std::string *Err) {
+  constexpr size_t HeaderSize = sizeof(Magic) + 4 + 8;
+  if (Data.size() < HeaderSize) {
+    if (Err)
+      *Err = "not a summary store (file too small)";
+    return false;
+  }
+  if (std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0) {
+    if (Err)
+      *Err = "not a summary store (bad magic)";
+    return false;
+  }
+  Decoder H(Data.data() + sizeof(Magic), Data.size() - sizeof(Magic));
+  uint32_t Version = H.u32();
+  if (Version == 0 || Version > SummaryStoreVersion) {
+    if (Err)
+      *Err = "unsupported summary store version " + std::to_string(Version) +
+             " (reader supports up to " +
+             std::to_string(SummaryStoreVersion) + ")";
+    return false;
+  }
+  uint64_t PayloadLen = H.u64();
+  if (Data.size() != HeaderSize + PayloadLen + 8) {
+    if (Err)
+      *Err = "summary store truncated (header promises " +
+             std::to_string(PayloadLen) + " payload bytes)";
+    return false;
+  }
+  const char *Payload = Data.data() + HeaderSize;
+  uint64_t WantLE = 0;
+  for (int I = 0; I != 8; ++I)
+    WantLE |= static_cast<uint64_t>(static_cast<unsigned char>(
+                  Data[HeaderSize + PayloadLen + I]))
+              << (8 * I);
+  if (fnv1a(Payload, PayloadLen) != WantLE) {
+    if (Err)
+      *Err = "summary store checksum mismatch (corrupt file)";
+    return false;
+  }
+  Decoder D(Payload, PayloadLen);
+  return parsePayload(S, D, Err);
+}
+
+bool ipas::obs::readSummaryStore(SummaryStore &S, const std::string &Path,
+                                 std::string *Err) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Data;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, N);
+  bool ReadOk = !std::ferror(F);
+  std::fclose(F);
+  if (!ReadOk) {
+    if (Err)
+      *Err = "read error on '" + Path + "'";
+    return false;
+  }
+  return parseSummaryStore(S, Data, Err);
+}

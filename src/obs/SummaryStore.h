@@ -1,0 +1,78 @@
+//===- obs/SummaryStore.h - Function-summary store (.ipsum) ---------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistent image of the interprocedural SOC-sensitivity summaries
+/// (analysis/FunctionSummary.h): one record per function carrying its
+/// canonical content hash, reachable-set hash, direct-callee names, and
+/// per-argument channels. Written by `ipas-cc --summary-out`, consumed by
+/// tooling that wants to diff analysis results across builds without
+/// recompiling anything.
+///
+/// Like the other obs stores this layer is dependency-free: sink masks
+/// are raw SocSinkKind bit unions, and the format is versioned,
+/// little-endian, and FNV-1a checksummed, so truncation and corruption
+/// are rejected loudly (see obs/BinCodec.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_OBS_SUMMARYSTORE_H
+#define IPAS_OBS_SUMMARYSTORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipas {
+namespace obs {
+
+/// One formal argument's channel: what a corrupted argument reaches
+/// inside the callee subtree.
+struct SummaryArg {
+  uint32_t SinkMask = 0;      ///< Raw SocSinkKind bit union.
+  uint8_t FlowsToReturn = 0;  ///< 1 when it can corrupt the return value.
+  uint32_t MinSinkDistance = 0xffffffffu; ///< Value-flow hops (max = none).
+};
+
+/// One function's summary record.
+struct SummaryFunc {
+  std::string Name;
+  uint64_t ContentHash = 0;
+  uint64_t ReachableHash = 0;
+  std::vector<std::string> Callees; ///< Direct callees, by name.
+  std::vector<SummaryArg> Args;     ///< Indexed by argument position.
+};
+
+/// In-memory image of one `.ipsum` file.
+struct SummaryStore {
+  std::string ModuleName;
+  std::string EntryFunction;
+  std::vector<SummaryFunc> Functions; ///< In module order.
+};
+
+/// Current serialization version. Readers reject newer files.
+constexpr uint32_t SummaryStoreVersion = 1;
+
+/// Serializes \p S to \p Path. Returns false and sets \p Err on failure.
+bool writeSummaryStore(const SummaryStore &S, const std::string &Path,
+                       std::string *Err = nullptr);
+
+/// Serializes \p S into \p Out (the exact file bytes).
+void serializeSummaryStore(const SummaryStore &S, std::string &Out);
+
+/// Parses \p Path into \p S. Returns false and sets \p Err on bad magic,
+/// unsupported version, truncation, or checksum mismatch.
+bool readSummaryStore(SummaryStore &S, const std::string &Path,
+                      std::string *Err = nullptr);
+
+/// Parses the byte image \p Data.
+bool parseSummaryStore(SummaryStore &S, const std::string &Data,
+                       std::string *Err = nullptr);
+
+} // namespace obs
+} // namespace ipas
+
+#endif // IPAS_OBS_SUMMARYSTORE_H

@@ -116,6 +116,10 @@ struct HelperSig {
   std::string Name;
   bool RetInt = true;
   std::vector<bool> ParamIsInt;
+  /// First parameter is a recursion depth: generated call sites must pass
+  /// a small positive constant there, never an arbitrary expression
+  /// (termination relies on it).
+  bool DepthParam = false;
 };
 
 class Gen {
@@ -124,6 +128,28 @@ public:
 
   std::unique_ptr<TranslationUnit> run() {
     auto TU = std::make_unique<TranslationUnit>();
+    // Recursive functions come first so plain helpers and the entry can
+    // call them (with constant depths). The group is only registered in
+    // Helpers once every body exists: a group member calling itself (or
+    // its partner) with a *constant* depth from inside its own body would
+    // recurse forever, so those in-body calls are crafted explicitly with
+    // `d - 1` and pickHelper must not see the group until it is closed.
+    unsigned NumRec =
+        Cfg.MaxRecursiveFns
+            ? static_cast<unsigned>(R.nextBelow(Cfg.MaxRecursiveFns + 1))
+            : 0;
+    if (NumRec >= 2) {
+      HelperSig A = drawRecursiveSig("r0");
+      HelperSig B = drawRecursiveSig("r1");
+      TU->Functions.push_back(genRecursiveFn(A, B));
+      TU->Functions.push_back(genRecursiveFn(B, A));
+      Helpers.push_back(std::move(A));
+      Helpers.push_back(std::move(B));
+    } else if (NumRec == 1) {
+      HelperSig A = drawRecursiveSig("r0");
+      TU->Functions.push_back(genRecursiveFn(A, A));
+      Helpers.push_back(std::move(A));
+    }
     unsigned NumHelpers =
         Cfg.MaxHelpers ? static_cast<unsigned>(R.nextBelow(Cfg.MaxHelpers + 1))
                        : 0;
@@ -261,8 +287,16 @@ private:
 
   ExprPtr genCall(const HelperSig &H, unsigned Depth) {
     std::vector<ExprPtr> Args;
-    for (bool IsInt : H.ParamIsInt)
-      Args.push_back(IsInt ? genInt(Depth) : genDouble(Depth));
+    for (size_t I = 0; I != H.ParamIsInt.size(); ++I) {
+      if (I == 0 && H.DepthParam) {
+        // Constant recursion depth — the termination contract.
+        Args.push_back(intLit(1 + static_cast<int64_t>(R.nextBelow(
+                               static_cast<uint64_t>(
+                                   Cfg.MaxRecursionDepth)))));
+        continue;
+      }
+      Args.push_back(H.ParamIsInt[I] ? genInt(Depth) : genDouble(Depth));
+    }
     return call(H.Name.c_str(), std::move(Args));
   }
 
@@ -574,6 +608,78 @@ private:
     Ret->Value = checksumExpr();
     Body->Stmts.push_back(std::move(Ret));
     return Body;
+  }
+
+  HelperSig drawRecursiveSig(const char *Name) {
+    HelperSig Sig;
+    Sig.Name = Name;
+    Sig.RetInt = R.nextBool();
+    Sig.DepthParam = true;
+    Sig.ParamIsInt.push_back(true); // the depth
+    Sig.ParamIsInt.push_back(R.nextBool());
+    return Sig;
+  }
+
+  /// One member of a recursion group: guards on the depth, does a little
+  /// local computation, and folds a `Target(d - 1, ...)` call into its
+  /// return value. \p Target is \p Self for a self-recursive function and
+  /// the partner signature for a mutually recursive pair (MiniC
+  /// pre-declares every function, so calling a later definition is fine).
+  std::unique_ptr<FunctionDecl> genRecursiveFn(const HelperSig &Self,
+                                               const HelperSig &Target) {
+    beginFunction(Self.RetInt);
+    auto FD = std::make_unique<FunctionDecl>();
+    FD->RetTy = Self.RetInt ? MCType::intTy() : MCType::doubleTy();
+    FD->Name = Self.Name;
+    FD->Loc = noLoc();
+    FD->Params.push_back({MCType::intTy(), "d", noLoc()});
+    // `d` is deliberately non-assignable: termination needs the depth the
+    // recursive call decrements to be the depth this frame was given.
+    Vars.push_back({"d", true, false, -1, false});
+    for (size_t I = 1; I != Self.ParamIsInt.size(); ++I) {
+      std::string Name = "p" + std::to_string(I);
+      FD->Params.push_back({Self.ParamIsInt[I] ? MCType::intTy()
+                                               : MCType::doubleTy(),
+                            Name, noLoc()});
+      Vars.push_back({Name, Self.ParamIsInt[I], false, -1, true});
+    }
+
+    auto Body = block();
+    // Base case: `if (d <= 0) return <leaf>;`
+    auto If = std::make_unique<IfStmt>(noLoc());
+    If->Cond = binary(TokenKind::LessEqual, varRef("d"), intLit(0));
+    auto Then = block();
+    auto Base = std::make_unique<ReturnStmt>(noLoc());
+    Base->Value = Self.RetInt ? genInt(2) : genDouble(2);
+    Then->Stmts.push_back(std::move(Base));
+    If->Then = std::move(Then);
+    Body->Stmts.push_back(std::move(If));
+
+    genDeclInto(Body->Stmts);
+    Body->Stmts.push_back(genAssign());
+
+    // `Target(d - 1, ...)`, coerced to this function's return type.
+    std::vector<ExprPtr> Args;
+    Args.push_back(binary(TokenKind::Minus, varRef("d"), intLit(1)));
+    for (size_t I = 1; I != Target.ParamIsInt.size(); ++I)
+      Args.push_back(Target.ParamIsInt[I] ? genInt(2) : genDouble(2));
+    ExprPtr Rec = call(Target.Name.c_str(), std::move(Args));
+    ExprPtr Combined;
+    if (Self.RetInt) {
+      ExprPtr RecInt =
+          Target.RetInt ? std::move(Rec) : clampedIntOfDouble(std::move(Rec));
+      Combined = binary(TokenKind::Plus, std::move(RecInt), genInt(2));
+    } else {
+      ExprPtr RecDbl = Target.RetInt
+                           ? castTo(MCType::doubleTy(), std::move(Rec))
+                           : std::move(Rec);
+      Combined = binary(TokenKind::Plus, std::move(RecDbl), genDouble(2));
+    }
+    auto Ret = std::make_unique<ReturnStmt>(noLoc());
+    Ret->Value = std::move(Combined);
+    Body->Stmts.push_back(std::move(Ret));
+    FD->Body = std::move(Body);
+    return FD;
   }
 
   std::unique_ptr<FunctionDecl> genHelper(unsigned Index) {

@@ -52,6 +52,14 @@ constexpr const char *GenEntryName = "run";
 struct GenConfig {
   uint64_t Seed = 1;
   unsigned MaxHelpers = 2;       ///< Helper functions before `run` (0..N).
+  /// Recursive functions ahead of the helpers (0..N drawn; 1 yields a
+  /// self-recursive function, 2+ a mutually recursive pair). Termination
+  /// is by construction: each takes an explicit depth as its first
+  /// parameter, returns a base value when it reaches zero, passes `d - 1`
+  /// on every recursive call, and never reassigns `d`; non-recursive call
+  /// sites always pass a constant depth in [1, MaxRecursionDepth].
+  unsigned MaxRecursiveFns = 2;
+  int64_t MaxRecursionDepth = 5; ///< Constant depths at call sites.
   unsigned MaxTopStmts = 6;      ///< Statement budget at function top level.
   unsigned MaxNestedStmts = 4;   ///< Statement budget inside if/loop bodies.
   unsigned MaxExprDepth = 4;     ///< Recursion budget for expressions.

@@ -7,6 +7,7 @@
 #include "transform/Duplication.h"
 
 #include <map>
+#include <set>
 #include <vector>
 
 using namespace ipas;
@@ -84,6 +85,58 @@ void processBlock(BasicBlock *BB, const ProtectionPredicate &Protect,
   }
 }
 
+/// The shadow of a duplicated original, found through the dupLink stamps
+/// (null when the shadow was deleted by a later transform). Shadows are
+/// not users of their original — their operands are remapped to other
+/// shadows — so this scans the original's block, where the duplication
+/// pass always places the shadow.
+Instruction *shadowOf(Instruction *Orig) {
+  for (Instruction *I : *Orig->parent())
+    if (I->dupRole() == DupRole::Shadow && I->dupLink() == Orig)
+      return I;
+  return nullptr;
+}
+
+/// Post-pass for DuplicationOptions::CheckCallBoundary: walk each block
+/// in order tracking which originals a preceding soc.check already
+/// covers, and insert a check right before any non-intrinsic call that
+/// receives an uncovered duplicated value. Runs after the whole module is
+/// duplicated so cross-block arguments find their shadows too.
+void insertCallBoundaryChecks(Module &M, DuplicationStats &Stats) {
+  for (Function *F : M)
+    for (BasicBlock *BB : *F) {
+      std::vector<Instruction *> Insts;
+      Insts.reserve(BB->size());
+      for (Instruction *I : *BB)
+        Insts.push_back(I);
+      std::set<const Value *> Covered;
+      for (Instruction *I : Insts) {
+        if (auto *Check = dyn_cast<CheckInst>(I)) {
+          Covered.insert(Check->original());
+          continue;
+        }
+        auto *Call = dyn_cast<CallInst>(I);
+        if (!Call || Call->isIntrinsicCall())
+          continue;
+        for (unsigned K = 0, E = Call->numArgs(); K != E; ++K) {
+          auto *Arg = dyn_cast<Instruction>(Call->arg(K));
+          if (!Arg || Arg->dupRole() != DupRole::Original ||
+              Covered.count(Arg))
+            continue;
+          Instruction *Shadow = shadowOf(Arg);
+          if (!Shadow)
+            continue; // R3 territory: the shadow is gone entirely
+          auto *Check = new CheckInst(Arg, Shadow);
+          Check->setDupLink(Arg);
+          Check->setDebugLoc(Call->debugLoc());
+          BB->insertBefore(Call, std::unique_ptr<Instruction>(Check));
+          Covered.insert(Arg);
+          ++Stats.ChecksInserted;
+        }
+      }
+    }
+}
+
 } // namespace
 
 DuplicationStats
@@ -93,6 +146,8 @@ ipas::duplicateInstructions(Module &M, const ProtectionPredicate &Protect,
   for (Function *F : M)
     for (BasicBlock *BB : *F)
       processBlock(BB, Protect, Opts, Stats);
+  if (Opts.CheckCallBoundary)
+    insertCallBoundaryChecks(M, Stats);
   return Stats;
 }
 

@@ -68,6 +68,13 @@ enum class CheckPlacement : uint8_t {
 
 struct DuplicationOptions {
   CheckPlacement Placement = CheckPlacement::PathEnds;
+  /// Also check every duplicated value immediately before a non-intrinsic
+  /// call it is passed to (unless a check already covers it there). Under
+  /// PathEnds a value whose duplication path continues past the call
+  /// site crosses the boundary unchecked — the callee consumes a
+  /// possibly-corrupt original while the path-end check fires only after
+  /// the call returns. Closes lint rule R6 (analysis/ProtectionLint.h).
+  bool CheckCallBoundary = false;
 };
 
 /// Applies duplication to every instruction of \p M for which \p Protect

@@ -6,6 +6,7 @@
 
 #include "TestUtil.h"
 
+#include "analysis/CallGraph.h"
 #include "analysis/Dominators.h"
 #include "analysis/Features.h"
 #include "analysis/LoopInfo.h"
@@ -189,6 +190,66 @@ TEST(Slicing, FlowsThroughMemoryWhenEnabled) {
   NoMem.ThroughMemory = false;
   auto Pure = forwardSlice(Mul, NoMem);
   EXPECT_EQ(Pure.count(Load), 0u);
+}
+
+TEST(Slicing, FollowCallsIsIdentityOnCallFreePrograms) {
+  // On a program without calls the interprocedural slice must be the
+  // intraprocedural slice, instruction for instruction.
+  auto M = compile("double f(int n) { double s = 0.0;\n"
+                   "  for (int i = 0; i < n; i = i + 1) {\n"
+                   "    s = s + 0.5 * i;\n"
+                   "  }\n"
+                   "  return s * 2.0; }");
+  CallGraph CG(*M);
+  SliceOptions Inter;
+  Inter.FollowCalls = true;
+  Inter.CG = &CG;
+  for (BasicBlock *BB : *M->getFunction("f"))
+    for (Instruction *I : *BB) {
+      if (!I->producesValue())
+        continue;
+      EXPECT_EQ(forwardSlice(I), forwardSlice(I, Inter))
+          << "slices diverge at instruction " << I->id();
+    }
+}
+
+TEST(Slicing, FollowCallsCrossesArgumentAndReturnEdges) {
+  auto M = compile("double g(double x) { return x * 2.0; }\n"
+                   "double f(int n) {\n"
+                   "  double t = 0.5 * n;\n"
+                   "  return g(t) + 1.0; }");
+  Function *F = M->getFunction("f");
+  Function *G = M->getFunction("g");
+  Instruction *T = nullptr;
+  const Instruction *CalleeMul = nullptr, *CallerAdd = nullptr;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB) {
+      if (I->opcode() == Opcode::FMul)
+        T = I;
+      if (I->opcode() == Opcode::FAdd)
+        CallerAdd = I;
+    }
+  for (BasicBlock *BB : *G)
+    for (Instruction *I : *BB)
+      if (I->opcode() == Opcode::FMul)
+        CalleeMul = I;
+  ASSERT_TRUE(T && CalleeMul && CallerAdd);
+
+  // Intraprocedural: the call is a frontier; the callee's body and the
+  // use of the returned value past the call are invisible.
+  auto Intra = forwardSlice(T);
+  EXPECT_EQ(Intra.count(CalleeMul), 0u);
+
+  // Interprocedural: t -> g's formal -> callee mul -> ret -> call result
+  // -> the caller's add.
+  CallGraph CG(*M);
+  SliceOptions Inter;
+  Inter.FollowCalls = true;
+  Inter.CG = &CG;
+  auto Cross = forwardSlice(T, Inter);
+  EXPECT_EQ(Cross.count(CalleeMul), 1u);
+  EXPECT_EQ(Cross.count(CallerAdd), 1u);
+  EXPECT_GE(Cross.size(), Intra.size());
 }
 
 TEST(Slicing, PointerRootWalksGeps) {

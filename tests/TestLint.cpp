@@ -162,3 +162,107 @@ TEST(Lint, ViolationReportNamesLocation) {
   EXPECT_NE(S.find("R2"), std::string::npos);
   EXPECT_NE(S.find("f/entry"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// R6: duplicated values crossing a call boundary
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// g(x) = x + 1 and f(a) = g(a * 2) + (a * 2 * 3), fully duplicated.
+/// The mul feeding the call is a duplicated original with no check
+/// before the call — the R6 scenario. Built by hand so the test controls
+/// exactly which checks exist.
+struct CallBoundaryFn {
+  Module M{"m"};
+  Function *G = nullptr, *F = nullptr;
+  BasicBlock *FB = nullptr;
+  Instruction *Mul = nullptr;
+  CallInst *Call = nullptr;
+
+  explicit CallBoundaryFn(bool InsertBoundaryChecks) {
+    G = M.createFunction("g", types::I64, {types::I64});
+    IRBuilder B(M);
+    B.setInsertPoint(G->addBlock("entry"));
+    B.createRet(B.createAdd(G->arg(0), M.getInt64(1)));
+
+    F = M.createFunction("f", types::I64, {types::I64});
+    FB = F->addBlock("entry");
+    B.setInsertPoint(FB);
+    Mul = cast<Instruction>(B.createMul(F->arg(0), M.getInt64(2)));
+    Value *Res = B.createCall(G, {Mul});
+    Call = cast<CallInst>(Res);
+    B.createRet(B.createAdd(Res, B.createMul(Mul, M.getInt64(3))));
+
+    DuplicationOptions Opts;
+    Opts.CheckCallBoundary = InsertBoundaryChecks;
+    duplicateInstructions(M, [](const Instruction &) { return true; },
+                          Opts);
+    M.renumber();
+  }
+};
+
+std::vector<LintViolation> lintCallBoundary(const Module &M) {
+  LintOptions Opts;
+  Opts.ExpectFullDuplication = true;
+  Opts.CheckCallBoundary = true;
+  return lintProtectedModule(M, Opts);
+}
+
+} // namespace
+
+TEST(Lint, UncheckedCallArgumentIsReportedOnlyUnderR6) {
+  CallBoundaryFn P(/*InsertBoundaryChecks=*/false);
+  EXPECT_TRUE(verifyModule(P.M).empty());
+  // Default rule set: the module is a perfectly well-formed duplication.
+  EXPECT_TRUE(lintFull(P.M).empty());
+  // R6 flags the unchecked argument.
+  std::vector<LintViolation> Vs = lintCallBoundary(P.M);
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].Rule, LintRule::UncheckedCallArgument);
+  EXPECT_NE(Vs[0].toString().find("R6"), std::string::npos);
+  EXPECT_NE(Vs[0].toString().find("argument 0"), std::string::npos);
+}
+
+TEST(Lint, CallBoundaryTransformClosesR6) {
+  CallBoundaryFn P(/*InsertBoundaryChecks=*/true);
+  EXPECT_TRUE(verifyModule(P.M).empty());
+  EXPECT_TRUE(lintCallBoundary(P.M).empty());
+  // The inserted check sits between the mul and the call.
+  bool CheckBeforeCall = false;
+  for (Instruction *I : *P.FB) {
+    if (I == P.Call)
+      break;
+    if (auto *C = dyn_cast<CheckInst>(I))
+      CheckBeforeCall |= C->original() == P.Mul;
+  }
+  EXPECT_TRUE(CheckBeforeCall);
+}
+
+TEST(Lint, CheckInDefiningBlockSatisfiesR6AcrossBlocks) {
+  // A duplicated value defined (and checked) in one block, passed to a
+  // call in another: the defining-block check is accepted.
+  Module M("m");
+  Function *G = M.createFunction("g", types::I64, {types::I64});
+  IRBuilder B(M);
+  B.setInsertPoint(G->addBlock("entry"));
+  B.createRet(G->arg(0));
+
+  Function *F = M.createFunction("f", types::I64, {types::I64});
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Next = F->addBlock("next");
+  B.setInsertPoint(Entry);
+  auto *Mul = cast<Instruction>(B.createMul(F->arg(0), M.getInt64(2)));
+  B.createBr(Next);
+  B.setInsertPoint(Next);
+  Value *Res = B.createCall(G, {Mul});
+  B.createRet(Res);
+  duplicateInstructions(M, [](const Instruction &) { return true; });
+  M.renumber();
+  ASSERT_TRUE(verifyModule(M).empty());
+
+  // Full duplication placed the path-end check on the mul in its own
+  // block (its only user is in another block), which satisfies R6.
+  std::vector<LintViolation> Vs = lintCallBoundary(M);
+  EXPECT_TRUE(Vs.empty());
+}

@@ -18,9 +18,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Features.h"
+#include "analysis/FunctionSummary.h"
 #include "analysis/ProtectionLint.h"
 #include "analysis/SocPropagation.h"
 #include "fault/FunctionHarness.h"
+#include "fault/Incremental.h"
 #include "fault/Propagation.h"
 #include "fault/RecordBuild.h"
 #include "frontend/CodeGen.h"
@@ -28,6 +30,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "obs/CliOptions.h"
+#include "obs/SummaryStore.h"
 #include "support/ArgParser.h"
 #include "transform/ConstantFold.h"
 #include "transform/DCE.h"
@@ -69,7 +72,9 @@ static std::vector<RtValue> parseArgs(const Function *F,
 int main(int Argc, char **Argv) {
   bool EmitIr = false, Optimize = false, Protect = false, Verify = false;
   bool Lint = false, VerifyEach = false, RequireLocs = false;
-  std::string RunFn, ArgsCsv, RecordOut, PropOut;
+  bool Interproc = false, Incremental = false;
+  bool CallBoundaryChecks = false, LintCallBoundary = false;
+  std::string RunFn, ArgsCsv, RecordOut, PropOut, RecordIn, SummaryOut;
   int64_t FaultStep = -1, FaultBit = 0, MaxSteps = -1;
   int64_t CampaignRuns = 0, CampaignSeed = 0xf417, CampaignThreads = 1;
   int64_t PropSample = 0;
@@ -104,6 +109,21 @@ int main(int Argc, char **Argv) {
   P.addString("prop-out", &PropOut,
               "write the traced injections' .ipprop propagation store "
               "here (requires --prop-sample)");
+  P.addBool("interproc", &Interproc,
+            "use interprocedural (summary-aware) SOC propagation for "
+            "campaign pruning and --prop-out claims");
+  P.addBool("incremental", &Incremental,
+            "draw per-function injection plans and reuse unchanged "
+            "functions' outcomes from --record-in");
+  P.addString("record-in", &RecordIn,
+              "prior .iprec store to reuse under --incremental");
+  P.addString("summary-out", &SummaryOut,
+              "write the module's .ipsum function-summary store here");
+  P.addBool("call-boundary-checks", &CallBoundaryChecks,
+            "with --protect, also check duplicated values right before "
+            "every call they are passed to (closes lint rule R6)");
+  P.addBool("lint-call-boundary", &LintCallBoundary,
+            "with --lint, also enforce rule R6 (checked call boundaries)");
   obs::CliOptions Obs;
   obs::addCliFlags(P, Obs);
   if (!P.parse(Argc, Argv))
@@ -166,7 +186,10 @@ int main(int Argc, char **Argv) {
   }
   if (Protect)
     RunPass("duplicate", [&] {
-      DuplicationStats Stats = duplicateAllInstructions(*M);
+      DuplicationOptions DupOpts;
+      DupOpts.CheckCallBoundary = CallBoundaryChecks;
+      DuplicationStats Stats = duplicateInstructions(
+          *M, [](const Instruction &) { return true; }, DupOpts);
       std::fprintf(stderr, "; protected: %zu duplicated, %zu checks\n",
                    Stats.DuplicatedInstructions, Stats.ChecksInserted);
     });
@@ -190,6 +213,7 @@ int main(int Argc, char **Argv) {
   if (Lint) {
     LintOptions LintOpts;
     LintOpts.ExpectFullDuplication = Protect;
+    LintOpts.CheckCallBoundary = LintCallBoundary;
     std::vector<LintViolation> Violations =
         lintProtectedModule(*M, LintOpts);
     for (const LintViolation &V : Violations)
@@ -201,6 +225,57 @@ int main(int Argc, char **Argv) {
 
   if (EmitIr)
     std::fputs(printModule(*M).c_str(), stdout);
+
+  // Interprocedural analysis artifacts, shared by campaign pruning,
+  // --prop-out's static claims, and --summary-out.
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<ModuleSummaries> Summaries;
+  std::unique_ptr<SocPropagation> InterSoc;
+  if (Interproc || !SummaryOut.empty()) {
+    obs::PhaseSpan Span("cc.summaries");
+    CG = std::make_unique<CallGraph>(*M);
+    Summaries = std::make_unique<ModuleSummaries>(*M, *CG);
+  }
+  if (Interproc) {
+    InterSoc = std::make_unique<SocPropagation>(*M, *Summaries);
+    SocPropagation Intra(*M);
+    size_t InterBenign = 0, IntraBenign = 0;
+    for (bool B : InterSoc->provablyBenign())
+      InterBenign += B;
+    for (bool B : Intra.provablyBenign())
+      IntraBenign += B;
+    std::printf("interproc: %zu of %zu sites provably benign "
+                "(intraprocedural %zu)\n",
+                InterBenign, M->numInstructions(), IntraBenign);
+  }
+  if (!SummaryOut.empty()) {
+    obs::SummaryStore Sum;
+    Sum.ModuleName = M->name();
+    Sum.EntryFunction = RunFn;
+    for (const Function *F : *M) {
+      obs::SummaryFunc SF;
+      SF.Name = F->name();
+      SF.ContentHash = Summaries->contentHash(F);
+      SF.ReachableHash = Summaries->reachableHash(F);
+      for (const Function *C : CG->callees(F))
+        SF.Callees.push_back(C->name());
+      for (const ArgChannel &Ch : Summaries->summary(F).Args) {
+        obs::SummaryArg A;
+        A.SinkMask = Ch.SinkMask;
+        A.FlowsToReturn = Ch.FlowsToReturn ? 1 : 0;
+        A.MinSinkDistance = Ch.MinSinkDistance;
+        SF.Args.push_back(A);
+      }
+      Sum.Functions.push_back(std::move(SF));
+    }
+    std::string Err;
+    if (!obs::writeSummaryStore(Sum, SummaryOut, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("summary store: %s (%zu functions)\n", SummaryOut.c_str(),
+                Sum.Functions.size());
+  }
 
   if (RunFn.empty())
     return 0;
@@ -228,19 +303,60 @@ int main(int Argc, char **Argv) {
     CC.Label = "cc.campaign";
     if (PropSample > 0)
       CC.PropSampleEvery = static_cast<size_t>(PropSample);
-    CampaignResult R = runCampaign(Harness, Layout, CC);
+    if (Interproc)
+      CC.ProvablyBenign = &InterSoc->provablyBenign();
+
+    CampaignResult R;
+    std::vector<obs::FunctionMeta> FnMetas;
+    obs::RecordStore PriorStore; // must outlive the incremental campaign
+    if (Incremental) {
+      IncrementalConfig IC;
+      IC.Base = CC;
+      if (!RecordIn.empty()) {
+        std::string Err;
+        if (!obs::readRecordStore(PriorStore, RecordIn, &Err)) {
+          std::fprintf(stderr, "error: %s\n", Err.c_str());
+          return 1;
+        }
+        IC.Prior = &PriorStore;
+      }
+      IncrementalResult IR = runIncrementalCampaign(Harness, Layout, *M, IC);
+      R = std::move(IR.Campaign);
+      FnMetas = std::move(IR.FunctionMetas);
+      std::printf("incremental: %zu reused, %zu executed, %zu pruned of "
+                  "%zu runs\n",
+                  IR.ReusedRuns, IR.ExecutedRuns, R.PrunedRuns,
+                  R.Records.size());
+      for (const obs::FunctionMeta &FM : FnMetas)
+        std::printf("  @%s: %s (%llu reused of %llu planned)\n",
+                    M->function(FM.FunctionIndex)->name().c_str(),
+                    invalidationReasonName(
+                        static_cast<InvalidationReason>(FM.Invalidation)),
+                    static_cast<unsigned long long>(FM.ReusedRuns),
+                    static_cast<unsigned long long>(FM.PlannedRuns));
+    } else {
+      R = runCampaign(Harness, Layout, CC);
+    }
     std::printf("campaign: %zu runs on @%s\n", R.Records.size(),
                 RunFn.c_str());
     for (size_t O = 0; O != NumOutcomes; ++O)
       std::printf("  %-8s %6zu\n", outcomeName(static_cast<Outcome>(O)),
                   R.Counts[O]);
+    if (CC.ProvablyBenign)
+      std::printf("pruned: %zu runs at %zu provably-benign sites\n",
+                  R.PrunedRuns, R.PrunedSites);
     if (!PropOut.empty()) {
       if (R.PropRecords.empty())
         std::fprintf(stderr, "warning: --prop-out without traced "
                              "injections (pass --prop-sample N)\n");
       // Static claims for the cross-validation columns: the same
-      // analysis whose benign verdicts drive campaign pruning.
-      SocPropagation Soc(*M);
+      // analysis whose benign verdicts drive campaign pruning —
+      // interprocedural under --interproc, so ipas-prop --cross-validate
+      // gates the sharper claims too.
+      std::unique_ptr<SocPropagation> OwnSoc;
+      if (!InterSoc)
+        OwnSoc = std::make_unique<SocPropagation>(*M);
+      const SocPropagation &Soc = InterSoc ? *InterSoc : *OwnSoc;
       std::vector<unsigned> SinkMasks(M->numInstructions(), 0);
       for (const Instruction *I : M->allInstructions())
         SinkMasks[I->id()] = Soc.info(I).SinkMask;
@@ -280,6 +396,8 @@ int main(int Argc, char **Argv) {
       Inputs.ValueStepTrace = &StepTrace;
       Inputs.NumFeatures = Extractor.numFeatures();
       Inputs.Features = &Flat;
+      if (!FnMetas.empty())
+        Inputs.FunctionMetas = &FnMetas;
       obs::RecordStore Store = buildRecordStore(Inputs);
       std::string Err;
       if (!writeCampaignRecord(Store, RecordOut, &Err)) {

@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fault/Incremental.h"
 #include "fault/Outcome.h"
 #include "ir/Instruction.h"
 #include "obs/Propagation.h"
@@ -175,6 +176,26 @@ void printSummary(const StoreIndex &Ix) {
                 static_cast<unsigned long long>(N));
   }
   std::printf("\n");
+}
+
+/// The incremental-campaign function table (v2 stores only): how the
+/// runs were apportioned, and what each function's reuse decision was.
+void printFunctionMetas(const StoreIndex &Ix) {
+  const RecordStore &S = *Ix.S;
+  if (S.FunctionMetas.empty())
+    return;
+  std::printf("\n== incremental campaign (per-function reuse) ==\n");
+  std::printf("%-16s %-16s %8s %8s %6s  %16s\n", "function", "decision",
+              "planned", "reused", "steps", "content-hash");
+  for (const obs::FunctionMeta &FM : S.FunctionMetas)
+    std::printf("@%-15s %-16s %8llu %8llu %6llu  %016llx\n",
+                Ix.functionName(FM.FunctionIndex).c_str(),
+                invalidationReasonName(
+                    static_cast<InvalidationReason>(FM.Invalidation)),
+                static_cast<unsigned long long>(FM.PlannedRuns),
+                static_cast<unsigned long long>(FM.ReusedRuns),
+                static_cast<unsigned long long>(FM.LocalValueSteps),
+                static_cast<unsigned long long>(FM.ContentHash));
 }
 
 void printHeatmap(const StoreIndex &Ix, bool WithSource) {
@@ -402,6 +423,7 @@ int inspectOne(const std::string &Path, bool WithSource,
   }
   StoreIndex Ix(S);
   printSummary(Ix);
+  printFunctionMetas(Ix);
   printHeatmap(Ix, WithSource);
   printConfusion(Ix);
   printTables(Ix);
@@ -482,6 +504,47 @@ int diffStores(const std::string &OldPath, const std::string &NewPath,
                 static_cast<unsigned long long>(P.second),
                 static_cast<long long>(P.second) -
                     static_cast<long long>(P.first));
+  }
+
+  // Incremental re-campaign report: which functions the new campaign
+  // re-executed instead of reusing, and which invalidation keys moved
+  // between the two stores. Needs function tables on both sides.
+  if (!OldS.FunctionMetas.empty() && !NewS.FunctionMetas.empty()) {
+    std::map<std::string, const obs::FunctionMeta *> OldMeta;
+    for (const obs::FunctionMeta &FM : OldS.FunctionMetas)
+      OldMeta[OldIx.functionName(FM.FunctionIndex)] = &FM;
+    std::printf("\n== incremental re-campaigning ==\n");
+    size_t Recampaigned = 0;
+    for (const obs::FunctionMeta &FM : NewS.FunctionMetas) {
+      std::string Name = NewIx.functionName(FM.FunctionIndex);
+      auto Reason = static_cast<InvalidationReason>(FM.Invalidation);
+      std::string Keys;
+      auto It = OldMeta.find(Name);
+      if (It == OldMeta.end()) {
+        Keys = " [new function]";
+      } else {
+        const obs::FunctionMeta &OM = *It->second;
+        if (OM.ContentHash != FM.ContentHash)
+          Keys += " content";
+        if (OM.ReachableHash != FM.ReachableHash)
+          Keys += " reachable";
+        if (OM.LocalValueSteps != FM.LocalValueSteps)
+          Keys += " steps";
+        if (OM.ProfileHash != FM.ProfileHash)
+          Keys += " profile";
+        if (!Keys.empty())
+          Keys = " [changed keys:" + Keys + "]";
+      }
+      if (Reason != InvalidationReason::Reused)
+        ++Recampaigned;
+      std::printf("  @%s: %s, %llu reused / %llu planned%s\n", Name.c_str(),
+                  invalidationReasonName(Reason),
+                  static_cast<unsigned long long>(FM.ReusedRuns),
+                  static_cast<unsigned long long>(FM.PlannedRuns),
+                  Keys.c_str());
+    }
+    std::printf("  %zu of %zu functions re-campaigned\n", Recampaigned,
+                NewS.FunctionMetas.size());
   }
 
   // Regression gate: SOC may grow by at most --threshold injections and
