@@ -7,6 +7,7 @@
 #include "core/Pipeline.h"
 
 #include "analysis/FunctionSummary.h"
+#include "fault/ProfileBuild.h"
 #include "fault/RecordBuild.h"
 #include "frontend/Lexer.h"
 #include "obs/Trace.h"
@@ -88,6 +89,56 @@ void writeVariantRecord(const Workload &W, const PipelineConfig &Cfg,
   std::string Err;
   if (!writeCampaignRecord(buildRecordStore(In), Path, &Err))
     std::fprintf(stderr, "warning: cannot write record store: %s\n",
+                 Err.c_str());
+}
+
+/// Writes the .ipprof cost profile for one evaluated variant into
+/// Cfg.ProfileDir: a counting-mode profiled clean run of the variant,
+/// with per-site protection overhead attributed against a freshly
+/// compiled unprotected build profiled on the same input. All runs are
+/// serial and happen after the variant's campaign, so the record stream
+/// is untouched.
+void writeVariantProfile(const Workload &W, const PipelineConfig &Cfg,
+                         const IpasPipeline &P,
+                         const IpasPipeline::ProtectedModule &PM,
+                         const std::string &Label) {
+  WorkloadHarness Harness(W, Cfg.InputLevel);
+  CostProfiler Prof(*PM.Layout, CostProfiler::Mode::Counting);
+  ProfileBuildInputs In;
+  In.EntryFunction = Workload::EntryName;
+  In.Label = Label;
+  In.SourceText = W.source();
+  obs::ProfileStore S;
+  std::string Err;
+  if (!buildProfileStore(Harness, *PM.Layout, Prof, In, S, &Err)) {
+    obs::logMessage(obs::Severity::Warn,
+                    "%s: cannot profile variant: %s", Label.c_str(),
+                    Err.c_str());
+    return;
+  }
+
+  IpasPipeline::ProtectedModule Base = P.protectNone();
+  WorkloadHarness BaseHarness(W, Cfg.InputLevel);
+  CostProfiler BaseProf(*Base.Layout, CostProfiler::Mode::Counting,
+                        Prof.model());
+  ExecutionRecord R = BaseHarness.executeProfiled(*Base.Layout, BaseProf);
+  if (R.Status == RunStatus::Finished && R.OutputValid) {
+    if (!attributeOverhead(*Base.M, BaseProf.flatCounts(), *PM.M,
+                           Prof.flatCounts(), Prof.model(), S, &Err))
+      obs::logMessage(obs::Severity::Warn,
+                      "%s: overhead attribution failed: %s", Label.c_str(),
+                      Err.c_str());
+  } else {
+    obs::logMessage(obs::Severity::Warn,
+                    "%s: baseline clean run failed; overhead attribution "
+                    "skipped",
+                    Label.c_str());
+  }
+
+  std::string Path = Cfg.ProfileDir + "/" + W.name() + "-" + Label +
+                     ".ipprof";
+  if (!writeProfileArtifact(S, Path, &Err))
+    std::fprintf(stderr, "warning: cannot write profile store: %s\n",
                  Err.c_str());
 }
 
@@ -348,6 +399,8 @@ WorkloadEvaluation IpasPipeline::run() {
                      .add("soc_reduction_pct", V.SocReductionPct));
     if (!Cfg.RecordDir.empty())
       writeVariantRecord(W, Cfg, PM, V, WE.Training, Seed);
+    if (!Cfg.ProfileDir.empty())
+      writeVariantProfile(W, Cfg, *this, PM, V.Label);
     WE.Variants.push_back(std::move(V));
   };
 

@@ -54,6 +54,14 @@ struct PipelineConfig {
   /// named <workload>-<label>.iprec) for ipas-inspect. The directory
   /// must already exist. See docs/OBSERVABILITY.md.
   std::string RecordDir;
+  /// When non-empty, every evaluated variant also writes a .ipprof cost
+  /// profile into this directory (one file per variant, named
+  /// <workload>-<label>.ipprof) for ipas-profile: one additional serial
+  /// profiled clean run per variant, with protection overhead attributed
+  /// per original site against a fresh unprotected build. Profiling never
+  /// perturbs the campaign record streams. The directory must already
+  /// exist. See docs/OBSERVABILITY.md.
+  std::string ProfileDir;
   /// When nonzero, every evaluation campaign also traces fault
   /// propagation for 1-in-N injections (CampaignConfig::PropSampleEvery).
   /// Sampling never perturbs the deterministic record stream; it only

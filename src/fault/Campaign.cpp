@@ -61,6 +61,7 @@ struct FaultMetrics {
   obs::Counter &PrunedRuns;
   obs::Counter *ByOutcome[NumOutcomes];
   obs::Histogram &RunMicros;
+  obs::Gauge &RunsPerSec;
 
   static FaultMetrics &get() {
     auto &Reg = obs::MetricsRegistry::global();
@@ -76,6 +77,7 @@ struct FaultMetrics {
             &Reg.counter("fault.outcome.soc"),
         },
         Reg.histogram("fault.run_micros"),
+        Reg.gauge("fault.campaign.runs_per_sec"),
     };
     return M;
   }
@@ -168,6 +170,7 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
   if (Every == 0)
     Every = 1;
   std::atomic<size_t> Done{0};
+  const uint64_t LoopStartUs = obs::monotonicMicros();
 
   Result.Records.assign(Cfg.NumRuns, InjectionRecord());
   auto RunOne = [&](size_t Run) {
@@ -205,15 +208,32 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
       }
     }
     size_t Finished = Done.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Rate-limited progress (every `Every` runs, never at completion —
+    // the campaign.done event covers that). Throughput and ETA derive
+    // from the loop clock and go through the metrics registry, so any
+    // concurrent exporter sees the same numbers the log line prints.
     if (Finished % Every == 0 && Finished != Cfg.NumRuns) {
-      obs::logMessage(obs::Severity::Info, "%s: %zu/%zu runs", Label,
-                      Finished, Cfg.NumRuns);
+      double Elapsed =
+          static_cast<double>(obs::monotonicMicros() - LoopStartUs) * 1e-6;
+      double Rate = Elapsed > 0 ? static_cast<double>(Finished) / Elapsed
+                                : 0.0;
+      if (Stats)
+        FaultMetrics::get().RunsPerSec.set(Rate);
+      double EtaS =
+          Rate > 0 ? static_cast<double>(Cfg.NumRuns - Finished) / Rate
+                   : 0.0;
+      if (obs::logEnabled(obs::Severity::Info))
+        obs::logMessage(obs::Severity::Info,
+                        "%s: %zu/%zu runs  %.0f runs/s  eta %.1fs", Label,
+                        Finished, Cfg.NumRuns, Rate, EtaS);
       obs::TraceSink::event("campaign.progress",
                             obs::AttrSet()
                                 .add("label", Label)
                                 .add("done", static_cast<uint64_t>(Finished))
                                 .add("runs",
-                                     static_cast<uint64_t>(Cfg.NumRuns)));
+                                     static_cast<uint64_t>(Cfg.NumRuns))
+                                .add("runs_per_sec", Rate)
+                                .add("eta_seconds", EtaS));
     }
   };
 

@@ -6,6 +6,7 @@
 
 #include "fault/FunctionHarness.h"
 
+#include "interp/CostProfiler.h"
 #include "ir/Module.h"
 
 using namespace ipas;
@@ -23,10 +24,16 @@ ExecutionRecord FunctionHarness::executeObserved(const ModuleLayout &Layout,
   return runOnce(Layout, Plan, StepBudget, &Obs);
 }
 
+ExecutionRecord FunctionHarness::executeProfiled(const ModuleLayout &Layout,
+                                                 CostProfiler &Prof) {
+  return runOnce(Layout, nullptr, UINT64_MAX, nullptr, &Prof);
+}
+
 ExecutionRecord FunctionHarness::runOnce(const ModuleLayout &Layout,
                                          const FaultPlan *Plan,
                                          uint64_t StepBudget,
-                                         ExecObserver *Obs) {
+                                         ExecObserver *Obs,
+                                         CostProfiler *Prof) {
   ExecutionContext Ctx(Layout);
   if (Plan)
     Ctx.setFaultPlan(*Plan);
@@ -34,6 +41,8 @@ ExecutionRecord FunctionHarness::runOnce(const ModuleLayout &Layout,
     Ctx.setObserver(Obs);
   const Function *F = Layout.module().getFunction(Entry);
   assert(F && "harness entry function not found");
+  if (Prof)
+    Prof->attach(Ctx, F); // arms site counts (+observer when needed)
   Ctx.start(F, Args);
   RunStatus S = Ctx.run(StepBudget);
 

@@ -41,9 +41,14 @@ public:
                                   const FaultPlan *Plan, uint64_t StepBudget,
                                   ExecObserver &Obs) override;
 
+  bool supportsProfiling() const override { return true; }
+  ExecutionRecord executeProfiled(const ModuleLayout &Layout,
+                                  CostProfiler &Prof) override;
+
 private:
   ExecutionRecord runOnce(const ModuleLayout &Layout, const FaultPlan *Plan,
-                          uint64_t StepBudget, ExecObserver *Obs);
+                          uint64_t StepBudget, ExecObserver *Obs,
+                          CostProfiler *Prof = nullptr);
 
   std::string Entry;
   std::vector<RtValue> Args;

@@ -8,6 +8,7 @@
 
 #include "analysis/CallGraph.h"
 #include "analysis/FunctionSummary.h"
+#include "interp/CostProfiler.h"
 #include "ir/Module.h"
 #include "obs/BinCodec.h"
 #include "obs/Metrics.h"
@@ -40,42 +41,6 @@ const char *ipas::invalidationReasonName(InvalidationReason R) {
 }
 
 namespace {
-
-/// Folds the clean run's per-function (local site, committed bits) stream
-/// into one FNV-1a accumulator per function. Two builds with equal
-/// profile hashes drove bit-identical value streams through the function,
-/// so an injection at the same (local site occurrence, bit) starts from
-/// the same machine state.
-class ProfileHasher : public ExecObserver {
-public:
-  ProfileHasher(const std::vector<uint32_t> &IdToFn,
-                const std::vector<uint64_t> &FirstId, size_t NumFns)
-      : IdToFn(IdToFn), FirstId(FirstId),
-        Acc(NumFns, obs::FnvOffset) {}
-
-  void onValueCommit(const Instruction *I, RtValue V,
-                     uint64_t /*ValueStep*/) override {
-    uint32_t Fn = IdToFn[I->id()];
-    uint64_t H = Acc[Fn];
-    uint64_t Local = I->id() - FirstId[Fn];
-    for (int B = 0; B != 8; ++B) {
-      H ^= (Local >> (8 * B)) & 0xff;
-      H *= obs::FnvPrime;
-    }
-    for (int B = 0; B != 8; ++B) {
-      H ^= (V.Bits >> (8 * B)) & 0xff;
-      H *= obs::FnvPrime;
-    }
-    Acc[Fn] = H;
-  }
-
-  const std::vector<uint64_t> &hashes() const { return Acc; }
-
-private:
-  const std::vector<uint32_t> &IdToFn;
-  const std::vector<uint64_t> &FirstId;
-  std::vector<uint64_t> Acc;
-};
 
 /// Largest-remainder apportionment of \p Total runs proportional to
 /// \p Weights (functions with zero weight get zero runs). Deterministic:
@@ -180,19 +145,22 @@ IncrementalResult ipas::runIncrementalCampaign(ProgramHarness &Harness,
   for (size_t Fi = 0; Fi != NumFns; ++Fi)
     LocalSteps[Fi] = GlobalStepOf[Fi].size();
 
-  // Profile hashes from one observed clean run (all-zero when the harness
-  // cannot attach an observer — consistently on both sides of a reuse
-  // comparison, so reuse still works, just with a weaker guard).
+  // Profile hashes: the caller's profiled clean run when it supplied one
+  // (ipas-cc --profile), else one profiled clean run here. All-zero when
+  // the harness cannot profile — consistently on both sides of a reuse
+  // comparison, so reuse still works, just with a weaker guard.
   std::vector<uint64_t> Profile(NumFns, 0);
-  if (Harness.supportsObservation()) {
-    ProfileHasher PH(IdToFn, FirstId, NumFns);
-    ExecutionRecord Obs =
-        Harness.executeObserved(Layout, nullptr, UINT64_MAX, PH);
+  if (Cfg.ProfileHashes && Cfg.ProfileHashes->size() == NumFns) {
+    Profile = *Cfg.ProfileHashes;
+  } else if (Harness.supportsProfiling()) {
+    CostProfiler Prof(Layout, CostProfiler::Mode::Counting);
+    Prof.enableFunctionHashes();
+    ExecutionRecord Obs = Harness.executeProfiled(Layout, Prof);
     if (Obs.Status == RunStatus::Finished && Obs.OutputValid)
-      Profile = PH.hashes();
+      Profile = Prof.functionHashes();
     else
       obs::logMessage(obs::Severity::Warn,
-                      "%s: observed clean run failed; profile hashes "
+                      "%s: profiled clean run failed; profile hashes "
                       "disabled",
                       Label);
   }
@@ -408,6 +376,7 @@ IncrementalResult ipas::runIncrementalCampaign(ProgramHarness &Harness,
   if (Every == 0)
     Every = 1;
   std::atomic<size_t> Done{0};
+  const uint64_t LoopStartUs = obs::monotonicMicros();
 
   auto RunOne = [&](size_t RowIdx) {
     InjectionRecord &Rec = Result.Campaign.Records[RowIdx];
@@ -435,9 +404,26 @@ IncrementalResult ipas::runIncrementalCampaign(ProgramHarness &Harness,
                                 .add("outcome", outcomeName(Rec.Result))
                                 .add("us", Us));
     size_t Finished = Done.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (Finished % Every == 0 && Finished != ToExecute.size())
-      obs::logMessage(obs::Severity::Info, "%s: %zu/%zu executed runs",
-                      Label, Finished, ToExecute.size());
+    // Same rate-limited throughput/ETA progress as runCampaign, over the
+    // executed (non-reused, non-pruned) runs only.
+    if (Finished % Every == 0 && Finished != ToExecute.size() &&
+        obs::logEnabled(obs::Severity::Info)) {
+      double Elapsed =
+          static_cast<double>(obs::monotonicMicros() - LoopStartUs) * 1e-6;
+      double Rate = Elapsed > 0 ? static_cast<double>(Finished) / Elapsed
+                                : 0.0;
+      if (Stats)
+        obs::MetricsRegistry::global()
+            .gauge("fault.campaign.runs_per_sec")
+            .set(Rate);
+      double EtaS =
+          Rate > 0
+              ? static_cast<double>(ToExecute.size() - Finished) / Rate
+              : 0.0;
+      obs::logMessage(obs::Severity::Info,
+                      "%s: %zu/%zu executed runs  %.0f runs/s  eta %.1fs",
+                      Label, Finished, ToExecute.size(), Rate, EtaS);
+    }
   };
 
   unsigned Threads = Base.NumThreads;

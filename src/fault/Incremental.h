@@ -68,6 +68,13 @@ struct IncrementalConfig {
   /// store without FunctionMetas (a non-incremental or v1 store) is
   /// ignored the same way.
   const obs::RecordStore *Prior = nullptr;
+  /// Per-function clean-run profile hashes already computed by a
+  /// CostProfiler with function hashes enabled (ipas-cc --profile does
+  /// this), indexed by module function order. When set and sized to the
+  /// module's function count, the campaign reuses them instead of running
+  /// its own observed clean run — the fold is identical, so reuse keys
+  /// are unchanged. Null (or wrong-sized) means compute them here.
+  const std::vector<uint64_t> *ProfileHashes = nullptr;
 };
 
 struct IncrementalResult {

@@ -19,6 +19,8 @@
 
 namespace ipas {
 
+class CostProfiler; // interp/CostProfiler.h
+
 /// Result of one (possibly fault-injected) execution.
 struct ExecutionRecord {
   RunStatus Status = RunStatus::Finished;
@@ -69,6 +71,21 @@ public:
                                           ExecObserver &Obs) {
     (void)Obs;
     return execute(Layout, Plan, StepBudget);
+  }
+
+  /// True when executeProfiled() actually arms the profiler. The profile
+  /// builder (fault/ProfileBuild.h) refuses harnesses that return false
+  /// rather than writing an empty store.
+  virtual bool supportsProfiling() const { return false; }
+
+  /// Runs one *clean* (no fault plan, unbounded) execution with \p Prof
+  /// attached to the interpreter's site-count hook (and observer slot
+  /// when the profiler's mode needs it). The default ignores the
+  /// profiler and delegates to execute().
+  virtual ExecutionRecord executeProfiled(const ModuleLayout &Layout,
+                                          CostProfiler &Prof) {
+    (void)Prof;
+    return execute(Layout, nullptr, UINT64_MAX);
   }
 };
 

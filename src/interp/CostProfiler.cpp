@@ -1,0 +1,179 @@
+//===- interp/CostProfiler.cpp ------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/CostProfiler.h"
+
+#include "obs/BinCodec.h"
+
+using namespace ipas;
+
+CostModel CostModel::standard() {
+  CostModel CM;
+  auto Set = [&](Opcode Op, uint32_t C) {
+    CM.Cycles[static_cast<unsigned>(Op)] = C;
+  };
+  Set(Opcode::Add, 1);
+  Set(Opcode::Sub, 1);
+  Set(Opcode::Mul, 3);
+  Set(Opcode::SDiv, 24);
+  Set(Opcode::SRem, 24);
+  Set(Opcode::And, 1);
+  Set(Opcode::Or, 1);
+  Set(Opcode::Xor, 1);
+  Set(Opcode::Shl, 1);
+  Set(Opcode::AShr, 1);
+  Set(Opcode::FAdd, 3);
+  Set(Opcode::FSub, 3);
+  Set(Opcode::FMul, 4);
+  Set(Opcode::FDiv, 13);
+  Set(Opcode::ICmp, 1);
+  Set(Opcode::FCmp, 2);
+  Set(Opcode::SIToFP, 4);
+  Set(Opcode::FPToSI, 4);
+  Set(Opcode::ZExt, 1);
+  Set(Opcode::BitcastF2I, 1);
+  Set(Opcode::BitcastI2F, 1);
+  Set(Opcode::Alloca, 2);
+  Set(Opcode::Load, 4);
+  Set(Opcode::Store, 1);
+  Set(Opcode::Gep, 1);
+  Set(Opcode::Phi, 0);
+  Set(Opcode::Select, 1);
+  Set(Opcode::Call, 2);
+  Set(Opcode::Check, 2);
+  Set(Opcode::Br, 0);
+  Set(Opcode::CondBr, 1);
+  Set(Opcode::Ret, 1);
+  return CM;
+}
+
+uint64_t ipas::cyclesOfCounts(const Module &M,
+                              const std::vector<uint64_t> &Counts,
+                              const CostModel &CM) {
+  uint64_t Total = 0;
+  for (Function *F : M)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (I->id() < Counts.size())
+          Total += Counts[I->id()] * CM.of(I->opcode());
+  return Total;
+}
+
+CostProfiler::CostProfiler(const ModuleLayout &Layout, Mode M,
+                           const CostModel &CM)
+    : Layout(Layout), ProfMode(M), Model(CM) {
+  // Static geometry for hash folding: ids are function-contiguous in
+  // module order (Module::renumber()).
+  const Module &Mod = Layout.module();
+  size_t NumFns = Mod.numFunctions();
+  FnHashes.assign(NumFns, obs::FnvOffset);
+  FirstId.assign(NumFns, 0);
+  IdToFn.assign(Mod.numInstructions(), 0);
+  uint64_t Next = 0;
+  for (size_t Fi = 0; Fi != NumFns; ++Fi) {
+    FirstId[Fi] = Next;
+    uint64_t N = Mod.function(Fi)->numInstructions();
+    for (uint64_t K = 0; K != N; ++K)
+      IdToFn[Next + K] = static_cast<uint32_t>(Fi);
+    Next += N;
+  }
+}
+
+const Module &CostProfiler::module() const { return Layout.module(); }
+
+void CostProfiler::enableFunctionHashes() { HashesEnabled = true; }
+
+void CostProfiler::attach(ExecutionContext &Ctx, const Function *Entry) {
+  C = &Ctx;
+  if (Nodes.empty()) {
+    Nodes.emplace_back();
+    Nodes[0].Fn = Entry;
+    Nodes[0].Counts.assign(Layout.numInstructions(), 0);
+  }
+  Cur = 0;
+  Ctx.setSiteCounts(&Nodes[Cur].Counts);
+  if (ProfMode == Mode::Context || HashesEnabled)
+    Ctx.setObserver(this);
+}
+
+void CostProfiler::onCall(const CallInst *Call,
+                          const std::vector<RtValue> & /*Args*/) {
+  if (ProfMode != Mode::Context)
+    return;
+  const Function *Callee = Call->callee();
+  uint32_t Child = UINT32_MAX;
+  for (const auto &E : Nodes[Cur].Children)
+    if (E.first == Callee) {
+      Child = E.second;
+      break;
+    }
+  if (Child == UINT32_MAX) {
+    Child = static_cast<uint32_t>(Nodes.size());
+    Nodes[Cur].Children.push_back({Callee, Child});
+    Nodes.emplace_back();
+    Nodes[Child].Parent = Cur;
+    Nodes[Child].Fn = Callee;
+    Nodes[Child].Counts.assign(Layout.numInstructions(), 0);
+  }
+  Cur = Child;
+  // Re-arm unconditionally: growing Nodes may have moved every Counts
+  // vector's owner, and the context holds a raw pointer.
+  C->setSiteCounts(&Nodes[Cur].Counts);
+}
+
+void CostProfiler::onReturn(const Instruction * /*Ret*/, bool /*HasValue*/,
+                            RtValue /*V*/) {
+  if (ProfMode != Mode::Context)
+    return;
+  if (Nodes[Cur].Parent != UINT32_MAX) {
+    Cur = Nodes[Cur].Parent;
+    C->setSiteCounts(&Nodes[Cur].Counts);
+  }
+}
+
+void CostProfiler::onValueCommit(const Instruction *I, RtValue V,
+                                 uint64_t /*ValueStep*/) {
+  if (!HashesEnabled)
+    return;
+  // Identical fold to the incremental campaign's clean-run hasher, so the
+  // two sources of FunctionMeta::ProfileHash are interchangeable.
+  uint32_t Fn = IdToFn[I->id()];
+  uint64_t H = FnHashes[Fn];
+  uint64_t Local = I->id() - FirstId[Fn];
+  for (int B = 0; B != 8; ++B) {
+    H ^= (Local >> (8 * B)) & 0xff;
+    H *= obs::FnvPrime;
+  }
+  for (int B = 0; B != 8; ++B) {
+    H ^= (V.Bits >> (8 * B)) & 0xff;
+    H *= obs::FnvPrime;
+  }
+  FnHashes[Fn] = H;
+}
+
+std::vector<uint64_t> CostProfiler::flatCounts() const {
+  std::vector<uint64_t> Flat(Layout.numInstructions(), 0);
+  for (const ContextNode &N : Nodes)
+    for (size_t I = 0; I != N.Counts.size(); ++I)
+      Flat[I] += N.Counts[I];
+  return Flat;
+}
+
+uint64_t CostProfiler::totalSteps() const {
+  uint64_t Total = 0;
+  for (const ContextNode &N : Nodes)
+    for (uint64_t C : N.Counts)
+      Total += C;
+  return Total;
+}
+
+uint64_t CostProfiler::totalCycles() const {
+  return cyclesOfCounts(module(), flatCounts(), Model);
+}
+
+uint64_t CostProfiler::nodeCycles(const ContextNode &N) const {
+  return cyclesOfCounts(module(), N.Counts, Model);
+}

@@ -1,0 +1,144 @@
+//===- interp/CostProfiler.h - Instruction-level cost profiling -----------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic cost profiling for interpreted programs. Two modes:
+///
+///  * Counting — per-instruction dynamic execution counts via the
+///    interpreter's site-count hook (ExecutionContext::setSiteCounts), one
+///    predicted branch plus an indexed increment per step. Cost is then
+///    counts × a per-opcode cycle model, so a profiled clean run prices
+///    every static instruction. This is the mode campaigns and the
+///    pipeline use; bench/profile_overhead.cpp pins its overhead.
+///
+///  * Context — the same counts kept per *calling context*: the profiler
+///    rides the ExecObserver onCall/onReturn hooks to maintain a calling
+///    context tree (one node per distinct call path) and swaps the armed
+///    count array at every call boundary. Costs then attribute to
+///    (function, source line, context) triples and fold into
+///    flamegraph-style stacks.
+///
+/// Either mode can additionally fold the per-function FNV-1a hash over
+/// the committed (local site, value bits) stream that incremental
+/// campaigns (fault/Incremental.h) key reuse on — the fold is identical,
+/// so hashes from a profiled clean run are interchangeable with the ones
+/// an unprofiled campaign computes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_INTERP_COSTPROFILER_H
+#define IPAS_INTERP_COSTPROFILER_H
+
+#include "interp/Interpreter.h"
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ipas {
+
+/// Per-opcode cycle costs. The absolute numbers are a model, not a
+/// measurement — what matters downstream is that they are *fixed and
+/// versioned* (serialized into every .ipprof store), so per-site marginal
+/// costs and cross-build diffs compare like with like.
+struct CostModel {
+  std::array<uint32_t, NumOpcodeKinds> Cycles{};
+
+  uint32_t of(Opcode Op) const { return Cycles[static_cast<unsigned>(Op)]; }
+
+  /// Rough single-issue x86 latency classes: cheap ALU ops cost 1, integer
+  /// multiply 3, integer divide 24, FP add/sub 3, FP multiply 4, FP divide
+  /// 13, loads 4 (L1 hit), stores 1, calls 2 (call+ret pair charged at the
+  /// call site), checks 2 (compare + branch). Phis and unconditional
+  /// branches cost 0: register coalescing and straight-line fallthrough
+  /// make them free on real hardware.
+  static CostModel standard();
+};
+
+/// Σ Counts[id] × model cycles of the instruction's opcode, over every
+/// instruction of \p M. \p Counts is indexed by instruction id and may be
+/// shorter than the module (missing tails count as zero).
+uint64_t cyclesOfCounts(const Module &M, const std::vector<uint64_t> &Counts,
+                        const CostModel &CM);
+
+/// One profiling run's collector. Construct, attach() to a fresh
+/// ExecutionContext before start(), run, then read the counts. A profiler
+/// accumulates across runs if re-attached (campaign clean runs use one
+/// profiler per run).
+class CostProfiler : public ExecObserver {
+public:
+  enum class Mode : uint8_t {
+    Counting, ///< Flat per-instruction counts (the cheap hook alone).
+    Context,  ///< Counts per calling-context-tree node.
+  };
+
+  /// One calling context: the chain of Parent links names the call path.
+  /// Node 0 is the entry function's root context.
+  struct ContextNode {
+    uint32_t Parent = UINT32_MAX; ///< Caller context; UINT32_MAX at root.
+    const Function *Fn = nullptr; ///< Function executing in this context.
+    std::vector<uint64_t> Counts; ///< Per-instruction-id execution counts.
+    /// Memoized callee → child-node lookup (small, linear scan).
+    std::vector<std::pair<const Function *, uint32_t>> Children;
+  };
+
+  CostProfiler(const ModuleLayout &Layout, Mode M,
+               const CostModel &CM = CostModel::standard());
+
+  /// Also fold the per-function (local site, value bits) FNV-1a stream
+  /// hashes (see fault/Incremental.h). Requires the observer slot even in
+  /// Counting mode — callers that need the 10%-class overhead guarantee
+  /// must leave this off.
+  void enableFunctionHashes();
+
+  /// Arms \p Ctx for this profiler: site counts always, the observer when
+  /// Context mode or function hashes need it. Must run before
+  /// Ctx.start(). \p Entry labels the root context.
+  void attach(ExecutionContext &Ctx, const Function *Entry);
+
+  Mode mode() const { return ProfMode; }
+  const CostModel &model() const { return Model; }
+  const Module &module() const;
+
+  /// Per-instruction counts summed over all contexts.
+  std::vector<uint64_t> flatCounts() const;
+  /// Σ flatCounts — equals ExecutionContext::steps() of the profiled runs.
+  uint64_t totalSteps() const;
+  /// Model cycles of the whole profile.
+  uint64_t totalCycles() const;
+  const std::vector<ContextNode> &contexts() const { return Nodes; }
+  uint64_t nodeCycles(const ContextNode &N) const;
+
+  bool functionHashesEnabled() const { return HashesEnabled; }
+  /// Per-function hashes, indexed by module function order. Functions the
+  /// clean run never committed a value in keep the FNV offset basis,
+  /// matching the incremental campaign's own hasher.
+  const std::vector<uint64_t> &functionHashes() const { return FnHashes; }
+
+  // ExecObserver (context tracking + optional hash folding).
+  void onCall(const CallInst *Call,
+              const std::vector<RtValue> &Args) override;
+  void onReturn(const Instruction *Ret, bool HasValue, RtValue V) override;
+  void onValueCommit(const Instruction *I, RtValue V,
+                     uint64_t ValueStep) override;
+
+private:
+  const ModuleLayout &Layout;
+  Mode ProfMode;
+  CostModel Model;
+  ExecutionContext *C = nullptr;
+  std::vector<ContextNode> Nodes;
+  uint32_t Cur = 0;
+  bool HashesEnabled = false;
+  std::vector<uint64_t> FnHashes;  ///< Per function index.
+  std::vector<uint32_t> IdToFn;    ///< Instruction id → function index.
+  std::vector<uint64_t> FirstId;   ///< Function index → first id.
+};
+
+} // namespace ipas
+
+#endif // IPAS_INTERP_COSTPROFILER_H

@@ -246,6 +246,7 @@ void ExecutionContext::execPhis(Frame &F) {
   for (size_t K = 0; K != NumPhis; ++K) {
     ++Steps;
     countOp(Opcode::Phi);
+    countSite(BB->at(K));
     writeResult(F, BB->at(K), Incoming[K]);
   }
   F.InstIdx = NumPhis;
@@ -269,6 +270,7 @@ void ExecutionContext::stepOnce() {
 
   ++Steps;
   countOp(I->opcode());
+  countSite(I);
   switch (I->opcode()) {
   case Opcode::Add:
   case Opcode::Sub:
@@ -580,6 +582,7 @@ void ExecutionContext::execCall(Frame &F, const CallInst *Call) {
     }
     ++Steps;
     countOp(Opcode::Call);
+    countSite(Call);
     std::vector<RtValue> Args(Call->numArgs());
     for (unsigned K = 0; K != Call->numArgs(); ++K)
       Args[K] = eval(F, Call->arg(K));
@@ -648,6 +651,7 @@ void ExecutionContext::execIntrinsic(Frame &F, const CallInst *Call) {
     if (Cfg.NumRanks <= 1) {
       ++Steps;
       countOp(Opcode::Call);
+      countSite(Call);
       if (execMpiSingleRank(F, Call))
         ++F.InstIdx;
       return;
@@ -656,6 +660,7 @@ void ExecutionContext::execIntrinsic(Frame &F, const CallInst *Call) {
     if (Id == Intrinsic::MpiRank || Id == Intrinsic::MpiSize) {
       ++Steps;
       countOp(Opcode::Call);
+      countSite(Call);
       writeResult(F, Call,
                   RtValue::fromI64(Id == Intrinsic::MpiRank ? Cfg.Rank
                                                             : Cfg.NumRanks));
@@ -673,6 +678,7 @@ void ExecutionContext::execIntrinsic(Frame &F, const CallInst *Call) {
 
   ++Steps;
   countOp(Opcode::Call);
+  countSite(Call);
   auto Ret = [&](RtValue V) {
     writeResult(F, Call, V);
     ++F.InstIdx;
@@ -763,6 +769,7 @@ void ExecutionContext::completePendingCall(RtValue Result) {
   const auto *Call = cast<CallInst>(F.Block->at(F.InstIdx));
   ++Steps;
   countOp(Opcode::Call);
+  countSite(Call);
   if (Call->producesValue())
     writeResult(F, Call, Result);
   ++F.InstIdx;

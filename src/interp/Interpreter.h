@@ -201,6 +201,17 @@ public:
   /// set before start(); the observer is borrowed, not owned.
   void setObserver(ExecObserver *O) { Obs = O; }
 
+  /// When set, every executed instruction (every step, not just value
+  /// commits) bumps (*C)[I->id()]. The vector must be sized to
+  /// ModuleLayout::numInstructions() and is borrowed, not owned. This is
+  /// the cost profiler's counting hook (interp/CostProfiler.h): the same
+  /// cost class as the value-step trace — one well-predicted branch plus
+  /// an indexed increment when armed, a dead branch when not. May be
+  /// re-seated between steps (the calling-context profiler swaps the
+  /// destination array at call boundaries). Invariant: the sum over all
+  /// armed arrays equals steps().
+  void setSiteCounts(std::vector<uint64_t> *C) { SiteCounts = C; }
+
   // Multi-rank MPI interface (used by the SimMPI scheduler).
   int rank() const { return Cfg.Rank; }
   int numRanks() const { return Cfg.NumRanks; }
@@ -226,6 +237,14 @@ private:
   void countOp(Opcode Op) {
     if (CollectStats)
       ++OpCount[static_cast<unsigned>(Op)];
+  }
+
+  /// Per-site accounting for the cost profiler. Called at exactly the
+  /// same points as the `++Steps` bookkeeping, so profiled counts sum to
+  /// the step total.
+  void countSite(const Instruction *I) {
+    if (SiteCounts)
+      ++(*SiteCounts)[I->id()];
   }
 
   RtValue eval(const Frame &F, const Value *V) const;
@@ -259,6 +278,7 @@ private:
   bool FaultInjected = false;
   unsigned FaultedId = 0;
   std::vector<unsigned> *ValueStepTrace = nullptr;
+  std::vector<uint64_t> *SiteCounts = nullptr;
   ExecObserver *Obs = nullptr;
   PendingMpi Pending;
   bool Started = false;

@@ -1,0 +1,84 @@
+//===- obs/LineTable.cpp ------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/LineTable.h"
+
+#include <cstdio>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+std::vector<std::string> ipas::obs::splitSourceLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else if (C != '\r') {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+void LineTable::add(uint32_t Line, size_t Col, uint64_t V) {
+  std::vector<uint64_t> &Cells = Rows[Line];
+  if (Cells.size() < Headers.size())
+    Cells.resize(Headers.size(), 0);
+  if (Col < Cells.size())
+    Cells[Col] += V;
+}
+
+void LineTable::printRow(uint32_t Line, const std::vector<uint64_t> *Cells,
+                         const char *Text) const {
+  char Label[16];
+  if (Line)
+    std::snprintf(Label, sizeof Label, "%5u", Line);
+  else
+    std::snprintf(Label, sizeof Label, "%5s", "?");
+  std::printf("%s", Label);
+  for (size_t C = 0; C != Headers.size(); ++C)
+    std::printf(" %6llu",
+                Cells && C < Cells->size()
+                    ? static_cast<unsigned long long>((*Cells)[C])
+                    : 0ULL);
+  std::printf("  %s\n", Text);
+}
+
+void LineTable::print(const std::string &SourceText, bool WithSource) const {
+  std::printf("%5s", "line");
+  for (const std::string &H : Headers)
+    std::printf(" %6s", H.c_str());
+  std::printf("  %s\n", WithSource ? "source" : "");
+
+  std::vector<std::string> Lines =
+      WithSource ? splitSourceLines(SourceText)
+                 : std::vector<std::string>();
+  if (WithSource && !Lines.empty()) {
+    for (uint32_t L = 1; L <= Lines.size(); ++L) {
+      auto It = Rows.find(L);
+      printRow(L, It != Rows.end() ? &It->second : nullptr,
+               Lines[L - 1].c_str());
+    }
+    // Data on line 0 (no location) or past the end of the source still
+    // has to appear, or the columns would not sum to the totals.
+    for (const auto &[Line, Cells] : Rows)
+      if (Line == 0 || Line > Lines.size())
+        printRow(Line, &Cells, "");
+  } else {
+    for (const auto &[Line, Cells] : Rows)
+      printRow(Line, &Cells, "");
+  }
+
+  std::vector<uint64_t> Totals(Headers.size(), 0);
+  for (const auto &[Line, Cells] : Rows)
+    for (size_t C = 0; C != Cells.size() && C != Totals.size(); ++C)
+      Totals[C] += Cells[C];
+  printRow(0, &Totals, "<total>");
+}

@@ -1,0 +1,65 @@
+//===- obs/LineTable.h - Per-source-line table renderer -------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The annotated per-source-line table that ipas-inspect's outcome
+/// heatmap and ipas-profile's cost heatmap share: a fixed-width numeric
+/// column block keyed by source line, rendered against the program text,
+/// with rows for locationless data (line 0, shown as "?") and lines past
+/// the end of the source, and a trailing <total> row — so the columns
+/// always sum to the campaign/profile totals no matter how patchy the
+/// debug locations are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_OBS_LINETABLE_H
+#define IPAS_OBS_LINETABLE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipas {
+namespace obs {
+
+/// Splits \p Text into lines ('\n' separated, '\r' dropped); a trailing
+/// unterminated line counts.
+std::vector<std::string> splitSourceLines(const std::string &Text);
+
+/// Accumulator + renderer for one table. Columns are fixed at
+/// construction; cells accumulate via add().
+class LineTable {
+public:
+  explicit LineTable(std::vector<std::string> ColumnHeaders)
+      : Headers(std::move(ColumnHeaders)) {}
+
+  /// Adds \p V into column \p Col of \p Line. Line 0 is the "no source
+  /// location" bucket. Creates the row even when V is 0, so callers
+  /// control exactly which lines appear in the no-source listing.
+  void add(uint32_t Line, size_t Col, uint64_t V);
+
+  /// True when any row was added.
+  bool empty() const { return Rows.empty(); }
+
+  /// Renders the table: a header row, one row per line of \p SourceText
+  /// (zeros when no data), rows for line 0 and past-end lines, then a
+  /// <total> row. With \p WithSource false (or empty source) only lines
+  /// with data are listed and no source text is shown.
+  void print(const std::string &SourceText, bool WithSource) const;
+
+private:
+  void printRow(uint32_t Line, const std::vector<uint64_t> *Cells,
+                const char *Text) const;
+
+  std::vector<std::string> Headers;
+  std::map<uint32_t, std::vector<uint64_t>> Rows;
+};
+
+} // namespace obs
+} // namespace ipas
+
+#endif // IPAS_OBS_LINETABLE_H

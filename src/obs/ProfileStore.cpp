@@ -1,0 +1,261 @@
+//===- obs/ProfileStore.cpp ---------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// File layout (all integers little-endian), mirroring RecordStore:
+//
+//   offset  size  field
+//   0       8     magic "IPASPROF"
+//   8       4     version (u32, currently 1)
+//   12      8     payload length (u64)
+//   20      N     payload (see serializePayload)
+//   20+N    8     FNV-1a 64 checksum of the payload bytes
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ProfileStore.h"
+
+#include "obs/BinCodec.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ipas;
+using namespace ipas::obs;
+
+namespace {
+
+constexpr char Magic[8] = {'I', 'P', 'A', 'S', 'P', 'R', 'O', 'F'};
+
+void serializePayload(const ProfileStore &S, Encoder &E) {
+  E.str(S.ModuleName);
+  E.str(S.EntryFunction);
+  E.str(S.Label);
+  E.str(S.SourceText);
+  E.u8(S.Mode);
+  E.u64(S.CleanSteps);
+  E.u64(S.TotalCycles);
+  E.u8(S.HasOverhead);
+  E.u64(S.BaselineTotalCycles);
+  E.u64(S.CostModelCycles.size());
+  for (uint32_t C : S.CostModelCycles)
+    E.u32(C);
+  E.u64(S.Functions.size());
+  for (const std::string &F : S.Functions)
+    E.str(F);
+  E.u64(S.Instructions.size());
+  for (const ProfInstr &I : S.Instructions) {
+    E.u32(I.Id);
+    E.u8(I.Opcode);
+    E.u8(I.DupRole);
+    E.u32(I.Line);
+    E.u32(I.Col);
+    E.u32(I.FunctionIndex);
+    E.u64(I.ExecCount);
+    E.u64(I.Cycles);
+  }
+  E.u64(S.Contexts.size());
+  for (const ProfContext &C : S.Contexts) {
+    E.u32(C.Id);
+    E.u32(C.Parent);
+    E.u32(C.FunctionIndex);
+    E.u64(C.Steps);
+    E.u64(C.Cycles);
+  }
+  E.u64(S.LineCosts.size());
+  for (const ProfLineCost &L : S.LineCosts) {
+    E.u32(L.ContextId);
+    E.u32(L.FunctionIndex);
+    E.u32(L.Line);
+    E.u64(L.Count);
+    E.u64(L.Cycles);
+  }
+  E.u64(S.Overheads.size());
+  for (const ProfSiteOverhead &O : S.Overheads) {
+    E.u32(O.SiteId);
+    E.u8(O.Opcode);
+    E.u8(O.Protected_);
+    E.u32(O.Line);
+    E.u32(O.Col);
+    E.u32(O.FunctionIndex);
+    E.u64(O.BaseCycles);
+    E.u64(O.ProtCycles);
+    E.u64(O.ShadowCycles);
+    E.u64(O.CheckCycles);
+  }
+}
+
+bool parsePayload(ProfileStore &S, Decoder &D, std::string *Err) {
+  S.ModuleName = D.str();
+  S.EntryFunction = D.str();
+  S.Label = D.str();
+  S.SourceText = D.str();
+  S.Mode = D.u8();
+  S.CleanSteps = D.u64();
+  S.TotalCycles = D.u64();
+  S.HasOverhead = D.u8();
+  S.BaselineTotalCycles = D.u64();
+  S.CostModelCycles.resize(D.count(4));
+  for (uint32_t &C : S.CostModelCycles)
+    C = D.u32();
+  S.Functions.resize(D.count(4));
+  for (std::string &F : S.Functions)
+    F = D.str();
+  S.Instructions.resize(D.count(4 + 1 + 1 + 4 + 4 + 4 + 8 + 8));
+  for (ProfInstr &I : S.Instructions) {
+    I.Id = D.u32();
+    I.Opcode = D.u8();
+    I.DupRole = D.u8();
+    I.Line = D.u32();
+    I.Col = D.u32();
+    I.FunctionIndex = D.u32();
+    I.ExecCount = D.u64();
+    I.Cycles = D.u64();
+  }
+  S.Contexts.resize(D.count(4 + 4 + 4 + 8 + 8));
+  for (ProfContext &C : S.Contexts) {
+    C.Id = D.u32();
+    C.Parent = D.u32();
+    C.FunctionIndex = D.u32();
+    C.Steps = D.u64();
+    C.Cycles = D.u64();
+  }
+  S.LineCosts.resize(D.count(4 + 4 + 4 + 8 + 8));
+  for (ProfLineCost &L : S.LineCosts) {
+    L.ContextId = D.u32();
+    L.FunctionIndex = D.u32();
+    L.Line = D.u32();
+    L.Count = D.u64();
+    L.Cycles = D.u64();
+  }
+  S.Overheads.resize(D.count(4 + 1 + 1 + 4 + 4 + 4 + 4 * 8));
+  for (ProfSiteOverhead &O : S.Overheads) {
+    O.SiteId = D.u32();
+    O.Opcode = D.u8();
+    O.Protected_ = D.u8();
+    O.Line = D.u32();
+    O.Col = D.u32();
+    O.FunctionIndex = D.u32();
+    O.BaseCycles = D.u64();
+    O.ProtCycles = D.u64();
+    O.ShadowCycles = D.u64();
+    O.CheckCycles = D.u64();
+  }
+  if (!D.ok()) {
+    if (Err)
+      *Err = "profile store payload truncated or corrupt";
+    return false;
+  }
+  if (!D.atEnd()) {
+    if (Err)
+      *Err = "profile store payload has trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void ipas::obs::serializeProfileStore(const ProfileStore &S,
+                                      std::string &Out) {
+  Out.clear();
+  Out.append(Magic, sizeof(Magic));
+  Encoder Header(Out);
+  Header.u32(ProfileStoreVersion);
+  std::string Payload;
+  Encoder E(Payload);
+  serializePayload(S, E);
+  Header.u64(Payload.size());
+  Out.append(Payload);
+  Encoder Footer(Out);
+  Footer.u64(fnv1a(Payload.data(), Payload.size()));
+}
+
+bool ipas::obs::writeProfileStore(const ProfileStore &S,
+                                  const std::string &Path,
+                                  std::string *Err) {
+  std::string Bytes;
+  serializeProfileStore(S, Bytes);
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = Written == Bytes.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok && Err)
+    *Err = "short write to '" + Path + "'";
+  return Ok;
+}
+
+bool ipas::obs::parseProfileStore(ProfileStore &S, const std::string &Data,
+                                  std::string *Err) {
+  // Fixed header: magic + version + payload length.
+  constexpr size_t HeaderSize = sizeof(Magic) + 4 + 8;
+  if (Data.size() < HeaderSize) {
+    if (Err)
+      *Err = "not a profile store (file too small)";
+    return false;
+  }
+  if (std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0) {
+    if (Err)
+      *Err = "not a profile store (bad magic)";
+    return false;
+  }
+  Decoder H(Data.data() + sizeof(Magic), Data.size() - sizeof(Magic));
+  uint32_t Version = H.u32();
+  if (Version == 0 || Version > ProfileStoreVersion) {
+    if (Err)
+      *Err = "unsupported profile store version " +
+             std::to_string(Version) + " (reader supports up to " +
+             std::to_string(ProfileStoreVersion) + ")";
+    return false;
+  }
+  uint64_t PayloadLen = H.u64();
+  if (Data.size() != HeaderSize + PayloadLen + 8) {
+    if (Err)
+      *Err = "profile store truncated (header promises " +
+             std::to_string(PayloadLen) + " payload bytes)";
+    return false;
+  }
+  const char *Payload = Data.data() + HeaderSize;
+  uint64_t WantLE = 0;
+  for (int I = 0; I != 8; ++I)
+    WantLE |= static_cast<uint64_t>(static_cast<unsigned char>(
+                  Data[HeaderSize + PayloadLen + I]))
+              << (8 * I);
+  if (fnv1a(Payload, PayloadLen) != WantLE) {
+    if (Err)
+      *Err = "profile store checksum mismatch (corrupt file)";
+    return false;
+  }
+  Decoder D(Payload, PayloadLen);
+  return parsePayload(S, D, Err);
+}
+
+bool ipas::obs::readProfileStore(ProfileStore &S, const std::string &Path,
+                                 std::string *Err) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Data;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, N);
+  bool ReadOk = !std::ferror(F);
+  std::fclose(F);
+  if (!ReadOk) {
+    if (Err)
+      *Err = "read error on '" + Path + "'";
+    return false;
+  }
+  return parseProfileStore(S, Data, Err);
+}

@@ -1,0 +1,131 @@
+//===- obs/ProfileStore.h - .ipprof cost-profile store --------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned, checksummed columnar store for one profiled clean run
+/// (`.ipprof`), written by ipas-cc --profile-out and the pipeline's
+/// ProfileDir, read by tools/ipas-profile. Same envelope as the .iprec /
+/// .ipprop stores (BinCodec.h): magic, version, payload length, payload,
+/// FNV-1a checksum — readers reject truncation, corruption, and newer
+/// versions.
+///
+/// Contents: per-instruction dynamic execution counts and model cycles,
+/// the per-opcode cycle model they were priced with, the calling-context
+/// tree with (function, line, context) cost triples (context mode), and —
+/// when the run was attributed against an unprotected baseline build —
+/// the per-original-site protection-overhead table that the budget
+/// optimizer consumes. See docs/OBSERVABILITY.md for the full layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPAS_OBS_PROFILESTORE_H
+#define IPAS_OBS_PROFILESTORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipas {
+namespace obs {
+
+constexpr uint32_t ProfileStoreVersion = 1;
+
+/// ProfileStore::Mode values.
+enum : uint8_t { ProfileCounting = 0, ProfileContext = 1 };
+
+/// One static instruction of the profiled module.
+struct ProfInstr {
+  uint32_t Id = 0;
+  uint8_t Opcode = 0;
+  uint8_t DupRole = 0; ///< ir::DupRole raw value (shadow/check provenance).
+  uint32_t Line = 0;   ///< Source line; 0 = no location.
+  uint32_t Col = 0;
+  uint32_t FunctionIndex = 0;
+  uint64_t ExecCount = 0; ///< Dynamic executions in the profiled run.
+  uint64_t Cycles = 0;    ///< ExecCount × model cycles of Opcode.
+};
+
+/// One calling-context-tree node (context mode only). Node 0 is the entry
+/// function's root context; following Parent links names the call path.
+struct ProfContext {
+  uint32_t Id = 0;
+  uint32_t Parent = UINT32_MAX; ///< UINT32_MAX at the root.
+  uint32_t FunctionIndex = 0;
+  uint64_t Steps = 0;  ///< Instructions executed in this context (exclusive).
+  uint64_t Cycles = 0; ///< Model cycles of those instructions (exclusive).
+};
+
+/// Cost of one (function, source line, context) triple (context mode).
+struct ProfLineCost {
+  uint32_t ContextId = 0;
+  uint32_t FunctionIndex = 0;
+  uint32_t Line = 0; ///< 0 = instructions with no source location.
+  uint64_t Count = 0;
+  uint64_t Cycles = 0;
+};
+
+/// Protection overhead charged to one ORIGINAL-module site. Present when
+/// the profiled (protected) run was attributed against a baseline build:
+/// every cycle the protected module spends is charged to the original
+/// site whose protection caused it — the instruction itself, plus its
+/// Shadow and Check clones via dupLink. The attribution is
+/// conservative-exact: Σ marginalCycles over all sites equals the total
+/// protected-minus-baseline cycle delta.
+struct ProfSiteOverhead {
+  uint32_t SiteId = 0; ///< Instruction id in the BASELINE module.
+  uint8_t Opcode = 0;
+  uint8_t Protected_ = 0; ///< 1 when the site was duplicated.
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  uint32_t FunctionIndex = 0;
+  uint64_t BaseCycles = 0;   ///< Site cost in the baseline run.
+  uint64_t ProtCycles = 0;   ///< The surviving original's cost, protected run.
+  uint64_t ShadowCycles = 0; ///< Its Shadow clones' cost, protected run.
+  uint64_t CheckCycles = 0;  ///< Its Check clones' cost, protected run.
+};
+
+/// Added cycles this site's protection cost (negative only if protection
+/// somehow shortened execution, which duplication never does).
+inline int64_t marginalCycles(const ProfSiteOverhead &S) {
+  return static_cast<int64_t>(S.ProtCycles + S.ShadowCycles +
+                              S.CheckCycles) -
+         static_cast<int64_t>(S.BaseCycles);
+}
+
+struct ProfileStore {
+  std::string ModuleName;
+  std::string EntryFunction;
+  std::string Label;
+  /// MiniC source of the profiled build (for the per-line heatmap);
+  /// empty when unavailable.
+  std::string SourceText;
+  uint8_t Mode = ProfileCounting;
+  uint64_t CleanSteps = 0;  ///< Dynamic instructions in the profiled run.
+  uint64_t TotalCycles = 0; ///< Model cycles of the profiled run.
+  uint8_t HasOverhead = 0;  ///< 1 when Overheads/BaselineTotalCycles are set.
+  uint64_t BaselineTotalCycles = 0;
+  /// The cycle model used, indexed by opcode — readers re-derive costs
+  /// and diffs refuse to compare stores priced with different models.
+  std::vector<uint32_t> CostModelCycles;
+  std::vector<std::string> Functions; ///< By module function index.
+  std::vector<ProfInstr> Instructions;
+  std::vector<ProfContext> Contexts;
+  std::vector<ProfLineCost> LineCosts;
+  std::vector<ProfSiteOverhead> Overheads;
+};
+
+void serializeProfileStore(const ProfileStore &S, std::string &Out);
+bool writeProfileStore(const ProfileStore &S, const std::string &Path,
+                       std::string *Err);
+bool parseProfileStore(ProfileStore &S, const std::string &Data,
+                       std::string *Err);
+bool readProfileStore(ProfileStore &S, const std::string &Path,
+                      std::string *Err);
+
+} // namespace obs
+} // namespace ipas
+
+#endif // IPAS_OBS_PROFILESTORE_H

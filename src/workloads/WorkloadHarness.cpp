@@ -6,6 +6,8 @@
 
 #include "workloads/WorkloadHarness.h"
 
+#include "interp/CostProfiler.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -71,11 +73,18 @@ ExecutionRecord WorkloadHarness::executeObserved(const ModuleLayout &Layout,
   return executeSerial(Layout, Plan, StepBudget, nullptr, &Obs);
 }
 
+ExecutionRecord WorkloadHarness::executeProfiled(const ModuleLayout &Layout,
+                                                 CostProfiler &Prof) {
+  assert(NumRanks <= 1 && "cost profiling is defined for serial runs only");
+  return executeSerial(Layout, nullptr, UINT64_MAX, nullptr, nullptr, &Prof);
+}
+
 ExecutionRecord WorkloadHarness::executeSerial(const ModuleLayout &Layout,
                                                const FaultPlan *Plan,
                                                uint64_t StepBudget,
                                                std::vector<unsigned> *Trace,
-                                               ExecObserver *Obs) {
+                                               ExecObserver *Obs,
+                                               CostProfiler *Prof) {
   const Function *Entry = Layout.module().getFunction(Workload::EntryName);
   assert(Entry && "workload module lacks its entry function");
 
@@ -102,6 +111,8 @@ ExecutionRecord WorkloadHarness::executeSerial(const ModuleLayout &Layout,
     Ctx.setValueStepTrace(Trace);
   if (Obs)
     Ctx.setObserver(Obs);
+  if (Prof)
+    Prof->attach(Ctx, Entry); // arms site counts (+observer when needed)
   Ctx.start(Entry, Args);
   RunStatus S = Ctx.run(StepBudget);
 

@@ -38,6 +38,11 @@ public:
                                   const FaultPlan *Plan, uint64_t StepBudget,
                                   ExecObserver &Obs) override;
 
+  /// Cost profiling rides the same serial clean-run machinery.
+  bool supportsProfiling() const override { return NumRanks <= 1; }
+  ExecutionRecord executeProfiled(const ModuleLayout &Layout,
+                                  CostProfiler &Prof) override;
+
   /// Golden output captured by the first clean run (empty before that).
   const std::vector<RtValue> &golden() const { return Golden; }
 
@@ -47,7 +52,8 @@ private:
   ExecutionRecord executeSerial(const ModuleLayout &Layout,
                                 const FaultPlan *Plan, uint64_t StepBudget,
                                 std::vector<unsigned> *Trace = nullptr,
-                                ExecObserver *Obs = nullptr);
+                                ExecObserver *Obs = nullptr,
+                                CostProfiler *Prof = nullptr);
   ExecutionRecord executeParallel(const ModuleLayout &Layout,
                                   uint64_t StepBudget);
   bool verifyAgainstGolden(const std::vector<RtValue> &Output);

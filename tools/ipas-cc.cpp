@@ -23,6 +23,7 @@
 #include "analysis/SocPropagation.h"
 #include "fault/FunctionHarness.h"
 #include "fault/Incremental.h"
+#include "fault/ProfileBuild.h"
 #include "fault/Propagation.h"
 #include "fault/RecordBuild.h"
 #include "frontend/CodeGen.h"
@@ -74,7 +75,9 @@ int main(int Argc, char **Argv) {
   bool Lint = false, VerifyEach = false, RequireLocs = false;
   bool Interproc = false, Incremental = false;
   bool CallBoundaryChecks = false, LintCallBoundary = false;
+  bool Profile = false, ProfileContext = false;
   std::string RunFn, ArgsCsv, RecordOut, PropOut, RecordIn, SummaryOut;
+  std::string ProfileOut;
   int64_t FaultStep = -1, FaultBit = 0, MaxSteps = -1;
   int64_t CampaignRuns = 0, CampaignSeed = 0xf417, CampaignThreads = 1;
   int64_t PropSample = 0;
@@ -119,6 +122,15 @@ int main(int Argc, char **Argv) {
               "prior .iprec store to reuse under --incremental");
   P.addString("summary-out", &SummaryOut,
               "write the module's .ipsum function-summary store here");
+  P.addBool("profile", &Profile,
+            "profile one clean run of --run: per-instruction dynamic "
+            "counts priced by the standard cycle model");
+  P.addString("profile-out", &ProfileOut,
+              "write the clean-run .ipprof cost profile here (implies "
+              "--profile); with --protect, protection overhead is "
+              "attributed per original site against a baseline build");
+  P.addBool("profile-context", &ProfileContext,
+            "profile per calling context (implies --profile)");
   P.addBool("call-boundary-checks", &CallBoundaryChecks,
             "with --protect, also check duplicated values right before "
             "every call they are passed to (closes lint rule R6)");
@@ -277,8 +289,15 @@ int main(int Argc, char **Argv) {
                 Sum.Functions.size());
   }
 
-  if (RunFn.empty())
+  if (RunFn.empty()) {
+    if (Profile || !ProfileOut.empty() || ProfileContext) {
+      std::fprintf(stderr,
+                   "error: --profile needs --run (profiling is a clean "
+                   "run of one function)\n");
+      return 2;
+    }
     return 0;
+  }
   const Function *F = M->getFunction(RunFn);
   if (!F) {
     std::fprintf(stderr, "error: no function '%s'\n", RunFn.c_str());
@@ -292,6 +311,100 @@ int main(int Argc, char **Argv) {
   }
 
   ModuleLayout Layout(*M);
+
+  // Cost profiling: one serial clean run with the profiler armed. Runs
+  // before any campaign so an incremental campaign can reuse the
+  // profiled run's per-function hashes instead of re-deriving them.
+  bool DoProfile = Profile || !ProfileOut.empty() || ProfileContext;
+  std::vector<uint64_t> ProfHashes;
+  if (DoProfile) {
+    obs::PhaseSpan Span(
+        "cc.profile",
+        obs::AttrSet()
+            .add("function", RunFn)
+            .add("mode", ProfileContext ? "context" : "counting"));
+    FunctionHarness ProfHarness(RunFn, Args);
+    CostProfiler Prof(Layout, ProfileContext
+                                  ? CostProfiler::Mode::Context
+                                  : CostProfiler::Mode::Counting);
+    Prof.enableFunctionHashes();
+    ProfileBuildInputs PIn;
+    PIn.EntryFunction = RunFn;
+    PIn.Label = "cc.profile";
+    PIn.SourceText = SS.str();
+    obs::ProfileStore PS;
+    std::string Err;
+    if (!buildProfileStore(ProfHarness, Layout, Prof, PIn, PS, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    ProfHashes = Prof.functionHashes();
+    std::printf("profile: %llu steps, %llu model cycles (%s mode)\n",
+                static_cast<unsigned long long>(PS.CleanSteps),
+                static_cast<unsigned long long>(PS.TotalCycles),
+                ProfileContext ? "context" : "counting");
+
+    if (Protect) {
+      // Baseline build: the same source through the identical pass
+      // pipeline minus `duplicate`, profiled on the same arguments — the
+      // reference every added cycle is attributed against.
+      Diagnostics BaseDiags;
+      std::unique_ptr<Module> BaseM =
+          compileMiniC(SS.str(), P.positionals()[0], BaseDiags);
+      if (!BaseM) {
+        std::fprintf(stderr, "error: baseline recompile failed: %s\n",
+                     BaseDiags.summary().c_str());
+        return 1;
+      }
+      removeUnreachableBlocks(*BaseM);
+      promoteAllocasToRegisters(*BaseM);
+      if (Optimize) {
+        foldConstants(*BaseM);
+        eliminateDeadCode(*BaseM);
+      }
+      BaseM->renumber();
+      ModuleLayout BaseLayout(*BaseM);
+      FunctionHarness BaseHarness(RunFn, Args);
+      CostProfiler BaseProf(BaseLayout, CostProfiler::Mode::Counting,
+                            Prof.model());
+      ExecutionRecord BR = BaseHarness.executeProfiled(BaseLayout, BaseProf);
+      if (BR.Status == RunStatus::Finished && BR.OutputValid) {
+        if (!attributeOverhead(*BaseM, BaseProf.flatCounts(), *M,
+                               Prof.flatCounts(), Prof.model(), PS, &Err)) {
+          std::fprintf(stderr,
+                       "warning: overhead attribution failed: %s\n",
+                       Err.c_str());
+        } else {
+          double Pct =
+              PS.BaselineTotalCycles
+                  ? 100.0 *
+                        (static_cast<double>(PS.TotalCycles) -
+                         static_cast<double>(PS.BaselineTotalCycles)) /
+                        static_cast<double>(PS.BaselineTotalCycles)
+                  : 0.0;
+          std::printf("profile overhead: %llu cycles vs baseline %llu "
+                      "(+%.1f%%)\n",
+                      static_cast<unsigned long long>(PS.TotalCycles),
+                      static_cast<unsigned long long>(
+                          PS.BaselineTotalCycles),
+                      Pct);
+        }
+      } else {
+        std::fprintf(stderr, "warning: baseline clean run failed; "
+                             "overhead attribution skipped\n");
+      }
+    }
+
+    if (!ProfileOut.empty()) {
+      if (!writeProfileArtifact(PS, ProfileOut, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("profile store: %s (%zu instructions, %zu contexts)\n",
+                  ProfileOut.c_str(), PS.Instructions.size(),
+                  PS.Contexts.size());
+    }
+  }
 
   if (CampaignRuns > 0) {
     FunctionHarness Harness(RunFn, Args);
@@ -312,6 +425,8 @@ int main(int Argc, char **Argv) {
     if (Incremental) {
       IncrementalConfig IC;
       IC.Base = CC;
+      if (!ProfHashes.empty())
+        IC.ProfileHashes = &ProfHashes; // reuse the profiled clean run
       if (!RecordIn.empty()) {
         std::string Err;
         if (!obs::readRecordStore(PriorStore, RecordIn, &Err)) {

@@ -30,6 +30,7 @@
 #include "fault/Incremental.h"
 #include "fault/Outcome.h"
 #include "ir/Instruction.h"
+#include "obs/LineTable.h"
 #include "obs/Propagation.h"
 #include "obs/RecordStore.h"
 #include "support/ArgParser.h"
@@ -52,22 +53,6 @@ const char *outcomeCodeName(uint8_t Code) {
   if (Code < NumOutcomes)
     return outcomeName(static_cast<Outcome>(Code));
   return "<bad outcome>";
-}
-
-std::vector<std::string> splitLines(const std::string &Text) {
-  std::vector<std::string> Lines;
-  std::string Cur;
-  for (char C : Text) {
-    if (C == '\n') {
-      Lines.push_back(Cur);
-      Cur.clear();
-    } else if (C != '\r') {
-      Cur.push_back(C);
-    }
-  }
-  if (!Cur.empty())
-    Lines.push_back(Cur);
-  return Lines;
 }
 
 /// Everything the reports need, indexed once up front.
@@ -201,49 +186,14 @@ void printFunctionMetas(const StoreIndex &Ix) {
 void printHeatmap(const StoreIndex &Ix, bool WithSource) {
   const RecordStore &S = *Ix.S;
   std::printf("\n== source heatmap (per-line injection outcomes) ==\n");
-  std::printf("%5s %6s %6s %6s %6s %6s  %s\n", "line", "soc", "crash",
-              "hang", "detect", "masked", WithSource ? "source" : "");
-
-  std::vector<std::string> Lines =
-      WithSource ? splitLines(S.SourceText) : std::vector<std::string>();
-  auto Row = [&](uint32_t Line, const std::array<uint64_t, NumOutcomes> *C,
-                 const char *Text) {
-    auto N = [&](Outcome O) {
-      return C ? static_cast<unsigned long long>(
-                     (*C)[static_cast<unsigned>(O)])
-               : 0ULL;
-    };
-    char Label[16];
-    if (Line)
-      std::snprintf(Label, sizeof Label, "%5u", Line);
-    else
-      std::snprintf(Label, sizeof Label, "%5s", "?");
-    std::printf("%s %6llu %6llu %6llu %6llu %6llu  %s\n", Label,
-                N(Outcome::SOC), N(Outcome::Crash), N(Outcome::Hang),
-                N(Outcome::Detected), N(Outcome::Masked), Text);
-  };
-
-  if (WithSource && !Lines.empty()) {
-    for (uint32_t L = 1; L <= Lines.size(); ++L) {
-      auto It = Ix.ByLine.find(L);
-      Row(L, It != Ix.ByLine.end() ? &It->second : nullptr,
-          Lines[L - 1].c_str());
-    }
-    // Lines past the end of the source (or with no source at all) still
-    // have to appear, or the columns would not sum to the totals.
-    for (const auto &[Line, Counts] : Ix.ByLine)
-      if (Line == 0 || Line > Lines.size())
-        Row(Line, &Counts, "");
-  } else {
-    for (const auto &[Line, Counts] : Ix.ByLine)
-      Row(Line, &Counts, "");
-  }
-
-  std::array<uint64_t, NumOutcomes> Totals{};
+  // Column order is the report order, not the Outcome enum order.
+  const Outcome Cols[] = {Outcome::SOC, Outcome::Crash, Outcome::Hang,
+                          Outcome::Detected, Outcome::Masked};
+  obs::LineTable T({"soc", "crash", "hang", "detect", "masked"});
   for (const auto &[Line, Counts] : Ix.ByLine)
-    for (unsigned O = 0; O != NumOutcomes; ++O)
-      Totals[O] += Counts[O];
-  Row(0, &Totals, "<total>");
+    for (size_t C = 0; C != std::size(Cols); ++C)
+      T.add(Line, C, Counts[static_cast<unsigned>(Cols[C])]);
+  T.print(S.SourceText, WithSource);
 }
 
 void printConfusion(const StoreIndex &Ix) {

@@ -20,7 +20,8 @@
 /// missing or out of place, span intervals partially overlap on a thread
 /// (spans must nest), a span's duration is inconsistent with its
 /// endpoints, a campaign.prop span (a propagation trace) escapes its
-/// campaign phase span, or a campaign.record event (an .iprec store
+/// campaign phase span, a profile.* span (a profiled clean run) escapes
+/// its named parent phase, or a campaign.record event (an .iprec store
 /// written next to the trace) disagrees with the campaign.done event of
 /// the same label on the outcome totals. The CTest suite runs it over a
 /// fresh ipas-cc trace.
@@ -63,6 +64,16 @@ struct CampaignTotals {
   }
 };
 
+/// One .ipprof store announced by a profile.store event.
+struct ProfileStoreEv {
+  std::string Label;
+  std::string Path;
+  std::string Mode;
+  uint64_t Instructions = 0;
+  uint64_t Steps = 0;
+  uint64_t Cycles = 0;
+};
+
 struct SpanRec {
   std::string Name;
   std::string Parent;
@@ -80,6 +91,7 @@ struct TraceData {
   std::map<std::string, uint64_t> EventCounts;
   std::vector<CampaignTotals> CampaignDones;
   std::vector<CampaignTotals> RecordStores; ///< campaign.record events.
+  std::vector<ProfileStoreEv> ProfileStores; ///< profile.store events.
   /// Flattened counters from the final `metrics` record.
   std::map<std::string, uint64_t> Counters;
   size_t Records = 0;
@@ -200,6 +212,23 @@ bool loadTrace(const std::string &Path, TraceData &T, Checker &C) {
           (EventName == "campaign.done" ? T.CampaignDones
                                         : T.RecordStores)
               .push_back(std::move(CT));
+        } else if (EventName == "profile.store") {
+          ProfileStoreEv PS;
+          if (const JsonValue *Attrs = Parsed->get("attrs")) {
+            if (const JsonValue *V = Attrs->get("label"))
+              PS.Label = V->asString();
+            if (const JsonValue *V = Attrs->get("path"))
+              PS.Path = V->asString();
+            if (const JsonValue *V = Attrs->get("mode"))
+              PS.Mode = V->asString();
+            if (const JsonValue *V = Attrs->get("instructions"))
+              PS.Instructions = V->asU64();
+            if (const JsonValue *V = Attrs->get("steps"))
+              PS.Steps = V->asU64();
+            if (const JsonValue *V = Attrs->get("cycles"))
+              PS.Cycles = V->asU64();
+          }
+          T.ProfileStores.push_back(std::move(PS));
         }
       }
     } else if (Kind == "log") {
@@ -284,6 +313,39 @@ void checkPropSpans(const TraceData &T, Checker &C) {
              "tid %d: campaign.prop span [%" PRIu64 ", %" PRIu64
              "] is not contained in any campaign span",
              S.Tid, S.StartUs, S.EndUs);
+  }
+}
+
+/// Cost-profiled clean runs are serial sub-phases of a named parent
+/// phase (cc.profile in the driver, pipeline.variant in the pipeline),
+/// so every `profile.*` span must carry a non-empty parent and be fully
+/// contained in a span of that name on its thread. A profile span
+/// floating outside its parent would mean the profiler measured a run
+/// the phase accounting did not — the cost attribution would then be
+/// charged against the wrong phase.
+void checkProfileSpans(const TraceData &T, Checker &C) {
+  for (const SpanRec &S : T.Spans) {
+    if (S.Name.rfind("profile.", 0) != 0)
+      continue;
+    if (S.Parent.empty()) {
+      C.fail(0,
+             "profile span '%s' [%" PRIu64 ", %" PRIu64
+             "] has no parent phase",
+             S.Name.c_str(), S.StartUs, S.EndUs);
+      continue;
+    }
+    bool Contained = false;
+    for (const SpanRec &Outer : T.Spans)
+      if (Outer.Name == S.Parent && Outer.Tid == S.Tid &&
+          Outer.StartUs <= S.StartUs && S.EndUs <= Outer.EndUs) {
+        Contained = true;
+        break;
+      }
+    if (!Contained)
+      C.fail(0,
+             "tid %d: profile span '%s' [%" PRIu64 ", %" PRIu64
+             "] is not contained in any '%s' span",
+             S.Tid, S.Name.c_str(), S.StartUs, S.EndUs, S.Parent.c_str());
   }
 }
 
@@ -448,6 +510,18 @@ void printReport(const TraceData &T, int64_t TopN) {
     std::printf("\n");
   }
 
+  if (!T.ProfileStores.empty()) {
+    std::printf("profile stores written:\n");
+    for (const ProfileStoreEv &P : T.ProfileStores) {
+      std::printf("  %-16s %8s mode  %6" PRIu64 " instrs  %8" PRIu64
+                  " steps  %10" PRIu64 " cycles\n",
+                  P.Label.c_str(), P.Mode.c_str(), P.Instructions, P.Steps,
+                  P.Cycles);
+      std::printf("    %s\n", P.Path.c_str());
+    }
+    std::printf("\n");
+  }
+
   if (!T.EventCounts.empty()) {
     std::printf("events:\n");
     for (const auto &[Name, N] : T.EventCounts)
@@ -479,6 +553,7 @@ int main(int Argc, char **Argv) {
     return 1;
   checkNesting(T, C);
   checkPropSpans(T, C);
+  checkProfileSpans(T, C);
   checkRecords(T, C);
 
   if (Check) {
