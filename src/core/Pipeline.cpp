@@ -246,6 +246,7 @@ CampaignResult IpasPipeline::evaluate(const ProtectedModule &PM,
   CC.HangFactor = Cfg.HangFactor;
   CC.Seed = Seed;
   CC.Label = Label;
+  CC.Backend = Cfg.Backend;
   CC.PropSampleEvery = Cfg.PropSampleEvery;
   if (!Cfg.InterproceduralAnalysis)
     return runCampaign(Harness, *PM.Layout, CC);
@@ -274,6 +275,7 @@ TrainingArtifacts IpasPipeline::collectAndTrain(bool RunGridSearch) {
     CC.HangFactor = Cfg.HangFactor;
     CC.Seed = Cfg.Seed ^ 0x7121117;
     CC.Label = "training";
+    CC.Backend = Cfg.Backend;
     A.Campaign = runCampaign(Harness, *Unprot.Layout, CC);
   }
 

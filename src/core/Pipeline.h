@@ -62,6 +62,10 @@ struct PipelineConfig {
   /// perturbs the campaign record streams. The directory must already
   /// exist. See docs/OBSERVABILITY.md.
   std::string ProfileDir;
+  /// Execution engine for the training and evaluation campaigns
+  /// (CampaignConfig::Backend). The VM is observably equivalent and
+  /// 10-100x faster; the default stays on the reference interpreter.
+  ExecBackend Backend = ExecBackend::Interp;
   /// When nonzero, every evaluation campaign also traces fault
   /// propagation for 1-in-N injections (CampaignConfig::PropSampleEvery).
   /// Sampling never perturbs the deterministic record stream; it only

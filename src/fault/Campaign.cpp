@@ -94,6 +94,13 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
   obs::PhaseSpan Span("campaign",
                       obs::AttrSet().add("label", Label));
 
+  // Select the execution engine before the first run so the golden
+  // output and clean step counts come from the same backend as the
+  // injection loop (they are equal across backends by construction, but
+  // the VM compiles lazily on first execute — doing that here, on the
+  // serial clean run, keeps the threaded loop below race-free).
+  Harness.setPreferredBackend(Cfg.Backend);
+
   // Clean profiling run: establishes the golden step counts and checks the
   // program is correct to begin with.
   ExecutionRecord Clean = Harness.execute(Layout, nullptr, UINT64_MAX);
@@ -124,6 +131,7 @@ CampaignResult ipas::runCampaign(ProgramHarness &Harness,
           .add("runs", static_cast<uint64_t>(Cfg.NumRuns))
           .add("hang_factor", Cfg.HangFactor)
           .add("threads", Cfg.NumThreads)
+          .add("backend", Cfg.Backend == ExecBackend::Vm ? "vm" : "interp")
           .add("prune", Cfg.ProvablyBenign != nullptr)
           .add("clean_steps", Clean.Steps)
           .add("clean_value_steps", Clean.ValueSteps));

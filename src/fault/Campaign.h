@@ -60,6 +60,13 @@ struct CampaignConfig {
   /// Emit one `campaign.run` trace record (outcome + latency) per
   /// injection when a trace sink is open.
   bool TraceRuns = true;
+  /// Execution engine for the clean run and the injection loop. Vm asks
+  /// the harness to run on the bytecode VM (10-100x faster, observably
+  /// equivalent — see DESIGN.md); harnesses that cannot honor it fall
+  /// back to the interpreter per run, and hook-dependent paths
+  /// (traceValueSteps, propagation re-execution) always use the
+  /// interpreter. The record stream is bit-identical either way.
+  ExecBackend Backend = ExecBackend::Interp;
   /// Propagation tracing: every PropSampleEvery-th run (run indices with
   /// `Run % PropSampleEvery == 0`, skipping pruned runs) is re-executed
   /// under full observation after the injection loop, yielding one

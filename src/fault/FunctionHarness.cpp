@@ -14,7 +14,68 @@ using namespace ipas;
 ExecutionRecord FunctionHarness::execute(const ModuleLayout &Layout,
                                          const FaultPlan *Plan,
                                          uint64_t StepBudget) {
+  if (Backend == ExecBackend::Vm && vmProgram(Layout))
+    return runOnceVm(Layout, Plan, StepBudget);
   return runOnce(Layout, Plan, StepBudget, nullptr);
+}
+
+const vm::VmProgram *FunctionHarness::vmProgram(const ModuleLayout &Layout) {
+  std::lock_guard<std::mutex> Lock(VmMutex);
+  if (VmLayout != &Layout) {
+    VmLayout = &Layout;
+    VmPool.clear();
+    VmProg = vm::compile(Layout);
+    if (VmProg) {
+      VmEntryIndex = VmProg->indexOf(Entry);
+      if (VmEntryIndex == UINT32_MAX)
+        VmProg.reset(); // entry missing: fall back to the interpreter
+    }
+  }
+  return VmProg.get();
+}
+
+ExecutionRecord FunctionHarness::runOnceVm(const ModuleLayout &Layout,
+                                           const FaultPlan *Plan,
+                                           uint64_t StepBudget) {
+  (void)Layout; // already baked into VmProg by vmProgram()
+  // Borrow a context from the pool (one per concurrently running
+  // thread); contexts are reusable because run() fully resets them.
+  std::unique_ptr<vm::VmContext> Ctx;
+  {
+    std::lock_guard<std::mutex> Lock(VmMutex);
+    if (!VmPool.empty()) {
+      Ctx = std::move(VmPool.back());
+      VmPool.pop_back();
+    }
+  }
+  if (!Ctx)
+    Ctx = std::make_unique<vm::VmContext>(*VmProg);
+
+  vm::VmContext::Result V = Ctx->run(VmEntryIndex, Args, Plan, StepBudget);
+
+  ExecutionRecord R;
+  R.Status = V.Status;
+  R.Trap = V.Trap;
+  R.Steps = V.Steps;
+  R.ValueSteps = V.ValueSteps;
+  R.FaultInjected = V.FaultInjected;
+  R.FaultedInstructionId = V.FaultedInstructionId;
+  if (V.Status == RunStatus::Finished) {
+    uint64_t Bits = V.ReturnValue.Bits;
+    if (!HaveGolden) {
+      GoldenBits = Bits;
+      HaveGolden = true;
+      R.OutputValid = true;
+    } else {
+      R.OutputValid = Bits == GoldenBits;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(VmMutex);
+    VmPool.push_back(std::move(Ctx));
+  }
+  return R;
 }
 
 ExecutionRecord FunctionHarness::executeObserved(const ModuleLayout &Layout,

@@ -18,7 +18,10 @@
 #define IPAS_FAULT_FUNCTIONHARNESS_H
 
 #include "fault/ProgramHarness.h"
+#include "vm/VM.h"
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,12 @@ public:
   /// campaign's correctness oracle is the returned bit pattern).
   FunctionHarness(std::string EntryName, std::vector<RtValue> Args)
       : Entry(std::move(EntryName)), Args(std::move(Args)) {}
+
+  /// Vm routes plain execute() calls through the bytecode VM when the
+  /// module compiles (lazily, once per layout); otherwise every run
+  /// falls back to the interpreter. Observed/profiled/traced runs stay
+  /// on the interpreter either way.
+  void setPreferredBackend(ExecBackend B) override { Backend = B; }
 
   ExecutionRecord execute(const ModuleLayout &Layout, const FaultPlan *Plan,
                           uint64_t StepBudget) override;
@@ -49,13 +58,29 @@ private:
   ExecutionRecord runOnce(const ModuleLayout &Layout, const FaultPlan *Plan,
                           uint64_t StepBudget, ExecObserver *Obs,
                           CostProfiler *Prof = nullptr);
+  ExecutionRecord runOnceVm(const ModuleLayout &Layout, const FaultPlan *Plan,
+                            uint64_t StepBudget);
+  /// Compiles (once) and returns the bytecode program for \p Layout, or
+  /// null when the module does not compile — callers then fall back to
+  /// the interpreter. Thread-safe, but the first call for a layout must
+  /// happen before concurrent runs begin (runCampaign's serial clean run
+  /// guarantees this).
+  const vm::VmProgram *vmProgram(const ModuleLayout &Layout);
 
   std::string Entry;
   std::vector<RtValue> Args;
+  ExecBackend Backend = ExecBackend::Interp;
   // Golden return bits, captured on the first clean run (runCampaign's
   // serial profiling run) and only read by the threaded injection runs.
   bool HaveGolden = false;
   uint64_t GoldenBits = 0;
+  // Lazily compiled bytecode, keyed on the layout it was built from,
+  // plus a pool of reusable per-thread execution contexts.
+  std::mutex VmMutex;
+  const ModuleLayout *VmLayout = nullptr;
+  std::unique_ptr<vm::VmProgram> VmProg;
+  uint32_t VmEntryIndex = 0;
+  std::vector<std::unique_ptr<vm::VmContext>> VmPool;
 };
 
 } // namespace ipas

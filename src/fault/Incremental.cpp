@@ -88,6 +88,10 @@ IncrementalResult ipas::runIncrementalCampaign(ProgramHarness &Harness,
   obs::PhaseSpan Span("campaign.incremental",
                       obs::AttrSet().add("label", Label));
 
+  // Same backend selection as runCampaign (and for the same reason: the
+  // lazy VM compile must happen on this serial clean run).
+  Harness.setPreferredBackend(Base.Backend);
+
   // Clean profiling run — same gate as runCampaign: refuse to inject into
   // a program that is wrong before any fault.
   ExecutionRecord Clean = Harness.execute(Layout, nullptr, UINT64_MAX);

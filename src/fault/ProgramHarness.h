@@ -34,11 +34,26 @@ struct ExecutionRecord {
   bool OutputValid = false;
 };
 
+/// Which execution engine a harness should use for plain execute()
+/// calls. Interp is the reference tree-walking interpreter; Vm is the
+/// threaded-code bytecode VM (vm/VM.h), observably equivalent but much
+/// faster on campaign workloads. Runs that need interpreter hooks
+/// (observers, profilers, value-step traces) always use the
+/// interpreter regardless of this setting.
+enum class ExecBackend : uint8_t { Interp, Vm };
+
 /// One program + input + verification routine, executable under fault
 /// injection. Implementations live in src/workloads.
 class ProgramHarness {
 public:
   virtual ~ProgramHarness() = default;
+
+  /// Requests an execution backend for subsequent execute() calls. A
+  /// harness that cannot honor the request (no VM support, or the
+  /// module does not compile to bytecode) silently keeps using the
+  /// interpreter — the backends are observably equivalent, so this is
+  /// purely a throughput hint. The default ignores it.
+  virtual void setPreferredBackend(ExecBackend Backend) { (void)Backend; }
 
   /// Executes once. \p Plan may be null (clean run). \p StepBudget bounds
   /// execution (hang detection); pass UINT64_MAX for unbounded.

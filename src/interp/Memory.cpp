@@ -8,9 +8,6 @@
 
 using namespace ipas;
 
-// A small unmapped page at the bottom catches null and near-null pointers.
-static constexpr uint64_t GuardBytes = 4096;
-
 Memory::Memory() : Memory(Config()) {}
 
 Memory::Memory(const Config &Cfg) {

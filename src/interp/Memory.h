@@ -24,6 +24,11 @@ namespace ipas {
 
 class Memory {
 public:
+  /// Unmapped page at the bottom of the address space; catches null and
+  /// near-null pointers. Shared with the VM arena (vm/VM.h), whose
+  /// address layout must match this class byte for byte.
+  static constexpr uint64_t GuardBytes = 4096;
+
   struct Config {
     // Zero-filling this memory is a per-execution cost, so the defaults
     // are modest; workloads size their own regions via memoryConfig().

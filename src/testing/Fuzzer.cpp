@@ -32,7 +32,9 @@ FuzzReport ipas::testing::runFuzzCampaign(const FuzzConfig &Cfg) {
 
   static const OracleKind AllOracles[] = {
       OracleKind::RoundTrip, OracleKind::Optimizer, OracleKind::Protection,
-      OracleKind::Lint};
+      OracleKind::Lint, OracleKind::Backend};
+  static_assert(sizeof(AllOracles) / sizeof(AllOracles[0]) == NumOracles,
+                "AllOracles must cover every OracleKind");
 
   FuzzReport Report;
   for (uint64_t I = 0; I != Cfg.Count; ++I) {

@@ -18,6 +18,7 @@
 #include "transform/Duplication.h"
 #include "transform/Mem2Reg.h"
 #include "transform/SimplifyCFG.h"
+#include "vm/VM.h"
 
 #include <sstream>
 
@@ -312,6 +313,177 @@ OracleResult oracleLint(const std::string &Source, const OracleOptions &) {
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// O5: backend differential (interpreter vs bytecode VM)
+//===----------------------------------------------------------------------===//
+
+/// Everything the two backends promise to agree on, for one run.
+struct BackendOutcome {
+  RunStatus Status = RunStatus::Finished;
+  TrapKind Trap = TrapKind::None;
+  uint64_t Bits = 0;
+  uint64_t Steps = 0;
+  uint64_t ValueSteps = 0;
+  bool FaultInjected = false;
+  unsigned FaultedId = 0;
+};
+
+BackendOutcome runInterpFull(const ModuleLayout &Layout, const Function *F,
+                             int64_t A, int64_t B, const FaultPlan *Plan,
+                             uint64_t MaxSteps) {
+  ExecutionContext Ctx(Layout);
+  if (Plan)
+    Ctx.setFaultPlan(*Plan);
+  Ctx.start(F, {RtValue::fromI64(A), RtValue::fromI64(B)});
+  BackendOutcome O;
+  O.Status = Ctx.run(MaxSteps);
+  O.Trap = Ctx.trap();
+  O.Bits = Ctx.returnValue().Bits;
+  O.Steps = Ctx.steps();
+  O.ValueSteps = Ctx.valueSteps();
+  O.FaultInjected = Ctx.faultWasInjected();
+  O.FaultedId = Ctx.faultedInstructionId();
+  return O;
+}
+
+BackendOutcome runVmFull(vm::VmContext &Ctx, uint32_t EntryIdx, int64_t A,
+                         int64_t B, const FaultPlan *Plan,
+                         uint64_t MaxSteps) {
+  vm::VmContext::Result V = Ctx.run(
+      EntryIdx, {RtValue::fromI64(A), RtValue::fromI64(B)}, Plan, MaxSteps);
+  BackendOutcome O;
+  O.Status = V.Status;
+  O.Trap = V.Trap;
+  O.Bits = V.ReturnValue.Bits;
+  O.Steps = V.Steps;
+  O.ValueSteps = V.ValueSteps;
+  O.FaultInjected = V.FaultInjected;
+  O.FaultedId = V.FaultedInstructionId;
+  return O;
+}
+
+bool sameBackendOutcome(const BackendOutcome &A, const BackendOutcome &B) {
+  if (A.Status != B.Status || A.Trap != B.Trap || A.Steps != B.Steps ||
+      A.ValueSteps != B.ValueSteps || A.FaultInjected != B.FaultInjected ||
+      A.FaultedId != B.FaultedId)
+    return false;
+  // Return bits are only defined for runs that finished.
+  return A.Status != RunStatus::Finished || A.Bits == B.Bits;
+}
+
+std::string describeBackendOutcome(const BackendOutcome &O) {
+  std::ostringstream S;
+  S << runStatusName(O.Status);
+  if (O.Status == RunStatus::Trapped)
+    S << "(" << trapKindName(O.Trap) << ")";
+  if (O.Status == RunStatus::Finished)
+    S << " value=0x" << std::hex << O.Bits << std::dec;
+  S << " steps=" << O.Steps << " vsteps=" << O.ValueSteps;
+  if (O.FaultInjected)
+    S << " faulted=" << O.FaultedId;
+  return S.str();
+}
+
+OracleResult oracleBackend(const std::string &Source,
+                           const OracleOptions &Opts) {
+  OracleResult R;
+  std::string Error;
+  // Two builds: the plain mem2reg'd module, and a fully duplicated one
+  // (exercises soc.check, the tripled value-step stream, and the
+  // protected phi graph on the VM's staging registers).
+  std::unique_ptr<Module> MPlain = compilePipeline(Source, Error);
+  if (!MPlain) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  std::unique_ptr<Module> MProt = compilePipeline(Source, Error);
+  if (!MProt) {
+    R.Passed = false;
+    R.InvalidProgram = true;
+    R.Detail = Error;
+    return R;
+  }
+  duplicateAllInstructions(*MProt);
+  MProt->renumber();
+
+  const uint64_t Budget = 4 * Opts.MaxSteps; // covers the protected build
+  const struct {
+    const Module *M;
+    const char *Name;
+  } Variants[] = {{MPlain.get(), "plain"}, {MProt.get(), "protected"}};
+
+  for (const auto &V : Variants) {
+    const Function *F = V.M->getFunction(GenEntryName);
+    if (!F) {
+      R.Passed = false;
+      R.InvalidProgram = true;
+      R.Detail = std::string("no entry function '") + GenEntryName + "'";
+      return R;
+    }
+    ModuleLayout Layout(*V.M);
+    std::unique_ptr<vm::VmProgram> Prog = vm::compile(Layout, &Error);
+    if (!Prog) {
+      // A compile refusal is a finding, not a fallback: the harness
+      // would silently stop covering this program shape.
+      R.Passed = false;
+      R.Detail = std::string("vm compiler refused the ") + V.Name +
+                 " module: " + Error;
+      return R;
+    }
+    if (Opts.InjectVmBug)
+      vm::injectSelftestBug(*Prog);
+    uint32_t EntryIdx = Prog->indexOf(GenEntryName);
+    vm::VmContext VCtx(*Prog);
+
+    for (size_t I = 0; I != NumArgSets; ++I) {
+      const int64_t A = ArgSets[I][0], B = ArgSets[I][1];
+      auto Diverge = [&](const char *RunDesc, const BackendOutcome &OI,
+                         const BackendOutcome &OV) {
+        std::ostringstream S;
+        S << "vm diverges on " << V.Name << " run(" << A << ", " << B
+          << ") " << RunDesc << ": interp " << describeBackendOutcome(OI)
+          << ", vm " << describeBackendOutcome(OV);
+        R.Passed = false;
+        R.Detail = S.str();
+      };
+
+      BackendOutcome OI =
+          runInterpFull(Layout, F, A, B, nullptr, Budget);
+      BackendOutcome OV = runVmFull(VCtx, EntryIdx, A, B, nullptr, Budget);
+      if (!sameBackendOutcome(OI, OV)) {
+        Diverge("clean", OI, OV);
+        return R;
+      }
+
+      // Fault parity: plans derived from the clean value-step count hit
+      // a low-bit flip mid-run and a high-bit flip late — enough to
+      // drive the fault machinery down both backends' commit paths.
+      if (OI.Status != RunStatus::Finished || OI.ValueSteps < 3)
+        continue;
+      const struct {
+        uint64_t Step;
+        uint64_t Bit;
+      } PlanSpecs[] = {{OI.ValueSteps / 3, 52}, {(2 * OI.ValueSteps) / 3, 1}};
+      for (const auto &PS : PlanSpecs) {
+        FaultPlan Plan;
+        Plan.TargetValueStep = PS.Step;
+        Plan.BitDraw = PS.Bit;
+        BackendOutcome FI = runInterpFull(Layout, F, A, B, &Plan, Budget);
+        BackendOutcome FV = runVmFull(VCtx, EntryIdx, A, B, &Plan, Budget);
+        if (!sameBackendOutcome(FI, FV)) {
+          std::ostringstream RD;
+          RD << "fault(step=" << PS.Step << ", bit=" << PS.Bit << ")";
+          Diverge(RD.str().c_str(), FI, FV);
+          return R;
+        }
+      }
+    }
+  }
+  return R;
+}
+
 } // namespace
 
 const char *ipas::testing::oracleName(OracleKind K) {
@@ -324,6 +496,8 @@ const char *ipas::testing::oracleName(OracleKind K) {
     return "O3-protection";
   case OracleKind::Lint:
     return "O4-lint";
+  case OracleKind::Backend:
+    return "O5-backend";
   }
   return "<bad oracle>";
 }
@@ -335,12 +509,14 @@ bool ipas::testing::parseOracleName(const std::string &Name, OracleKind &K,
     IsAll = true;
     return false;
   }
-  static const OracleKind All[] = {OracleKind::RoundTrip,
-                                   OracleKind::Optimizer,
-                                   OracleKind::Protection, OracleKind::Lint};
+  static const OracleKind All[] = {
+      OracleKind::RoundTrip, OracleKind::Optimizer, OracleKind::Protection,
+      OracleKind::Lint, OracleKind::Backend};
   for (OracleKind O : All) {
     std::string Full = oracleName(O);
-    if (Name == Full || Name == Full.substr(0, 2)) {
+    // "O5-backend" matches in full, as "O5", or as bare "backend".
+    if (Name == Full || Name == Full.substr(0, 2) ||
+        Name == Full.substr(3)) {
       K = O;
       return true;
     }
@@ -359,6 +535,8 @@ OracleResult ipas::testing::runOracle(OracleKind K, const std::string &Source,
     return oracleProtection(Source, Opts);
   case OracleKind::Lint:
     return oracleLint(Source, Opts);
+  case OracleKind::Backend:
+    return oracleBackend(Source, Opts);
   }
   OracleResult R;
   R.Passed = false;
@@ -368,9 +546,9 @@ OracleResult ipas::testing::runOracle(OracleKind K, const std::string &Source,
 
 OracleResult ipas::testing::runAllOracles(const std::string &Source,
                                           const OracleOptions &Opts) {
-  static const OracleKind All[] = {OracleKind::RoundTrip,
-                                   OracleKind::Optimizer,
-                                   OracleKind::Protection, OracleKind::Lint};
+  static const OracleKind All[] = {
+      OracleKind::RoundTrip, OracleKind::Optimizer, OracleKind::Protection,
+      OracleKind::Lint, OracleKind::Backend};
   for (OracleKind K : All) {
     OracleResult R = runOracle(K, Source, Opts);
     if (!R.Passed) {

@@ -19,6 +19,12 @@
 ///    value, and no spuriously firing `soc.check` (paper §4.3).
 ///  - O4 static acceptance: the verifier accepts every transformed module
 ///    and ipas-lint R1-R5 accept the protected one.
+///  - O5 backend differential: the threaded-code bytecode VM (vm/VM.h)
+///    reproduces the interpreter exactly — status, trap kind, return
+///    bits, step and value-step counts — on both the plain and the
+///    duplication-protected build, clean and under derived fault plans.
+///    A program the VM compiler refuses is a *failure* (silent fallback
+///    would shrink coverage invisibly).
 ///
 /// Outputs are compared bitwise (RtValue::Bits), so NaN payloads and
 /// signed zeros count — the strictest notion of "same result" the
@@ -41,16 +47,17 @@ enum class OracleKind : uint8_t {
   Optimizer, ///< O2
   Protection,///< O3
   Lint,      ///< O4
+  Backend,   ///< O5
 };
 
-constexpr unsigned NumOracles = 4;
+constexpr unsigned NumOracles = 5;
 
 /// Stable short name ("O1-roundtrip", ...) used by the CLI and reports.
 const char *oracleName(OracleKind K);
 
-/// Parses an oracle selector: "O1".."O4", a full name, or "all" (returns
-/// false and leaves \p K untouched for "all"/unknown; \p IsAll reports
-/// which).
+/// Parses an oracle selector: "O1".."O5", a full name, a bare suffix
+/// ("backend", "optimizer", ...), or "all" (returns false and leaves
+/// \p K untouched for "all"/unknown; \p IsAll reports which).
 bool parseOracleName(const std::string &Name, OracleKind &K, bool &IsAll);
 
 struct OracleOptions {
@@ -62,6 +69,10 @@ struct OracleOptions {
   /// `ipas-fuzz --inject-miscompile` to prove the harness can see and
   /// minimize a real bug.
   bool InjectMiscompile = false;
+  /// Deliberately corrupt the compiled bytecode in O5 (operand swap on
+  /// the first non-commutative arithmetic op, see vm::injectSelftestBug).
+  /// Used by `ipas-fuzz --inject-vm-bug` and the O5 shrinker self-test.
+  bool InjectVmBug = false;
 };
 
 struct OracleResult {
@@ -77,7 +88,7 @@ struct OracleResult {
 OracleResult runOracle(OracleKind K, const std::string &Source,
                        const OracleOptions &Opts = {});
 
-/// Runs all four oracles, stopping at the first failure.
+/// Runs all five oracles, stopping at the first failure.
 OracleResult runAllOracles(const std::string &Source,
                            const OracleOptions &Opts = {});
 

@@ -1,0 +1,808 @@
+//===- vm/VM.cpp ---------------------------------------------------------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+// The dispatch loop below is written once and compiled in one of two
+// modes: direct-threaded (computed goto, GNU extension) or a portable
+// switch. Both share the handler bodies via the VM_CASE/VM_NEXT macros.
+// Semantics notes live next to each handler; the reference is
+// interp/Interpreter.cpp, which this file must track bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+using namespace ipas;
+using namespace ipas::vm;
+
+#if defined(__GNUC__) && !defined(IPAS_VM_FORCE_SWITCH)
+#define IPAS_VM_COMPUTED_GOTO 1
+#endif
+
+namespace {
+
+inline double toD(uint64_t B) { return std::bit_cast<double>(B); }
+inline uint64_t toU(double D) { return std::bit_cast<uint64_t>(D); }
+
+/// RtValue::flipBit on raw bits: flip (Index % Width), mask to Width.
+inline uint64_t flipBits(uint64_t Bits, unsigned Index, unsigned Width) {
+  Bits ^= 1ull << (Index % Width);
+  if (Width < 64)
+    Bits &= (1ull << Width) - 1;
+  return Bits;
+}
+
+} // namespace
+
+VmContext::VmContext(const VmProgram &Prog, const Config &C)
+    : P(Prog), Cfg(C), Arena(C.Mem), WorkloadRng(C.WorkloadRngSeed) {
+  RegStack.resize(4096);
+  Frames.reserve(64);
+}
+
+// Budget check + step accounting of ExecutionContext::run/stepOnce: the
+// budget is tested *before* the instruction executes, then the step is
+// counted unconditionally (trapping instructions count their step too).
+#define VM_STEP()                                                              \
+  do {                                                                         \
+    if (Steps >= MaxSteps)                                                     \
+      goto out_of_steps;                                                       \
+    ++Steps;                                                                   \
+  } while (0)
+
+// writeResult(): flip at the targeted value step, count the value step,
+// commit to the destination register.
+#define VM_COMMIT(Width, ValBits)                                              \
+  do {                                                                         \
+    uint64_t CommitV = (ValBits);                                              \
+    if (VS == FaultTarget) {                                                   \
+      CommitV = flipBits(CommitV, BitIndex, (Width));                          \
+      FaultInjected = true;                                                    \
+      FaultedId = In->Id;                                                      \
+    }                                                                          \
+    ++VS;                                                                      \
+    R[In->A] = CommitV;                                                        \
+  } while (0)
+
+#define VM_TRAP(K)                                                             \
+  do {                                                                         \
+    TrapOut = TrapKind::K;                                                     \
+    goto trapped;                                                              \
+  } while (0)
+
+#ifdef IPAS_VM_COMPUTED_GOTO
+#define VM_CASE(N) Lbl_##N:
+#define VM_NEXT()                                                              \
+  do {                                                                         \
+    In = &Code[PC];                                                            \
+    goto *Dispatch[static_cast<unsigned>(In->Op)];                             \
+  } while (0)
+#else
+#define VM_CASE(N) case VmOp::N:
+#define VM_NEXT() goto dispatch
+#endif
+
+VmContext::Result VmContext::run(uint32_t FnIndex,
+                                 const std::vector<RtValue> &Args,
+                                 const FaultPlan *Plan, uint64_t MaxSteps) {
+  Result Res;
+  Arena.reset();
+  WorkloadRng.reseed(Cfg.WorkloadRngSeed);
+  Frames.clear();
+
+  assert(FnIndex < P.Functions.size() && "bad entry function index");
+  const VmFunction &Entry = P.Functions[FnIndex];
+  assert(Entry.NumArgs == Args.size() && "entry argument count mismatch");
+  if (RegStack.size() < Entry.regsTotal())
+    RegStack.resize(Entry.regsTotal());
+  // Register files are not cleared between runs: the IR verifier
+  // guarantees defs dominate uses (faults flip values, never the CFG
+  // edges control follows), phi reads go through staging registers the
+  // edge just wrote, and arguments/constants are rewritten here.
+  for (size_t K = 0; K != Args.size(); ++K)
+    RegStack[K] = Args[K].Bits;
+  std::copy(Entry.ConstPool.begin(), Entry.ConstPool.end(),
+            RegStack.begin() + Entry.ConstBase);
+  {
+    VmFrame F;
+    F.Fn = &Entry;
+    F.SavedStackPtr = Arena.stackPointer();
+    Frames.push_back(F);
+  }
+
+  uint64_t Steps = 0;
+  uint64_t VS = 0;
+  const uint64_t FaultTarget = Plan ? Plan->TargetValueStep : UINT64_MAX;
+  const unsigned BitIndex =
+      Plan ? static_cast<unsigned>(Plan->BitDraw) : 0u;
+  bool FaultInjected = false;
+  uint32_t FaultedId = 0;
+  TrapKind TrapOut = TrapKind::None;
+  uint64_t RetBits = 0;
+
+  const VmInst *Code = P.Code.data();
+  const VmInst *In = nullptr;
+  uint64_t *R = RegStack.data();
+  uint32_t PC = Entry.CodeStart;
+
+#ifdef IPAS_VM_COMPUTED_GOTO
+  static const void *const Dispatch[kNumVmOps] = {
+#define IPAS_VM_OP_LABEL(N) &&Lbl_##N,
+      IPAS_VM_OPS(IPAS_VM_OP_LABEL)
+#undef IPAS_VM_OP_LABEL
+  };
+  VM_NEXT();
+#else
+dispatch:
+  In = &Code[PC];
+  switch (In->Op) {
+#endif
+
+  VM_CASE(BinAdd) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] + R[In->C]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinSub) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] - R[In->C]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinMul) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] * R[In->C]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinAnd) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] & R[In->C]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinOr) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] | R[In->C]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinXor) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] ^ R[In->C]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinShl) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] << (R[In->C] & 63));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinAShr) {
+    VM_STEP();
+    VM_COMMIT(64, static_cast<uint64_t>(static_cast<int64_t>(R[In->B]) >>
+                                        (R[In->C] & 63)));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(BinI1) {
+    VM_STEP();
+    {
+      uint64_t A = R[In->B], B = R[In->C], V = 0;
+      switch (In->D) {
+      case 0: V = A + B; break;
+      case 1: V = A - B; break;
+      case 2: V = A * B; break;
+      case 3: V = A & B; break;
+      case 4: V = A | B; break;
+      case 5: V = A ^ B; break;
+      case 6: V = A << (B & 63); break;
+      default:
+        V = static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63));
+        break;
+      }
+      VM_COMMIT(1, V & 1);
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(SDiv) {
+    VM_STEP();
+    {
+      int64_t A = static_cast<int64_t>(R[In->B]);
+      int64_t B = static_cast<int64_t>(R[In->C]);
+      // Division by zero and INT64_MIN / -1 raise SIGFPE on x86.
+      if (B == 0 || (A == INT64_MIN && B == -1))
+        VM_TRAP(DivByZero);
+      VM_COMMIT(64, static_cast<uint64_t>(A / B));
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(SRem) {
+    VM_STEP();
+    {
+      int64_t A = static_cast<int64_t>(R[In->B]);
+      int64_t B = static_cast<int64_t>(R[In->C]);
+      if (B == 0 || (A == INT64_MIN && B == -1))
+        VM_TRAP(DivByZero);
+      VM_COMMIT(64, static_cast<uint64_t>(A % B));
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FAdd) {
+    VM_STEP();
+    VM_COMMIT(64, toU(toD(R[In->B]) + toD(R[In->C])));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FSub) {
+    VM_STEP();
+    VM_COMMIT(64, toU(toD(R[In->B]) - toD(R[In->C])));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FMul) {
+    VM_STEP();
+    VM_COMMIT(64, toU(toD(R[In->B]) * toD(R[In->C])));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FDiv) {
+    VM_STEP();
+    VM_COMMIT(64, toU(toD(R[In->B]) / toD(R[In->C]))); // IEEE: never traps
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ICmpEQ) {
+    VM_STEP();
+    VM_COMMIT(1, static_cast<int64_t>(R[In->B]) ==
+                         static_cast<int64_t>(R[In->C])
+                     ? 1u
+                     : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ICmpNE) {
+    VM_STEP();
+    VM_COMMIT(1, static_cast<int64_t>(R[In->B]) !=
+                         static_cast<int64_t>(R[In->C])
+                     ? 1u
+                     : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ICmpLT) {
+    VM_STEP();
+    VM_COMMIT(1, static_cast<int64_t>(R[In->B]) <
+                         static_cast<int64_t>(R[In->C])
+                     ? 1u
+                     : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ICmpLE) {
+    VM_STEP();
+    VM_COMMIT(1, static_cast<int64_t>(R[In->B]) <=
+                         static_cast<int64_t>(R[In->C])
+                     ? 1u
+                     : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ICmpGT) {
+    VM_STEP();
+    VM_COMMIT(1, static_cast<int64_t>(R[In->B]) >
+                         static_cast<int64_t>(R[In->C])
+                     ? 1u
+                     : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ICmpGE) {
+    VM_STEP();
+    VM_COMMIT(1, static_cast<int64_t>(R[In->B]) >=
+                         static_cast<int64_t>(R[In->C])
+                     ? 1u
+                     : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(UCmpEQ) {
+    VM_STEP();
+    VM_COMMIT(1, R[In->B] == R[In->C] ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(UCmpNE) {
+    VM_STEP();
+    VM_COMMIT(1, R[In->B] != R[In->C] ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(UCmpLT) {
+    VM_STEP();
+    VM_COMMIT(1, R[In->B] < R[In->C] ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(UCmpLE) {
+    VM_STEP();
+    VM_COMMIT(1, R[In->B] <= R[In->C] ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(UCmpGT) {
+    VM_STEP();
+    VM_COMMIT(1, R[In->B] > R[In->C] ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(UCmpGE) {
+    VM_STEP();
+    VM_COMMIT(1, R[In->B] >= R[In->C] ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FCmpEQ) {
+    VM_STEP();
+    VM_COMMIT(1, toD(R[In->B]) == toD(R[In->C]) ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FCmpNE) {
+    VM_STEP();
+    VM_COMMIT(1, toD(R[In->B]) != toD(R[In->C]) ? 1u : 0u); // true on NaN
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FCmpLT) {
+    VM_STEP();
+    VM_COMMIT(1, toD(R[In->B]) < toD(R[In->C]) ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FCmpLE) {
+    VM_STEP();
+    VM_COMMIT(1, toD(R[In->B]) <= toD(R[In->C]) ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FCmpGT) {
+    VM_STEP();
+    VM_COMMIT(1, toD(R[In->B]) > toD(R[In->C]) ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FCmpGE) {
+    VM_STEP();
+    VM_COMMIT(1, toD(R[In->B]) >= toD(R[In->C]) ? 1u : 0u);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(SIToFP) {
+    VM_STEP();
+    VM_COMMIT(64,
+              toU(static_cast<double>(static_cast<int64_t>(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(FPToSI) {
+    VM_STEP();
+    {
+      double V = toD(R[In->B]);
+      // Out-of-range conversions produce the x86 "integer indefinite".
+      int64_t Rv;
+      if (std::isnan(V) || V >= 9.2233720368547758e18 ||
+          V <= -9.2233720368547758e18)
+        Rv = INT64_MIN;
+      else
+        Rv = static_cast<int64_t>(V);
+      VM_COMMIT(64, static_cast<uint64_t>(Rv));
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ZExt) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] & 1);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Bitcast) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Alloca) {
+    VM_STEP();
+    {
+      uint64_t Addr = Arena.allocaBytes(P.Aux64[In->X] * 8);
+      if (!Addr)
+        VM_TRAP(StackOverflow);
+      VM_COMMIT(64, Addr);
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Load) {
+    VM_STEP();
+    {
+      uint64_t Addr = R[In->B];
+      if (!Arena.validRange(Addr, 8))
+        VM_TRAP(OutOfBounds);
+      VM_COMMIT(64, Arena.read64(Addr));
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(LoadI1) {
+    VM_STEP();
+    {
+      uint64_t Addr = R[In->B];
+      if (!Arena.validRange(Addr, 8))
+        VM_TRAP(OutOfBounds);
+      VM_COMMIT(1, Arena.read64(Addr) & 1);
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Store) {
+    VM_STEP();
+    {
+      uint64_t Addr = R[In->C];
+      if (!Arena.validRange(Addr, 8))
+        VM_TRAP(OutOfBounds);
+      Arena.write64(Addr, R[In->B]);
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Gep) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B] + R[In->C] * 8);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Select) {
+    VM_STEP();
+    VM_COMMIT(64, (R[In->B] & 1) ? R[In->C] : R[In->D]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(SelectI1) {
+    VM_STEP();
+    VM_COMMIT(1, (R[In->B] & 1) ? R[In->C] : R[In->D]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Check) {
+    VM_STEP();
+    if (R[In->B] != R[In->C])
+      goto detected;
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Stage) {
+    // Pre-resolved phi move on an edge: pure data movement into a
+    // staging register, no step, no budget interaction (the interpreter
+    // reads all incoming values inside the phi group's step).
+    R[In->A] = R[In->B];
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(PhiCommit) {
+    // execPhis: one budget check for the whole group (it commits
+    // atomically and may overshoot the budget), then one step + one
+    // value step per phi in block order.
+    if (Steps >= MaxSteps)
+      goto out_of_steps;
+    {
+      const VmPhiMeta *M = &P.PhiMetas[In->X];
+      for (unsigned K = 0; K != In->A; ++K, ++M) {
+        ++Steps;
+        uint64_t V = R[M->Stage];
+        if (VS == FaultTarget) {
+          V = flipBits(V, BitIndex, M->Width);
+          FaultInjected = true;
+          FaultedId = M->Id;
+        }
+        ++VS;
+        R[M->Dest] = V;
+      }
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(Br) {
+    VM_STEP();
+    PC = static_cast<uint32_t>(In->X);
+    VM_NEXT();
+  }
+  VM_CASE(CondBr) {
+    VM_STEP();
+    PC = static_cast<uint32_t>((R[In->B] & 1) ? In->X : In->Y);
+    VM_NEXT();
+  }
+  VM_CASE(Goto) {
+    // Trampoline exit: control transfer only (the CondBr already
+    // accounted the step).
+    PC = static_cast<uint32_t>(In->X);
+    VM_NEXT();
+  }
+  VM_CASE(Call) {
+    // execCall: depth check before the step is counted, then one step,
+    // argument evaluation, frame push.
+    if (Steps >= MaxSteps)
+      goto out_of_steps;
+    if (Frames.size() >= Cfg.MaxCallDepth)
+      VM_TRAP(CallDepthExceeded);
+    ++Steps;
+    {
+      const VmFunction &Callee = P.Functions[In->X];
+      uint32_t CallerBase = Frames.back().RegBase;
+      uint32_t NewBase = CallerBase + Frames.back().Fn->regsTotal();
+      if (RegStack.size() < static_cast<size_t>(NewBase) + Callee.regsTotal())
+        RegStack.resize(
+            std::max(RegStack.size() * 2,
+                     static_cast<size_t>(NewBase) + Callee.regsTotal()));
+      const uint16_t *Srcs = P.ArgRegs.data() + In->Y;
+      uint64_t *CallerRegs = RegStack.data() + CallerBase;
+      uint64_t *CalleeRegs = RegStack.data() + NewBase;
+      for (unsigned K = 0; K != In->B; ++K)
+        CalleeRegs[K] = CallerRegs[Srcs[K]];
+      std::copy(Callee.ConstPool.begin(), Callee.ConstPool.end(),
+                CalleeRegs + Callee.ConstBase);
+      VmFrame NF;
+      NF.Fn = &Callee;
+      NF.RegBase = NewBase;
+      NF.RetPC = PC + 1;
+      NF.CallId = In->Id;
+      NF.RetReg = In->A;
+      NF.RetWidth = Callee.RetWidth;
+      NF.SavedStackPtr = Arena.stackPointer();
+      Frames.push_back(NF);
+      R = CalleeRegs;
+      PC = Callee.CodeStart;
+    }
+    VM_NEXT();
+  }
+  VM_CASE(Ret) {
+    VM_STEP();
+    {
+      uint64_t V = R[In->B];
+      VmFrame Done = Frames.back();
+      Frames.pop_back();
+      Arena.restoreStackPointer(Done.SavedStackPtr);
+      if (Frames.empty()) {
+        RetBits = V;
+        goto finished;
+      }
+      R = RegStack.data() + Frames.back().RegBase;
+      PC = Done.RetPC;
+      // returnFromFrame: the call result is a value step attributed to
+      // the *call* instruction, flipping at the callee's return width.
+      if (Done.RetReg != kNoReg) {
+        if (VS == FaultTarget) {
+          V = flipBits(V, BitIndex, Done.RetWidth);
+          FaultInjected = true;
+          FaultedId = Done.CallId;
+        }
+        ++VS;
+        R[Done.RetReg] = V;
+      }
+    }
+    VM_NEXT();
+  }
+  VM_CASE(RetVoid) {
+    VM_STEP();
+    {
+      VmFrame Done = Frames.back();
+      Frames.pop_back();
+      Arena.restoreStackPointer(Done.SavedStackPtr);
+      if (Frames.empty()) {
+        RetBits = 0;
+        goto finished;
+      }
+      R = RegStack.data() + Frames.back().RegBase;
+      PC = Done.RetPC;
+    }
+    VM_NEXT();
+  }
+  VM_CASE(ISqrt) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::sqrt(toD(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IFabs) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::fabs(toD(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ISin) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::sin(toD(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ICos) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::cos(toD(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IExp) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::exp(toD(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(ILog) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::log(toD(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IPow) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::pow(toD(R[In->B]), toD(R[In->C]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IFloor) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::floor(toD(R[In->B]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IFMin) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::fmin(toD(R[In->B]), toD(R[In->C]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IFMax) {
+    VM_STEP();
+    VM_COMMIT(64, toU(std::fmax(toD(R[In->B]), toD(R[In->C]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IIMin) {
+    VM_STEP();
+    VM_COMMIT(64, static_cast<uint64_t>(
+                      std::min(static_cast<int64_t>(R[In->B]),
+                               static_cast<int64_t>(R[In->C]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IIMax) {
+    VM_STEP();
+    VM_COMMIT(64, static_cast<uint64_t>(
+                      std::max(static_cast<int64_t>(R[In->B]),
+                               static_cast<int64_t>(R[In->C]))));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IMalloc) {
+    VM_STEP();
+    {
+      int64_t Slots = static_cast<int64_t>(R[In->B]);
+      if (Slots < 0)
+        VM_TRAP(OutOfMemory);
+      uint64_t Addr = Arena.mallocBytes(static_cast<uint64_t>(Slots) * 8);
+      if (!Addr)
+        VM_TRAP(OutOfMemory);
+      VM_COMMIT(64, Addr);
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IFree) {
+    VM_STEP(); // bump allocator: no recycling, the step still counts
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IRandSeed) {
+    VM_STEP();
+    WorkloadRng.reseed(R[In->B]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IRandI64) {
+    VM_STEP();
+    {
+      int64_t Bound = static_cast<int64_t>(R[In->B]);
+      VM_COMMIT(64, Bound <= 0 ? 0
+                               : WorkloadRng.nextBelow(
+                                     static_cast<uint64_t>(Bound)));
+    }
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IRandF64) {
+    VM_STEP();
+    VM_COMMIT(64, toU(WorkloadRng.nextDouble()));
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IMpiRank) {
+    VM_STEP();
+    VM_COMMIT(64, 0); // single-rank semantics, like execMpiSingleRank
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IMpiSize) {
+    VM_STEP();
+    VM_COMMIT(64, 1);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IMpiBarrier) {
+    VM_STEP();
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IMpiIdentity) {
+    VM_STEP();
+    VM_COMMIT(64, R[In->B]);
+    ++PC;
+    VM_NEXT();
+  }
+  VM_CASE(IMpiCopy) {
+    VM_STEP();
+    {
+      uint64_t Send = R[In->B];
+      uint64_t Recv = R[In->C];
+      int64_t N = static_cast<int64_t>(R[In->D]);
+      if (N < 0)
+        VM_TRAP(OutOfBounds);
+      uint64_t Count = static_cast<uint64_t>(N);
+      if (!Arena.validRange(Send, Count * 8) ||
+          !Arena.validRange(Recv, Count * 8))
+        VM_TRAP(OutOfBounds);
+      // Forward slot-by-slot copy, exactly like copySlots (overlap
+      // behaves like the interpreter, not like memcpy).
+      for (uint64_t K = 0; K != Count; ++K)
+        Arena.write64(Recv + K * 8, Arena.read64(Send + K * 8));
+    }
+    ++PC;
+    VM_NEXT();
+  }
+
+#ifndef IPAS_VM_COMPUTED_GOTO
+  } // switch
+  assert(false && "unhandled VM opcode");
+  goto dispatch;
+#endif
+
+out_of_steps:
+  Res.Status = RunStatus::OutOfSteps;
+  goto done;
+trapped:
+  Res.Status = RunStatus::Trapped;
+  Res.Trap = TrapOut;
+  goto done;
+detected:
+  Res.Status = RunStatus::Detected;
+  goto done;
+finished:
+  Res.Status = RunStatus::Finished;
+  Res.ReturnValue.Bits = RetBits;
+done:
+  Res.Steps = Steps;
+  Res.ValueSteps = VS;
+  Res.FaultInjected = FaultInjected;
+  Res.FaultedInstructionId = FaultedId;
+  return Res;
+}

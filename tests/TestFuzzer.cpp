@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Unit tests for src/testing/: the seeded MiniC generator, the four
+/// Unit tests for src/testing/: the seeded MiniC generator, the five
 /// semantic oracles, and the delta-debugging shrinker. The generator
 /// tests draw their seeds from IPAS_TEST_SEED (see TestUtil.h), so a
 /// failing nightly run is replayable from the ctest log alone.
@@ -111,7 +111,7 @@ TEST(Fuzzer, OracleNamesParse) {
   EXPECT_FALSE(IsAll);
 }
 
-// End-to-end smoke: a small campaign over all four oracles is clean and
+// End-to-end smoke: a small campaign over all five oracles is clean and
 // deterministic (same config twice gives the same report).
 TEST(Fuzzer, SmallCampaignPassesAllOracles) {
   fz::FuzzConfig Cfg;
@@ -121,7 +121,7 @@ TEST(Fuzzer, SmallCampaignPassesAllOracles) {
   IPAS_SEED_TRACE(Cfg.Seed);
   fz::FuzzReport R = fz::runFuzzCampaign(Cfg);
   EXPECT_EQ(R.ProgramsRun, 10u);
-  EXPECT_EQ(R.OraclesRun, 40u);
+  EXPECT_EQ(R.OraclesRun, 10u * fz::NumOracles);
   for (const fz::FuzzFailure &F : R.Failures)
     ADD_FAILURE() << fz::oracleName(F.Oracle) << " seed 0x" << std::hex
                   << F.Seed << ": " << F.Detail << "\n" << F.Source;

@@ -1,0 +1,462 @@
+//===- tests/TestVM.cpp - Bytecode VM vs interpreter equivalence ----------------===//
+//
+// Part of the IPAS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Three layers of evidence that the threaded-code VM reproduces the
+/// interpreter's observable semantics exactly (the fuzzed O5-backend
+/// oracle is the fourth):
+///  - a trap-parity table mirroring every interpreter trap case, run on
+///    both backends and compared field by field;
+///  - hand-derived bytecode goldens for the compiler's phi-edge moves,
+///    trampolines, and fallthrough layout;
+///  - a backend x threads x pruning campaign sweep whose eight
+///    deterministic record streams must be byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/SocPropagation.h"
+#include "fault/Campaign.h"
+#include "fault/FunctionHarness.h"
+#include "transform/Duplication.h"
+#include "vm/VM.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ipas;
+using namespace ipas::testutil;
+
+namespace {
+
+/// Everything both backends promise to agree on for one run.
+struct BackendRun {
+  RunStatus Status = RunStatus::Finished;
+  TrapKind Trap = TrapKind::None;
+  uint64_t Bits = 0;
+  uint64_t Steps = 0;
+  uint64_t ValueSteps = 0;
+  bool FaultInjected = false;
+  unsigned FaultedId = 0;
+};
+
+BackendRun runOnInterp(const Module &M, const std::string &Fn,
+                       const std::vector<RtValue> &Args,
+                       uint64_t MaxSteps = 100000000ull,
+                       const FaultPlan *Plan = nullptr) {
+  ModuleLayout Layout(M);
+  ExecutionContext Ctx(Layout);
+  if (Plan)
+    Ctx.setFaultPlan(*Plan);
+  Ctx.start(M.getFunction(Fn), Args);
+  BackendRun R;
+  R.Status = Ctx.run(MaxSteps);
+  R.Trap = Ctx.trap();
+  R.Bits = Ctx.returnValue().Bits;
+  R.Steps = Ctx.steps();
+  R.ValueSteps = Ctx.valueSteps();
+  R.FaultInjected = Ctx.faultWasInjected();
+  R.FaultedId = Ctx.faultedInstructionId();
+  return R;
+}
+
+BackendRun runOnVm(const Module &M, const std::string &Fn,
+                   const std::vector<RtValue> &Args,
+                   uint64_t MaxSteps = 100000000ull,
+                   const FaultPlan *Plan = nullptr) {
+  ModuleLayout Layout(M);
+  std::string Err;
+  std::unique_ptr<vm::VmProgram> Prog = vm::compile(Layout, &Err);
+  EXPECT_NE(Prog, nullptr) << "vm compile failed: " << Err;
+  BackendRun R;
+  if (!Prog) {
+    R.Status = RunStatus::Trapped;
+    return R;
+  }
+  vm::VmContext Ctx(*Prog);
+  vm::VmContext::Result V = Ctx.run(Prog->indexOf(Fn), Args, Plan, MaxSteps);
+  R.Status = V.Status;
+  R.Trap = V.Trap;
+  R.Bits = V.ReturnValue.Bits;
+  R.Steps = V.Steps;
+  R.ValueSteps = V.ValueSteps;
+  R.FaultInjected = V.FaultInjected;
+  R.FaultedId = V.FaultedInstructionId;
+  return R;
+}
+
+/// Runs \p Fn on both backends and demands identical observable results.
+/// Returns the (shared) outcome for additional expectations.
+BackendRun expectParity(const Module &M, const std::string &Fn,
+                        const std::vector<RtValue> &Args,
+                        uint64_t MaxSteps = 100000000ull,
+                        const FaultPlan *Plan = nullptr) {
+  BackendRun I = runOnInterp(M, Fn, Args, MaxSteps, Plan);
+  BackendRun V = runOnVm(M, Fn, Args, MaxSteps, Plan);
+  EXPECT_EQ(I.Status, V.Status);
+  EXPECT_EQ(I.Trap, V.Trap);
+  EXPECT_EQ(I.Steps, V.Steps);
+  EXPECT_EQ(I.ValueSteps, V.ValueSteps);
+  EXPECT_EQ(I.FaultInjected, V.FaultInjected);
+  EXPECT_EQ(I.FaultedId, V.FaultedId);
+  if (I.Status == RunStatus::Finished) {
+    EXPECT_EQ(I.Bits, V.Bits);
+  }
+  return I;
+}
+
+//===----------------------------------------------------------------------===//
+// Trap-parity table
+//===----------------------------------------------------------------------===//
+
+/// Every trap source the interpreter test suite covers, replayed on the
+/// VM: same Outcome-relevant fields, with and without mem2reg, plain and
+/// duplication-protected.
+struct TrapCase {
+  const char *Name;
+  const char *Src;
+  const char *Fn;
+  std::vector<int64_t> Args;
+  bool Mem2Reg;
+  TrapKind Expect;
+};
+
+const TrapCase TrapTable[] = {
+    {"div-by-zero", "int f(int a) { return 10 / a; }", "f", {0}, true,
+     TrapKind::DivByZero},
+    {"intmin-div-minus-one", "int f(int a, int b) { return a / b; }", "f",
+     {INT64_MIN, -1}, true, TrapKind::DivByZero},
+    {"mod-by-zero", "int f(int a, int b) { return a % b; }", "f", {7, 0},
+     true, TrapKind::DivByZero},
+    {"intmin-mod-minus-one", "int f(int a, int b) { return a % b; }", "f",
+     {INT64_MIN, -1}, true, TrapKind::DivByZero},
+    // The memory model validates addresses, not per-object extents, so
+    // out-of-bounds indices must escape the whole address space (or go
+    // negative into the guard) to trap — same values as the interpreter
+    // suite.
+    {"oob-load",
+     "double f(int i) { double a[4]; a[0] = 1.0;\n  return a[i]; }", "f",
+     {100000000}, true, TrapKind::OutOfBounds},
+    {"oob-load-negative",
+     "double f(int i) { double a[4]; a[0] = 1.0;\n  return a[i]; }", "f",
+     {-100000000}, true, TrapKind::OutOfBounds},
+    {"oob-load-no-mem2reg",
+     "double f(int i) { double a[4]; a[0] = 1.0;\n  return a[i]; }", "f",
+     {100000000}, false, TrapKind::OutOfBounds},
+    {"oob-store", "int f(int i) { double a[4]; a[i] = 1.0; return 0; }",
+     "f", {100000000}, true, TrapKind::OutOfBounds},
+    {"negative-index-store",
+     "int f(int i) { double a[4]; a[i] = 1.0; return 0; }", "f", {-1},
+     true, TrapKind::OutOfBounds},
+    {"null-load", "double f() { double* p; return p[0]; }", "f", {}, true,
+     TrapKind::OutOfBounds},
+    {"null-store", "int f() { double* p; p[0] = 1.0; return 0; }", "f", {},
+     true, TrapKind::OutOfBounds},
+    {"null-load-no-mem2reg", "double f() { double* p; return p[3]; }", "f",
+     {}, false, TrapKind::OutOfBounds},
+    {"call-depth",
+     "int f(int n) { if (n <= 0) return 0;\n  return f(n - 1); }", "f",
+     {100000}, true, TrapKind::CallDepthExceeded},
+};
+
+TEST(VmTrapParity, PlainModules) {
+  for (const TrapCase &C : TrapTable) {
+    SCOPED_TRACE(C.Name);
+    std::unique_ptr<Module> M = compile(C.Src, C.Mem2Reg);
+    ASSERT_NE(M, nullptr);
+    std::vector<RtValue> Args;
+    for (int64_t A : C.Args)
+      Args.push_back(RtValue::fromI64(A));
+    BackendRun R = expectParity(*M, C.Fn, Args);
+    EXPECT_EQ(R.Status, RunStatus::Trapped);
+    EXPECT_EQ(R.Trap, C.Expect);
+  }
+}
+
+TEST(VmTrapParity, ProtectedModules) {
+  // Duplication triples the step stream and adds soc.check traffic in
+  // front of every trap; the two backends must still agree exactly.
+  for (const TrapCase &C : TrapTable) {
+    SCOPED_TRACE(C.Name);
+    std::unique_ptr<Module> M = compile(C.Src, C.Mem2Reg);
+    ASSERT_NE(M, nullptr);
+    duplicateAllInstructions(*M);
+    M->renumber();
+    std::vector<RtValue> Args;
+    for (int64_t A : C.Args)
+      Args.push_back(RtValue::fromI64(A));
+    BackendRun R = expectParity(*M, C.Fn, Args);
+    EXPECT_EQ(R.Status, RunStatus::Trapped);
+    EXPECT_EQ(R.Trap, C.Expect);
+  }
+}
+
+TEST(VmTrapParity, FpDivisionByZeroDoesNotTrap) {
+  std::unique_ptr<Module> M = compile("double f(double a) { return a / 0.0; }");
+  ASSERT_NE(M, nullptr);
+  BackendRun R = expectParity(*M, "f", {RtValue::fromF64(1.0)});
+  EXPECT_EQ(R.Status, RunStatus::Finished); // IEEE inf, no trap
+}
+
+TEST(VmTrapParity, OutOfStepsBudget) {
+  std::unique_ptr<Module> M = compile(
+      "int f(int n) { int s = 0;\n"
+      "  for (int i = 0; i < n; i = i + 1) s = s + i;\n"
+      "  return s; }");
+  ASSERT_NE(M, nullptr);
+  // Identical step accounting means the budget trips at the same count.
+  BackendRun Full = expectParity(*M, "f", {RtValue::fromI64(1000)});
+  EXPECT_EQ(Full.Status, RunStatus::Finished);
+  for (uint64_t Budget : {Full.Steps - 1, Full.Steps / 2, uint64_t(7)}) {
+    BackendRun R = expectParity(*M, "f", {RtValue::fromI64(1000)}, Budget);
+    EXPECT_EQ(R.Status, RunStatus::OutOfSteps);
+  }
+}
+
+TEST(VmTrapParity, FaultPlansHitTheSameSite) {
+  std::unique_ptr<Module> M = compile(
+      "int f(int n) { int s = 1;\n"
+      "  for (int i = 0; i < n; i = i + 1) s = s + s % (i + 1);\n"
+      "  return s; }");
+  ASSERT_NE(M, nullptr);
+  BackendRun Clean = expectParity(*M, "f", {RtValue::fromI64(40)});
+  ASSERT_EQ(Clean.Status, RunStatus::Finished);
+  ASSERT_GT(Clean.ValueSteps, 8u);
+  // Keep the budget modest: a flipped loop counter can turn the loop
+  // near-infinite, and parity on *when* the budget trips is exactly what
+  // this test checks.
+  const uint64_t Budget = 100000;
+  for (uint64_t Step = 0; Step < Clean.ValueSteps; Step += 7) {
+    for (uint64_t Bit : {0ull, 31ull, 52ull, 63ull}) {
+      SCOPED_TRACE(::testing::Message() << "step=" << Step << " bit=" << Bit);
+      FaultPlan Plan;
+      Plan.TargetValueStep = Step;
+      Plan.BitDraw = Bit;
+      BackendRun R = expectParity(*M, "f", {RtValue::fromI64(40)}, Budget,
+                                  &Plan);
+      EXPECT_TRUE(R.FaultInjected);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Bytecode goldens
+//===----------------------------------------------------------------------===//
+
+std::string disasmOf(const Module &M, const char *Fn) {
+  ModuleLayout Layout(M);
+  std::string Err;
+  std::unique_ptr<vm::VmProgram> Prog = vm::compile(Layout, &Err);
+  EXPECT_NE(Prog, nullptr) << Err;
+  if (!Prog)
+    return std::string();
+  return vm::disassemble(*Prog, Fn);
+}
+
+size_t countSubstr(const std::string &Haystack, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Haystack.find(Needle); At != std::string::npos;
+       At = Haystack.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+TEST(VmBytecode, StraightLineGolden) {
+  std::unique_ptr<Module> M =
+      compile("int f(int a, int b) { return a + b; }");
+  ASSERT_NE(M, nullptr);
+  // Hand-derived: args in r0/r1, one Add (instruction id 0) into the
+  // instruction's frame slot, Ret of that slot. No constants, no
+  // staging registers.
+  EXPECT_EQ(disasmOf(*M, "f"),
+            "func f: args=2 slots=3 stage=0 consts=0 ret=w64\n"
+            "     0: BinAdd    r2 <- r0, r1  id=0\n"
+            "     1: Ret       r2  id=1\n");
+}
+
+TEST(VmBytecode, PhiEdgeMovesAndFallthrough) {
+  // After mem2reg the loop becomes two phis (s, i). The compiler must
+  // stage both incoming values on each edge (entry and latch) and commit
+  // them atomically at the loop head.
+  std::unique_ptr<Module> M = compile(
+      "int f(int n) { int s = 0; int i = 0;\n"
+      "  while (i < n) { s = s + i; i = i + 1; }\n"
+      "  return s; }");
+  ASSERT_NE(M, nullptr);
+  // Hand-derived layout: both edges into the header (entry and latch)
+  // end in unconditional Br, so their phi moves stage inline before the
+  // branch; the header commits both phis atomically (ids 1/2 are the
+  // value-step sites a FaultPlan can hit); the entry->header branch is
+  // a fallthrough in all but PC assignment.
+  EXPECT_EQ(disasmOf(*M, "f"),
+            "func f: args=1 slots=6 stage=2 consts=2 ret=w64\n"
+            "  const c0 = 0x0000000000000000\n"
+            "  const c1 = 0x0000000000000001\n"
+            "     0: Stage     s0 <- c0\n"
+            "     1: Stage     s1 <- c0\n"
+            "     2: Br        -> 3  ; fallthrough\n"
+            "     3: PhiCommit n=2 [r1 <- s0 w64 id=1] [r2 <- s1 w64 id=2]\n"
+            "     4: ICmpLT    r3 <- r1, r0  id=3\n"
+            "     5: CondBr    r3 ? -> 6 : -> 11  id=4\n"
+            "     6: BinAdd    r4 <- r2, r1  id=5\n"
+            "     7: BinAdd    r5 <- r1, c1  id=6\n"
+            "     8: Stage     s0 <- r5\n"
+            "     9: Stage     s1 <- r4\n"
+            "    10: Br        -> 3\n"
+            "    11: Ret       r2  id=8\n");
+}
+
+TEST(VmBytecode, CondBrEdgeIntoPhiBlockGetsGotoTrampoline) {
+  // `if` without `else`: the false leg of the entry CondBr jumps
+  // straight into the join block's phi, so its edge move cannot run
+  // inline in the predecessor (the true leg must not see it). The
+  // compiler appends a trampoline (Stage + step-free Goto) after the
+  // function body and retargets the CondBr at it.
+  std::unique_ptr<Module> M = compile(
+      "int f(int n) { int s = 1; if (n > 0) s = n + 2; return s; }");
+  ASSERT_NE(M, nullptr);
+  std::string D = disasmOf(*M, "f");
+  SCOPED_TRACE(D);
+  EXPECT_EQ(countSubstr(D, "PhiCommit"), 1u);
+  EXPECT_EQ(countSubstr(D, "Goto"), 1u);
+  // One Stage on the then-edge (inline) + one in the trampoline.
+  EXPECT_EQ(countSubstr(D, "Stage"), 2u);
+  EXPECT_GE(countSubstr(D, "; fallthrough"), 1u);
+
+  // The trampoline preserves semantics on both legs, on both backends.
+  for (int64_t N : {5, -5}) {
+    BackendRun R = expectParity(*M, "f", {RtValue::fromI64(N)});
+    EXPECT_EQ(R.Status, RunStatus::Finished);
+    EXPECT_EQ(static_cast<int64_t>(R.Bits), N > 0 ? N + 2 : 1);
+  }
+}
+
+TEST(VmBytecode, ConstantsArePooledAndDeduped) {
+  std::unique_ptr<Module> M = compile(
+      "int f(int a) { return a * 7 + 7 + 2; }");
+  ASSERT_NE(M, nullptr);
+  std::string D = disasmOf(*M, "f");
+  SCOPED_TRACE(D);
+  // 7 appears twice in the source but once in the pool.
+  EXPECT_EQ(countSubstr(D, "const c0 = 0x0000000000000007"), 1u);
+  EXPECT_EQ(countSubstr(D, "const c1 = 0x0000000000000002"), 1u);
+  EXPECT_EQ(countSubstr(D, "consts=2"), 1u);
+}
+
+TEST(VmBytecode, SelftestBugChangesSemantics) {
+  std::unique_ptr<Module> M =
+      compile("int f(int a, int b) { return a - b; }");
+  ASSERT_NE(M, nullptr);
+  ModuleLayout Layout(*M);
+  std::unique_ptr<vm::VmProgram> Prog = vm::compile(Layout);
+  ASSERT_NE(Prog, nullptr);
+  ASSERT_TRUE(vm::injectSelftestBug(*Prog));
+  vm::VmContext Ctx(*Prog);
+  vm::VmContext::Result V = Ctx.run(
+      Prog->indexOf("f"), {RtValue::fromI64(10), RtValue::fromI64(3)},
+      nullptr, 1000);
+  ASSERT_EQ(V.Status, RunStatus::Finished);
+  EXPECT_EQ(V.ReturnValue.asI64(), -7); // operands swapped: b - a
+}
+
+//===----------------------------------------------------------------------===//
+// Record-stream invariance: backend x threads x pruning
+//===----------------------------------------------------------------------===//
+
+std::string readTestdata(const char *Name) {
+  std::ifstream In(std::string(IPAS_TESTDATA_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << "cannot open testdata file " << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// The deterministic columns of one campaign's record stream, packed
+/// into bytes (LatencyUs is wall time and documented as excluded).
+std::string packRecordStream(const CampaignResult &R) {
+  std::string Bytes;
+  Bytes.reserve(R.Records.size() * 17);
+  for (const InjectionRecord &Rec : R.Records) {
+    char Buf[17];
+    std::memcpy(Buf, &Rec.InstructionId, 4);
+    std::memcpy(Buf + 4, &Rec.BitIndex, 4);
+    std::memcpy(Buf + 8, &Rec.TargetValueStep, 8);
+    Buf[16] = static_cast<char>(Rec.Result);
+    Bytes.append(Buf, sizeof(Buf));
+  }
+  return Bytes;
+}
+
+void sweepRecordInvariance(const char *File, const char *Fn,
+                           std::vector<RtValue> Args, size_t Runs) {
+  std::string Src = readTestdata(File);
+  ASSERT_FALSE(Src.empty());
+
+  std::string GoldenStream;
+  std::array<size_t, NumOutcomes> GoldenCounts{};
+  bool HaveGoldenStream = false;
+  size_t GoldenPruned = 0;
+
+  for (ExecBackend Backend : {ExecBackend::Interp, ExecBackend::Vm}) {
+    for (unsigned Threads : {1u, 4u}) {
+      for (bool Prune : {false, true}) {
+        SCOPED_TRACE(::testing::Message()
+                     << File << " backend="
+                     << (Backend == ExecBackend::Vm ? "vm" : "interp")
+                     << " threads=" << Threads << " prune=" << Prune);
+        // Fresh module/layout/harness per variant: every campaign must
+        // reproduce the stream from scratch.
+        std::unique_ptr<Module> M = compile(Src);
+        ASSERT_NE(M, nullptr);
+        duplicateAllInstructions(*M);
+        M->renumber();
+        SocPropagation Soc(*M);
+        ModuleLayout Layout(*M);
+        FunctionHarness Harness(Fn, Args);
+        CampaignConfig CC;
+        CC.NumRuns = Runs;
+        CC.Seed = 11;
+        CC.NumThreads = Threads;
+        CC.Backend = Backend;
+        CC.TraceRuns = false;
+        if (Prune)
+          CC.ProvablyBenign = &Soc.provablyBenign();
+        CampaignResult R = runCampaign(Harness, Layout, CC);
+        ASSERT_EQ(R.Records.size(), Runs);
+
+        std::string Stream = packRecordStream(R);
+        if (!HaveGoldenStream) {
+          GoldenStream = Stream;
+          GoldenCounts = R.Counts;
+          HaveGoldenStream = true;
+        } else {
+          EXPECT_EQ(Stream, GoldenStream)
+              << "record stream diverged from the first variant";
+          EXPECT_EQ(R.Counts, GoldenCounts);
+        }
+        if (Prune) {
+          if (GoldenPruned == 0)
+            GoldenPruned = R.PrunedRuns;
+          EXPECT_EQ(R.PrunedRuns, GoldenPruned);
+        } else {
+          EXPECT_EQ(R.PrunedRuns, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(VmRecordSweep, ResidualEightWayInvariance) {
+  sweepRecordInvariance("residual.mc", "f", {RtValue::fromI64(32)}, 120);
+}
+
+TEST(VmRecordSweep, GenfuzzEightWayInvariance) {
+  sweepRecordInvariance("genfuzz.mc", "run",
+                        {RtValue::fromI64(3), RtValue::fromI64(5)}, 60);
+}
+
+} // namespace

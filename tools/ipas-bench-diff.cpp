@@ -17,6 +17,11 @@
 /// wall_seconds is always informational only — wall time depends on the
 /// machine, not the change under test.
 ///
+/// A baseline metric that is absent from the candidate file is an error
+/// (exit 3) unless listed in --ignore: a metric a benchmark stopped
+/// emitting must never pass the gate silently. Metrics only in the
+/// candidate are informational — a benchmark may grow new ones freely.
+///
 //===----------------------------------------------------------------------===//
 
 #include "obs/Json.h"
@@ -115,14 +120,29 @@ int main(int Argc, char **Argv) {
     Keys.insert(K);
 
   std::printf("%-28s %14s %14s %9s\n", "metric", "old", "new", "delta%");
-  unsigned Regressions = 0;
+  unsigned Regressions = 0, Missing = 0;
   for (const std::string &K : Keys) {
     auto OldIt = OldM.find(K), NewIt = NewM.find(K);
-    if (OldIt == OldM.end() || NewIt == NewM.end()) {
-      std::printf("%-28s %14s %14s %9s  (only in %s)\n", K.c_str(),
-                  OldIt != OldM.end() ? "present" : "-",
-                  NewIt != NewM.end() ? "present" : "-", "-",
-                  OldIt != OldM.end() ? "old" : "new");
+    if (OldIt != OldM.end() && NewIt == NewM.end()) {
+      // Present in the baseline, gone from the candidate: the gate has
+      // nothing to check, which must fail loudly rather than pass by
+      // omission (unless the caller explicitly ignores the metric).
+      bool Ignored = Ignore.count(K) != 0;
+      std::printf("%-28s %14s %14s %9s  %s\n", K.c_str(), "present", "-",
+                  "-", Ignored ? "(only in old, ignored)" : "MISSING");
+      if (!Ignored) {
+        std::fprintf(stderr,
+                     "error: baseline metric '%s' is missing from '%s'; "
+                     "the gate cannot check it (add it back, regenerate "
+                     "the baseline, or pass --ignore %s)\n",
+                     K.c_str(), P.positionals()[1].c_str(), K.c_str());
+        ++Missing;
+      }
+      continue;
+    }
+    if (OldIt == OldM.end()) {
+      std::printf("%-28s %14s %14s %9s  (only in new)\n", K.c_str(), "-",
+                  "present", "-");
       continue;
     }
     double Old = OldIt->second, New = NewIt->second;
@@ -138,6 +158,11 @@ int main(int Argc, char **Argv) {
     Regressions += Regressed;
   }
 
+  if (Missing) {
+    std::printf("%u baseline metric(s) missing from the candidate\n",
+                Missing);
+    return 3;
+  }
   if (Regressions) {
     std::printf("%u metric(s) regressed past %.1f%%\n", Regressions,
                 Threshold);

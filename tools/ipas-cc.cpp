@@ -38,6 +38,7 @@
 #include "transform/Duplication.h"
 #include "transform/Mem2Reg.h"
 #include "transform/SimplifyCFG.h"
+#include "vm/VM.h"
 
 #include <cstdio>
 #include <fstream>
@@ -78,6 +79,7 @@ int main(int Argc, char **Argv) {
   bool Profile = false, ProfileContext = false;
   std::string RunFn, ArgsCsv, RecordOut, PropOut, RecordIn, SummaryOut;
   std::string ProfileOut;
+  std::string BackendName = "interp";
   int64_t FaultStep = -1, FaultBit = 0, MaxSteps = -1;
   int64_t CampaignRuns = 0, CampaignSeed = 0xf417, CampaignThreads = 1;
   int64_t PropSample = 0;
@@ -105,6 +107,10 @@ int main(int Argc, char **Argv) {
            "run a fault-injection campaign of N runs over --run");
   P.addInt("seed", &CampaignSeed, "campaign RNG seed");
   P.addInt("threads", &CampaignThreads, "campaign worker threads");
+  P.addString("backend", &BackendName,
+              "execution engine for --run/--campaign: interp (reference "
+              "interpreter, default) or vm (threaded-code bytecode VM, "
+              "observably equivalent)");
   P.addString("record-out", &RecordOut,
               "write the campaign's .iprec provenance record store here");
   P.addInt("prop-sample", &PropSample,
@@ -148,6 +154,14 @@ int main(int Argc, char **Argv) {
   if (!obs::applyCliFlags(Obs, "ipas-cc",
                           obs::AttrSet().add("input", P.positionals()[0])))
     return 2;
+  if (BackendName != "interp" && BackendName != "vm") {
+    std::fprintf(stderr,
+                 "error: unknown backend '%s' (use interp or vm)\n",
+                 BackendName.c_str());
+    return 2;
+  }
+  const ExecBackend Backend =
+      BackendName == "vm" ? ExecBackend::Vm : ExecBackend::Interp;
 
   std::ifstream In(P.positionals()[0]);
   if (!In) {
@@ -414,6 +428,7 @@ int main(int Argc, char **Argv) {
     CC.NumThreads =
         CampaignThreads > 0 ? static_cast<unsigned>(CampaignThreads) : 1;
     CC.Label = "cc.campaign";
+    CC.Backend = Backend;
     if (PropSample > 0)
       CC.PropSampleEvery = static_cast<size_t>(PropSample);
     if (Interproc)
@@ -525,42 +540,78 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  ExecutionContext Ctx(Layout);
+  FaultPlan Plan;
+  bool HavePlan = false;
   if (FaultStep >= 0) {
-    FaultPlan Plan;
     Plan.TargetValueStep = static_cast<uint64_t>(FaultStep);
     Plan.BitDraw = static_cast<uint64_t>(FaultBit);
-    Ctx.setFaultPlan(Plan);
+    HavePlan = true;
   }
+  const uint64_t Budget =
+      MaxSteps > 0 ? static_cast<uint64_t>(MaxSteps) : UINT64_MAX;
+
   RunStatus S;
+  TrapKind Trap = TrapKind::None;
+  uint64_t Steps = 0;
+  bool FaultInjected = false;
+  RtValue Ret;
   {
-    obs::PhaseSpan Span("cc.run", obs::AttrSet().add("function", RunFn));
-    Ctx.start(F, Args);
-    S = Ctx.run(MaxSteps > 0 ? static_cast<uint64_t>(MaxSteps)
-                             : UINT64_MAX);
+    obs::PhaseSpan Span("cc.run", obs::AttrSet()
+                                      .add("function", RunFn)
+                                      .add("backend", BackendName));
+    std::unique_ptr<vm::VmProgram> Prog;
+    if (Backend == ExecBackend::Vm) {
+      std::string Err;
+      Prog = vm::compile(Layout, &Err);
+      if (!Prog)
+        std::fprintf(stderr,
+                     "warning: vm compile failed (%s); falling back to "
+                     "the interpreter\n",
+                     Err.empty() ? "unsupported construct" : Err.c_str());
+    }
+    if (Prog) {
+      vm::VmContext VCtx(*Prog);
+      vm::VmContext::Result V = VCtx.run(
+          Prog->indexOf(RunFn), Args, HavePlan ? &Plan : nullptr, Budget);
+      S = V.Status;
+      Trap = V.Trap;
+      Steps = V.Steps;
+      FaultInjected = V.FaultInjected;
+      Ret = V.ReturnValue;
+    } else {
+      ExecutionContext Ctx(Layout);
+      if (HavePlan)
+        Ctx.setFaultPlan(Plan);
+      Ctx.start(F, Args);
+      S = Ctx.run(Budget);
+      Trap = Ctx.trap();
+      Steps = Ctx.steps();
+      FaultInjected = Ctx.faultWasInjected();
+      if (S == RunStatus::Finished)
+        Ret = Ctx.returnValue();
+    }
     Span.addAttr(obs::AttrSet()
                      .add("status", runStatusName(S))
-                     .add("steps", Ctx.steps()));
+                     .add("steps", Steps));
   }
 
   switch (S) {
   case RunStatus::Finished: {
-    RtValue V = Ctx.returnValue();
     if (F->returnType().isF64())
-      std::printf("result: %.17g\n", V.asF64());
+      std::printf("result: %.17g\n", Ret.asF64());
     else if (!F->returnType().isVoid())
-      std::printf("result: %lld\n", static_cast<long long>(V.asI64()));
+      std::printf("result: %lld\n", static_cast<long long>(Ret.asI64()));
     std::printf("executed %llu instructions%s\n",
-                static_cast<unsigned long long>(Ctx.steps()),
-                Ctx.faultWasInjected() ? " (fault injected)" : "");
+                static_cast<unsigned long long>(Steps),
+                FaultInjected ? " (fault injected)" : "");
     return 0;
   }
   case RunStatus::Detected:
     std::printf("fault detected by a soc.check after %llu instructions\n",
-                static_cast<unsigned long long>(Ctx.steps()));
+                static_cast<unsigned long long>(Steps));
     return 3;
   case RunStatus::Trapped:
-    std::printf("trap: %s\n", trapKindName(Ctx.trap()));
+    std::printf("trap: %s\n", trapKindName(Trap));
     return 4;
   case RunStatus::OutOfSteps:
     std::printf("step budget exceeded (possible hang)\n");

@@ -5,14 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Runs the randomized differential-testing campaign (src/testing/):
-/// generate seeded UB-free MiniC programs, check them against the four
+/// generate seeded UB-free MiniC programs, check them against the five
 /// semantic oracles, and delta-debug any failure to a minimal repro.
 ///
 ///   ipas-fuzz --seed 1 --count 200                  # all oracles
 ///   ipas-fuzz --seed 7 --count 50 --oracle O2       # optimizer only
+///   ipas-fuzz --seed 1 --count 200 --oracle backend # interp-vs-VM only
 ///   ipas-fuzz --seed 1 --count 200 --out-dir repro  # save failing .mc
 ///   ipas-fuzz --emit-seed 42                        # print one program
 ///   ipas-fuzz --selftest-shrink                     # harness self-test
+///   ipas-fuzz --selftest-vm                         # O5 harness self-test
 ///
 /// Exit status: 0 all oracles passed, 1 failures found, 2 usage error.
 /// Output is deterministic for a fixed flag set (no timing, no pointers),
@@ -47,21 +49,26 @@ static bool writeFile(const std::filesystem::path &Path,
 /// module, scans campaign indices until the bug manifests (a program
 /// whose first integer sub is live and asymmetric), shrinks it, and
 /// enforces the acceptance bound on the repro size.
-static int runShrinkSelftest(uint64_t BaseSeed, const OracleOptions &Base) {
+static int runShrinkSelftest(uint64_t BaseSeed, const OracleOptions &Base,
+                             OracleKind K) {
   OracleOptions Opts = Base;
-  Opts.InjectMiscompile = true;
+  if (K == OracleKind::Backend)
+    Opts.InjectVmBug = true; // corrupt the compiled bytecode
+  else
+    Opts.InjectMiscompile = true;
   constexpr uint64_t MaxScan = 64;
   constexpr size_t MaxReproLines = 25;
   for (uint64_t I = 0; I != MaxScan; ++I) {
     GenConfig GC;
     GC.Seed = programSeed(BaseSeed, I);
     GeneratedProgram P = generateProgram(GC);
-    OracleResult R = runOracle(OracleKind::Optimizer, P.Source, Opts);
+    OracleResult R = runOracle(K, P.Source, Opts);
     if (R.Passed)
       continue; // swap was dead or symmetric here; try the next program
-    ShrinkResult SR = shrinkFailure(P.Source, OracleKind::Optimizer, Opts);
-    std::printf("selftest: injected miscompile caught on program %llu "
+    ShrinkResult SR = shrinkFailure(P.Source, K, Opts);
+    std::printf("selftest: injected %s caught on program %llu "
                 "(seed 0x%llx)\n",
+                K == OracleKind::Backend ? "vm bug" : "miscompile",
                 static_cast<unsigned long long>(I),
                 static_cast<unsigned long long>(GC.Seed));
     std::printf("selftest: shrunk %zu -> %zu lines (%u candidates tried, "
@@ -88,12 +95,14 @@ int main(int Argc, char **Argv) {
   int64_t Seed = 1, Count = 200, MaxSteps = -1, EmitSeed = -1;
   std::string OracleSel = "all", OutDir;
   bool NoShrink = false, InjectMiscompile = false, SelftestShrink = false;
+  bool InjectVmBug = false, SelftestVm = false;
 
   ArgParser P("ipas-fuzz: differential testing of the MiniC pipeline");
   P.addInt("seed", &Seed, "campaign base seed");
   P.addInt("count", &Count, "number of programs to generate");
   P.addString("oracle", &OracleSel,
-              "oracle to run: O1..O4, a full name, or 'all'");
+              "oracle to run: O1..O5, a full name or bare suffix "
+              "(e.g. 'backend'), or 'all'");
   P.addString("out-dir", &OutDir,
               "directory for failing-program .mc repro files");
   P.addBool("no-shrink", &NoShrink, "report failures without minimizing");
@@ -104,6 +113,11 @@ int main(int Argc, char **Argv) {
             "deliberately break O2's optimized module (harness check)");
   P.addBool("selftest-shrink", &SelftestShrink,
             "verify the shrinker minimizes an injected miscompile");
+  P.addBool("inject-vm-bug", &InjectVmBug,
+            "deliberately corrupt O5's compiled bytecode (harness check)");
+  P.addBool("selftest-vm", &SelftestVm,
+            "verify O5 catches an injected vm bug and the shrinker "
+            "minimizes it");
   obs::CliOptions Obs;
   obs::addCliFlags(P, Obs);
   if (!P.parse(Argc, Argv))
@@ -130,11 +144,14 @@ int main(int Argc, char **Argv) {
   Cfg.Count = static_cast<uint64_t>(Count);
   Cfg.Shrink = !NoShrink;
   Cfg.Oracles.InjectMiscompile = InjectMiscompile;
+  Cfg.Oracles.InjectVmBug = InjectVmBug;
   if (MaxSteps > 0)
     Cfg.Oracles.MaxSteps = static_cast<uint64_t>(MaxSteps);
 
   if (SelftestShrink)
-    return runShrinkSelftest(Cfg.Seed, Cfg.Oracles);
+    return runShrinkSelftest(Cfg.Seed, Cfg.Oracles, OracleKind::Optimizer);
+  if (SelftestVm)
+    return runShrinkSelftest(Cfg.Seed, Cfg.Oracles, OracleKind::Backend);
 
   bool IsAll = false;
   OracleKind K = OracleKind::RoundTrip;
@@ -142,7 +159,7 @@ int main(int Argc, char **Argv) {
     Cfg.RunAll = false;
     Cfg.Oracle = K;
   } else if (!IsAll) {
-    std::fprintf(stderr, "error: unknown oracle '%s' (use O1..O4 or all)\n",
+    std::fprintf(stderr, "error: unknown oracle '%s' (use O1..O5 or all)\n",
                  OracleSel.c_str());
     return 2;
   }
